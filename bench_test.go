@@ -1,0 +1,423 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the FlexRIC paper at benchmark scale, one testing.B target per
+// experiment, plus the ablation benches called out in DESIGN.md §4.
+// Custom metrics carry the figure's actual quantities (CPU %, Mbps, µs)
+// alongside ns/op. Paper-scale runs: cmd/flexric-bench.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/experiments"
+	"flexric/internal/flexran"
+	"flexric/internal/nvs"
+	"flexric/internal/ran"
+	"flexric/internal/sm"
+	"flexric/internal/transport"
+)
+
+// --- Fig 6: agent CPU overhead ---
+
+func BenchmarkFig6aAgentOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6a(1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AgentCPU, "flexric4G_cpu%")
+		b.ReportMetric(res.Rows[1].AgentCPU, "flexran4G_cpu%")
+		b.ReportMetric(res.Rows[2].AgentCPU, "flexric5G_cpu%")
+	}
+}
+
+func BenchmarkFig6bUESweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6b([]int{8, 32}, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.FlexRIC, "flexric32ue_cpu%")
+		b.ReportMetric(last.FlexRAN, "flexran32ue_cpu%")
+		b.ReportMetric(last.NoAgent, "noagent32ue_cpu%")
+	}
+}
+
+// --- Fig 7: encoding schemes ---
+
+func BenchmarkFig7aPingRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7a(50, []int{100, 1500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.RTT.P50.Microseconds()),
+				fmt.Sprintf("%s_%dB_p50us", row.Combo, row.Payload))
+		}
+	}
+}
+
+func BenchmarkFig7bSignaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7b(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Mbps, fmt.Sprintf("%s_%dB_mbps", row.Combo, row.Payload))
+		}
+	}
+}
+
+// --- Fig 8: controller scalability ---
+
+func BenchmarkFig8aControllerVsFlexRAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8a(4, 1500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FlexRICCPU, "flexric_cpu%")
+		b.ReportMetric(res.FlexRANCPU, "flexran_cpu%")
+		b.ReportMetric(res.FlexRICMem, "flexric_MB")
+		b.ReportMetric(res.FlexRANMem, "flexran_MB")
+	}
+}
+
+func BenchmarkFig8bAgentSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8b([]int{4}, 1500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ASN[0].CPU, "asn4agents_cpu%")
+		b.ReportMetric(res.FB[0].CPU, "fb4agents_cpu%")
+	}
+}
+
+// --- Table 2: artifact sizes ---
+
+func BenchmarkTable2Footprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Source != "measured" {
+				b.ReportMetric(row.SizeMB, "oran_platform_MB")
+				break
+			}
+		}
+	}
+}
+
+// --- Fig 9: O-RAN RIC comparison ---
+
+func BenchmarkFig9aTwoHopRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9a(50, []int{100, 1500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.RTT.P50.Microseconds()),
+				fmt.Sprintf("%s_%dB_p50us", row.System, row.Payload))
+		}
+	}
+}
+
+func BenchmarkFig9bMonitoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9b(4, 1500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FlexRICCPU, "flexric_cpu%")
+		b.ReportMetric(res.ORANCPU, "oran_cpu%")
+		b.ReportMetric(res.FlexRICMem, "flexric_MB")
+		b.ReportMetric(res.ORANMem, "oran_MB")
+	}
+}
+
+// --- Fig 11: traffic control ---
+
+func BenchmarkFig11TrafficControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Transparent.RTTPercentile(50)), "transparent_p50ms")
+		b.ReportMetric(float64(res.XApp.RTTPercentile(50)), "xapp_p50ms")
+		b.ReportMetric(float64(res.Transparent.MaxSojourn()), "transparent_maxsojourn_ms")
+		b.ReportMetric(float64(res.XApp.MaxSojourn()), "xapp_maxsojourn_ms")
+	}
+}
+
+// --- Fig 13: slicing ---
+
+func BenchmarkFig13aIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13a(3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t4 := res.Phases[3]
+		b.ReportMetric(t4.PerUE[1], "t4_whiteUE_mbps")
+		b.ReportMetric(t4.Total, "t4_total_mbps")
+	}
+}
+
+func BenchmarkFig13bSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13b(9000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// First third: slice 2 idle.
+		n := len(res.Static) / 3
+		var static, sharing float64
+		for j := 1; j < n; j++ {
+			static += res.Static[j].Gray
+			sharing += res.Sharing[j].Gray
+		}
+		b.ReportMetric(static/float64(n-1), "static_gray_mbps")
+		b.ReportMetric(sharing/float64(n-1), "sharing_gray_mbps")
+	}
+}
+
+// --- Fig 15: recursive slicing ---
+
+func BenchmarkFig15Recursive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(15000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Multiplexing gain in the final stretch (operator B idle).
+		lastShared := res.Shared.Points[len(res.Shared.Points)-1]
+		lastDed := res.Dedicated.Points[len(res.Dedicated.Points)-1]
+		b.ReportMetric(lastShared.UE[0]+lastShared.UE[1], "sharedA_final_mbps")
+		b.ReportMetric(lastDed.UE[0]+lastDed.UE[1], "dedicatedA_final_mbps")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationDoubleEncoding quantifies E2's mandated double
+// encoding (inner E2SM + outer E2AP) against a hypothetical single pass.
+func BenchmarkAblationDoubleEncoding(b *testing.B) {
+	ping := &sm.HWPing{Seq: 1, T0: 1, Data: bytes.Repeat([]byte{1}, 1500)}
+	codec := e2ap.MustCodec(e2ap.SchemeASN)
+	b.Run("double", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inner := sm.EncodeHWPing(sm.SchemeASN, ping) // E2SM pass
+			if _, err := codec.Encode(&e2ap.Indication{  // E2AP pass
+				RequestID: e2ap.RequestID{Requestor: 1, Instance: 1},
+				Payload:   inner,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// FlexRAN-style: one encoding pass carries the payload.
+			if _, err := flexran.Encode(flexran.MsgEchoRequest, &flexran.Echo{
+				Seq: 1, T0: 1, Data: ping.Data,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDispatchDecode isolates the controller dispatch path:
+// zero-copy flat envelope vs explicit PER decode (the Fig. 8b mechanism).
+func BenchmarkAblationDispatchDecode(b *testing.B) {
+	rep := &sm.MACReport{CellTimeMS: 1}
+	for i := 0; i < 32; i++ {
+		rep.UEs = append(rep.UEs, sm.MACUEEntry{RNTI: uint16(i), CQI: 15, MCS: 28})
+	}
+	for _, scheme := range []e2ap.Scheme{e2ap.SchemeASN, e2ap.SchemeFB} {
+		codec := e2ap.MustCodec(scheme)
+		wire, err := codec.Encode(&e2ap.Indication{
+			RequestID: e2ap.RequestID{Requestor: 1, Instance: 9},
+			Payload:   sm.EncodeMACReport(sm.SchemeFB, rep),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire = append([]byte(nil), wire...)
+		b.Run(string(scheme), func(b *testing.B) {
+			b.ReportAllocs()
+			dec := e2ap.MustCodec(scheme)
+			for i := 0; i < b.N; i++ {
+				env, err := dec.Envelope(wire)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if env.RequestID().Instance != 9 {
+					b.Fatal("bad dispatch key")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPollingVsEvents compares the application-visible
+// per-tick cost of FlexRAN's poll-the-RIB model (a snapshot copy every
+// tick, whether or not anything changed) with FlexRIC's event-driven
+// model, where an idle tick costs nothing and an update costs one
+// envelope dispatch.
+func BenchmarkAblationPollingVsEvents(b *testing.B) {
+	b.Run("flexran-poll-tick", func(b *testing.B) {
+		ctrl, addr, err := flexran.NewController("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ctrl.Close()
+		// Populate the RIB through the real protocol path: 4 BSs × 32 UEs.
+		conns := make([]transport.Conn, 4)
+		for i := range conns {
+			tc, err := transport.Dial(transport.KindSCTPish, addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tc.Close()
+			conns[i] = tc
+			hello, _ := flexran.Encode(flexran.MsgHello, &flexran.Hello{BSID: uint64(i + 1)})
+			if err := tc.Send(hello); err != nil {
+				b.Fatal(err)
+			}
+			rep := &flexran.StatsReport{BSID: uint64(i + 1), TimeMS: 1}
+			for u := 0; u < 32; u++ {
+				rep.UEs = append(rep.UEs, flexran.UEStats{RNTI: uint16(u + 1)})
+			}
+			wire, _ := flexran.Encode(flexran.MsgStatsReport, rep)
+			if err := tc.Send(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) && len(ctrl.Poll()) < 4 {
+			time.Sleep(time.Millisecond)
+		}
+		if len(ctrl.Poll()) != 4 {
+			b.Fatal("RIB not populated")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if snap := ctrl.Poll(); len(snap) != 4 {
+				b.Fatal("lost RIB entries")
+			}
+		}
+	})
+	b.Run("flexric-event-tick", func(b *testing.B) {
+		// Event-driven: an idle tick performs no controller work; the
+		// per-update cost is the envelope dispatch measured separately in
+		// BenchmarkAblationDispatchDecode.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Nothing to do: no message, no callback, no copy.
+		}
+	})
+}
+
+// BenchmarkAblationTransport compares the in-process pipe with the
+// framed-TCP transport for the 1500 B echo pattern.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, kind := range []transport.Kind{transport.KindSCTPish, transport.KindPipe} {
+		addr := "127.0.0.1:0"
+		if kind == transport.KindPipe {
+			addr = fmt.Sprintf("bench-ablation-%d", time.Now().UnixNano())
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			lis, err := transport.Listen(kind, addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lis.Close()
+			go func() {
+				c, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(m); err != nil {
+						return
+					}
+				}
+			}()
+			c, err := transport.Dial(kind, lis.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{0x5C}, 1500)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSliceSched compares the NVS slice scheduler with the
+// plain shared proportional-fair pool at the MAC.
+func BenchmarkAblationSliceSched(b *testing.B) {
+	for _, mode := range []string{"pf-pool", "nvs"} {
+		b.Run(mode, func(b *testing.B) {
+			cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT5G, NumRB: 106})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i <= 8; i++ {
+				ue, err := cell.Attach(uint16(i), "", "208.95", 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ue.AddSource(&ran.Saturating{Flow: ran.FiveTuple{DstIP: uint32(i)}, RateBytesPerMS: 1 << 18})
+			}
+			if mode == "nvs" {
+				cfgs := make([]nvs.Config, 4)
+				for s := range cfgs {
+					cfgs[s] = nvs.Config{ID: uint32(s), Kind: nvs.KindCapacity, Capacity: 0.25, UESched: "pf"}
+				}
+				if err := cell.ConfigureSlices(cfgs); err != nil {
+					b.Fatal(err)
+				}
+				for i := 1; i <= 8; i++ {
+					if err := cell.AssociateUE(uint16(i), uint32((i-1)%4)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell.Step(1)
+			}
+		})
+	}
+}

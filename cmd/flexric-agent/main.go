@@ -1,0 +1,98 @@
+// flexric-agent runs a simulated base station with a FlexRIC agent: the
+// full SM bundle (MAC/RLC/PDCP stats, slicing control, traffic control,
+// RRC notifications, HW ping) over a slot-driven user plane. It pairs
+// with flexric-ctrl for a two-process deployment.
+//
+//	flexric-agent -controller 127.0.0.1:36421 -rat 5g -rb 106 -ues 3
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/ran"
+	"flexric/internal/sm"
+)
+
+func main() {
+	controller := flag.String("controller", "127.0.0.1:36421", "controller E2 address")
+	scheme := flag.String("scheme", "asn", "E2AP/SM encoding scheme: asn or fb")
+	rat := flag.String("rat", "4g", "radio access technology: 4g or 5g")
+	numRB := flag.Int("rb", 25, "bandwidth in resource blocks")
+	nodeID := flag.Uint64("node", 1, "global E2 node id")
+	ues := flag.Int("ues", 3, "attached UEs with saturating traffic")
+	mcs := flag.Int("mcs", 28, "modulation and coding scheme")
+	realtime := flag.Bool("realtime", true, "pace the slot loop at 1 TTI per ms")
+	flag.Parse()
+
+	e2s, sms := e2ap.SchemeASN, sm.SchemeASN
+	if *scheme == "fb" {
+		e2s, sms = e2ap.SchemeFB, sm.SchemeFB
+	}
+	r := ran.RAT4G
+	if *rat == "5g" {
+		r = ran.RAT5G
+	}
+
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: r, NumRB: *numRB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{
+			PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: *nodeID,
+		},
+		Scheme: e2s,
+	})
+	fns := []agent.RANFunction{
+		sm.NewMACStats(cell, sms, a),
+		sm.NewRLCStats(cell, sms, a),
+		sm.NewPDCPStats(cell, sms, a),
+		sm.NewSliceCtrl(cell, sms),
+		sm.NewTCCtrl(cell, sms, a),
+		sm.NewRRC(cell, sms, a),
+		sm.NewKPM(cell, sms),
+		sm.NewHW(),
+	}
+	for _, fn := range fns {
+		if err := a.RegisterFunction(fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := a.Connect(*controller); err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	log.Printf("connected to %s as node %d (%s, %d RB, scheme %s)",
+		*controller, *nodeID, r, *numRB, *scheme)
+
+	for i := 1; i <= *ues; i++ {
+		rnti := uint16(i)
+		if _, err := cell.Attach(rnti, "", "208.95", *mcs); err != nil {
+			log.Fatal(err)
+		}
+		if err := cell.AddTraffic(rnti, &ran.Saturating{
+			Flow:           ran.FiveTuple{DstIP: uint32(rnti), DstPort: 5001, Proto: ran.ProtoUDP},
+			RateBytesPerMS: 1 << 20,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *realtime {
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for range t.C {
+			cell.Step(1)
+			sm.TickAll(fns, cell.Now())
+		}
+	} else {
+		for {
+			cell.Step(1)
+			sm.TickAll(fns, cell.Now())
+		}
+	}
+}

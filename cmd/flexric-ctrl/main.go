@@ -1,0 +1,100 @@
+// flexric-ctrl is a standalone FlexRIC controller: the server library
+// with a monitoring iApp and, optionally, the slicing and traffic
+// control specializations with their REST northbounds. It is also the
+// artifact measured in the Table 2 comparison.
+//
+//	flexric-ctrl -e2 :36421 -scheme fb -slicing :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexric/internal/broker"
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+)
+
+func main() {
+	e2Addr := flag.String("e2", "127.0.0.1:36421", "E2 (south-bound) listen address")
+	scheme := flag.String("scheme", "asn", "E2AP encoding scheme: asn or fb")
+	slicing := flag.String("slicing", "", "REST address for the slicing specialization (empty = off)")
+	tc := flag.String("tc", "", "REST address for the traffic-control specialization (empty = off)")
+	brokerAddr := flag.String("broker", "", "message broker to publish stats to (empty = start one)")
+	period := flag.Uint("period", 100, "monitoring period in ms")
+	flag.Parse()
+
+	e2s := e2ap.SchemeASN
+	sms := sm.SchemeASN
+	if *scheme == "fb" {
+		e2s = e2ap.SchemeFB
+		sms = sm.SchemeFB
+	}
+
+	srv := server.New(server.Config{Scheme: e2s})
+	addr, err := srv.Start(*e2Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("E2 listening on %s (scheme %s)", addr, *scheme)
+
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{Scheme: sms, PeriodMS: uint32(*period), Decode: true})
+	srv.OnAgentConnect(func(info server.AgentInfo) {
+		log.Printf("agent connected: %s (%d RAN functions)", info.NodeID, len(info.Functions))
+	})
+	srv.OnAgentDisconnect(func(info server.AgentInfo) {
+		log.Printf("agent disconnected: %s", info.NodeID)
+	})
+	srv.OnRANComplete(func(e server.RANEntity) {
+		log.Printf("RAN entity complete: %s/%d (%d parts)", e.PLMN, e.NodeID, len(e.Parts))
+	})
+
+	if *slicing != "" {
+		sc, err := ctrl.NewSlicingController(srv, sms, *slicing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sc.Close()
+		log.Printf("slicing REST on http://%s", sc.Addr())
+	}
+	if *tc != "" {
+		ba := *brokerAddr
+		if ba == "" {
+			b, bAddr, err := broker.NewServer("127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer b.Close()
+			ba = bAddr
+			log.Printf("message broker on %s", ba)
+		}
+		tcc, err := ctrl.NewTCController(srv, sms, ba, *tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tcc.Close()
+		log.Printf("traffic-control REST on http://%s", tcc.Addr())
+	}
+
+	// Periodic status line.
+	go func() {
+		for range time.Tick(5 * time.Second) {
+			inds, bytes := mon.Counters()
+			log.Printf("status: %d agents, %d indications, %d bytes",
+				len(srv.Agents()), inds, bytes)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,154 @@
+// Monitoring: a multi-cell deployment with a disaggregated base station.
+// Two monolithic eNBs and one CU/DU split station connect to one
+// controller; the RAN database merges the CU and DU agents into a single
+// RAN entity and fires a completion event, and the monitoring iApp
+// collects statistics from everyone (§4.2.2).
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/ran"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+)
+
+func main() {
+	srv := server.New(server.Config{Scheme: e2ap.SchemeFB})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{Scheme: sm.SchemeFB, PeriodMS: 10, Decode: true})
+	srv.OnRANComplete(func(e server.RANEntity) {
+		fmt.Printf("RAN entity complete: node %d with %d part(s)\n", e.NodeID, len(e.Parts))
+	})
+
+	plmn := e2ap.PLMN{MCC: 208, MNC: 95}
+	var cells []*ran.Cell
+	var allFns []agent.RANFunction
+	var agents []*agent.Agent
+
+	// Two monolithic eNBs.
+	for id := uint64(1); id <= 2; id++ {
+		cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT4G, NumRB: 25})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := agent.New(agent.Config{
+			NodeID: e2ap.GlobalE2NodeID{PLMN: plmn, Type: e2ap.NodeENB, NodeID: id},
+			Scheme: e2ap.SchemeFB,
+		})
+		fns := []agent.RANFunction{
+			sm.NewMACStats(cell, sm.SchemeFB, a),
+			sm.NewRLCStats(cell, sm.SchemeFB, a),
+			sm.NewPDCPStats(cell, sm.SchemeFB, a),
+		}
+		for _, fn := range fns {
+			if err := a.RegisterFunction(fn); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := a.Connect(addr); err != nil {
+			log.Fatal(err)
+		}
+		cells = append(cells, cell)
+		allFns = append(allFns, fns...)
+		agents = append(agents, a)
+	}
+
+	// One disaggregated station: CU and DU run separate agents over the
+	// same cell, each exposing only its own layers (§4.1.1).
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT5G, NumRB: 106})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cu, du := ran.Split(3, cell)
+	cuAgent := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{PLMN: plmn, Type: e2ap.NodeCU, NodeID: cu.BSID},
+		Scheme: e2ap.SchemeFB,
+	})
+	cuFns := []agent.RANFunction{sm.NewPDCPStats(cell, sm.SchemeFB, cuAgent)}
+	duAgent := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{PLMN: plmn, Type: e2ap.NodeDU, NodeID: du.BSID},
+		Scheme: e2ap.SchemeFB,
+	})
+	duFns := []agent.RANFunction{
+		sm.NewMACStats(cell, sm.SchemeFB, duAgent),
+		sm.NewRLCStats(cell, sm.SchemeFB, duAgent),
+	}
+	for _, fn := range cuFns {
+		if err := cuAgent.RegisterFunction(fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, fn := range duFns {
+		if err := duAgent.RegisterFunction(fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := cuAgent.Connect(addr); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := duAgent.Connect(addr); err != nil {
+		log.Fatal(err)
+	}
+	cells = append(cells, cell)
+	allFns = append(allFns, cuFns...)
+	allFns = append(allFns, duFns...)
+	agents = append(agents, cuAgent, duAgent)
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+
+	// Attach a saturated UE to every cell and run.
+	for i, c := range cells {
+		rnti := uint16(i + 1)
+		if _, err := c.Attach(rnti, "", "208.95", 20+2*i); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.AddTraffic(rnti, &ran.Saturating{
+			Flow:           ran.FiveTuple{DstIP: uint32(rnti), DstPort: 5001, Proto: ran.ProtoUDP},
+			RateBytesPerMS: 1 << 20,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for t := 0; t < 2000; t++ {
+		for _, c := range cells {
+			c.Step(1)
+		}
+		sm.TickAll(allFns, cells[0].Now())
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Println("\nRAN database:")
+	for _, e := range srv.RANDB().Entities() {
+		fmt.Printf("  node %d: parts=%d complete=%v\n", e.NodeID, len(e.Parts), e.Complete)
+	}
+	fmt.Println("\nlatest MAC reports:")
+	for _, info := range srv.Agents() {
+		rep := mon.MAC(info.ID)
+		if rep == nil {
+			fmt.Printf("  agent %-14s -\n", info.NodeID)
+			continue
+		}
+		fmt.Printf("  agent %-14s t=%dms", info.NodeID, rep.CellTimeMS)
+		for _, ue := range rep.UEs {
+			fmt.Printf("  UE%d %.1fMbps", ue.RNTI, ue.ThroughputBps/1e6)
+		}
+		fmt.Println()
+	}
+	inds, bytes := mon.Counters()
+	fmt.Printf("\n%d indications, %d bytes total\n", inds, bytes)
+}

@@ -1,0 +1,3 @@
+module flexric
+
+go 1.22

@@ -1,0 +1,193 @@
+package agent
+
+import (
+	"sync"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/transport"
+)
+
+// conn is one controller connection: the message handler of Fig. 3.
+type conn struct {
+	agent *Agent
+	id    ControllerID
+	tc    transport.Conn
+
+	// enc/dec are separate codec instances: enc is used by senders (any
+	// goroutine, under sendMu) and dec only by the receive loop.
+	enc e2ap.Codec
+	dec e2ap.Codec
+
+	sendMu sync.Mutex
+}
+
+// send encodes and transmits one PDU. Safe for concurrent use.
+func (c *conn) send(pdu e2ap.PDU) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	wire, err := c.enc.Encode(pdu)
+	if err != nil {
+		return err
+	}
+	return c.tc.Send(wire)
+}
+
+// recvLoop dispatches controller messages to RAN functions until the
+// connection closes.
+func (c *conn) recvLoop() {
+	for {
+		wire, err := c.tc.Recv()
+		if err != nil {
+			return
+		}
+		pdu, err := c.dec.Decode(wire)
+		if err != nil {
+			_ = c.send(&e2ap.ErrorIndication{
+				Cause: e2ap.Cause{Type: e2ap.CauseProtocol, Value: 1},
+			})
+			continue
+		}
+		c.dispatch(pdu)
+	}
+}
+
+func (c *conn) dispatch(pdu e2ap.PDU) {
+	switch m := pdu.(type) {
+	case *e2ap.SubscriptionRequest:
+		c.handleSubscription(m)
+	case *e2ap.SubscriptionDeleteRequest:
+		c.handleSubscriptionDelete(m)
+	case *e2ap.ControlRequest:
+		c.handleControl(m)
+	case *e2ap.ResetRequest:
+		_ = c.send(&e2ap.ResetResponse{TransactionID: m.TransactionID})
+	case *e2ap.ServiceQuery:
+		_ = c.send(&e2ap.ServiceUpdate{TransactionID: m.TransactionID, Added: c.agent.Functions()})
+	case *e2ap.ErrorIndication:
+		// Logged by real deployments; nothing to unwind here.
+	default:
+		_ = c.send(&e2ap.ErrorIndication{
+			Cause: e2ap.Cause{Type: e2ap.CauseProtocol, Value: 2},
+		})
+	}
+}
+
+func (c *conn) handleSubscription(m *e2ap.SubscriptionRequest) {
+	fn := c.agent.fn(m.RANFunctionID)
+	if fn == nil {
+		_ = c.send(&e2ap.SubscriptionFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICRequest, Value: causeUnknownFunction},
+		})
+		return
+	}
+	tx := &indicationSender{conn: c, reqID: m.RequestID, fnID: m.RANFunctionID}
+	if err := fn.OnSubscription(c.id, m, tx); err != nil {
+		_ = c.send(&e2ap.SubscriptionFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICService, Value: causeSMRejected},
+		})
+		return
+	}
+	admitted := make([]uint8, len(m.Actions))
+	for i, a := range m.Actions {
+		admitted[i] = a.ID
+	}
+	_ = c.send(&e2ap.SubscriptionResponse{
+		RequestID:     m.RequestID,
+		RANFunctionID: m.RANFunctionID,
+		Admitted:      admitted,
+	})
+}
+
+func (c *conn) handleSubscriptionDelete(m *e2ap.SubscriptionDeleteRequest) {
+	fn := c.agent.fn(m.RANFunctionID)
+	if fn == nil {
+		_ = c.send(&e2ap.SubscriptionDeleteFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICRequest, Value: causeUnknownFunction},
+		})
+		return
+	}
+	if err := fn.OnSubscriptionDelete(c.id, m); err != nil {
+		_ = c.send(&e2ap.SubscriptionDeleteFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICRequest, Value: causeUnknownSubscription},
+		})
+		return
+	}
+	_ = c.send(&e2ap.SubscriptionDeleteResponse{
+		RequestID:     m.RequestID,
+		RANFunctionID: m.RANFunctionID,
+	})
+}
+
+func (c *conn) handleControl(m *e2ap.ControlRequest) {
+	fn := c.agent.fn(m.RANFunctionID)
+	if fn == nil {
+		_ = c.send(&e2ap.ControlFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICRequest, Value: causeUnknownFunction},
+		})
+		return
+	}
+	outcome, err := fn.OnControl(c.id, m)
+	if err != nil {
+		_ = c.send(&e2ap.ControlFailure{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Cause:         e2ap.Cause{Type: e2ap.CauseRICService, Value: causeControlFailed},
+			Outcome:       outcome,
+		})
+		return
+	}
+	if m.AckRequested {
+		_ = c.send(&e2ap.ControlAck{
+			RequestID:     m.RequestID,
+			RANFunctionID: m.RANFunctionID,
+			Outcome:       outcome,
+		})
+	}
+}
+
+// Cause values used by the agent.
+const (
+	causeUnknownFunction     = 1
+	causeSMRejected          = 2
+	causeUnknownSubscription = 3
+	causeControlFailed       = 4
+)
+
+// indicationSender implements IndicationSender for one subscription.
+type indicationSender struct {
+	conn  *conn
+	reqID e2ap.RequestID
+	fnID  uint16
+	sn    uint32
+	snMu  sync.Mutex
+}
+
+// SendIndication implements IndicationSender.
+func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationClass, header, payload []byte) error {
+	s.snMu.Lock()
+	s.sn++
+	sn := s.sn
+	s.snMu.Unlock()
+	return s.conn.send(&e2ap.Indication{
+		RequestID:     s.reqID,
+		RANFunctionID: s.fnID,
+		ActionID:      actionID,
+		SN:            sn,
+		Class:         class,
+		Header:        header,
+		Payload:       payload,
+	})
+}
+
+// Controller implements IndicationSender.
+func (s *indicationSender) Controller() ControllerID { return s.conn.id }

@@ -1,0 +1,260 @@
+// Package broker implements a Redis-like publish/subscribe message
+// broker. The paper's traffic-control specialization uses Redis as the
+// northbound message broker between the stats-forwarding iApp and the TC
+// xApp (Table 3); this package provides the same decoupling on the
+// stdlib: a broker server speaking a small framed protocol, and a client
+// with Publish and Subscribe.
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"flexric/internal/transport"
+)
+
+// ErrClosed reports use of a closed broker or client.
+var ErrClosed = errors.New("broker: closed")
+
+// Frame verbs.
+const (
+	verbSubscribe   = 1
+	verbUnsubscribe = 2
+	verbPublish     = 3
+	verbMessage     = 4 // broker → subscriber delivery
+)
+
+// encodeFrame builds [verb][u16 channel len][channel][payload].
+func encodeFrame(verb byte, channel string, payload []byte) []byte {
+	buf := make([]byte, 3+len(channel)+len(payload))
+	buf[0] = verb
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(channel)))
+	copy(buf[3:], channel)
+	copy(buf[3+len(channel):], payload)
+	return buf
+}
+
+func decodeFrame(b []byte) (verb byte, channel string, payload []byte, err error) {
+	if len(b) < 3 {
+		return 0, "", nil, fmt.Errorf("broker: short frame")
+	}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	if 3+n > len(b) {
+		return 0, "", nil, fmt.Errorf("broker: bad channel length")
+	}
+	return b[0], string(b[3 : 3+n]), b[3+n:], nil
+}
+
+// Server is the broker process.
+type Server struct {
+	lis transport.Listener
+
+	mu   sync.Mutex
+	subs map[string]map[*serverConn]bool
+
+	wg sync.WaitGroup
+}
+
+type serverConn struct {
+	tc     transport.Conn
+	sendMu sync.Mutex
+}
+
+// NewServer starts a broker on addr, returning it and its bound address.
+func NewServer(addr string) (*Server, string, error) {
+	lis, err := transport.Listen(transport.KindSCTPish, addr)
+	if err != nil {
+		return nil, "", err
+	}
+	s := &Server{lis: lis, subs: make(map[string]map[*serverConn]bool)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			tc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(&serverConn{tc: tc})
+			}()
+		}
+	}()
+	return s, lis.Addr(), nil
+}
+
+// Close stops the broker.
+func (s *Server) Close() error {
+	s.lis.Close()
+	s.mu.Lock()
+	seen := make(map[*serverConn]bool)
+	for _, conns := range s.subs {
+		for c := range conns {
+			seen[c] = true
+		}
+	}
+	s.mu.Unlock()
+	for c := range seen {
+		c.tc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serve(c *serverConn) {
+	defer func() {
+		s.mu.Lock()
+		for _, conns := range s.subs {
+			delete(conns, c)
+		}
+		s.mu.Unlock()
+		c.tc.Close()
+	}()
+	for {
+		wire, err := c.tc.Recv()
+		if err != nil {
+			return
+		}
+		verb, channel, payload, err := decodeFrame(wire)
+		if err != nil {
+			continue
+		}
+		switch verb {
+		case verbSubscribe:
+			s.mu.Lock()
+			if s.subs[channel] == nil {
+				s.subs[channel] = make(map[*serverConn]bool)
+			}
+			s.subs[channel][c] = true
+			s.mu.Unlock()
+		case verbUnsubscribe:
+			s.mu.Lock()
+			delete(s.subs[channel], c)
+			s.mu.Unlock()
+		case verbPublish:
+			out := encodeFrame(verbMessage, channel, payload)
+			s.mu.Lock()
+			dsts := make([]*serverConn, 0, len(s.subs[channel]))
+			for dst := range s.subs[channel] {
+				dsts = append(dsts, dst)
+			}
+			s.mu.Unlock()
+			for _, dst := range dsts {
+				dst.sendMu.Lock()
+				_ = dst.tc.Send(out)
+				dst.sendMu.Unlock()
+			}
+		}
+	}
+}
+
+// Message is one delivered publication.
+type Message struct {
+	Channel string
+	Payload []byte
+}
+
+// Client is a broker client. Safe for concurrent use.
+type Client struct {
+	tc     transport.Conn
+	sendMu sync.Mutex
+
+	mu   sync.Mutex
+	subs map[string][]chan Message
+
+	closed bool
+	done   chan struct{}
+}
+
+// Dial connects a client to a broker.
+func Dial(addr string) (*Client, error) {
+	tc, err := transport.Dial(transport.KindSCTPish, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{tc: tc, subs: make(map[string][]chan Message), done: make(chan struct{})}
+	go c.recvLoop()
+	return c, nil
+}
+
+// Close disconnects the client; subscription channels are closed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	return c.tc.Close()
+}
+
+func (c *Client) recvLoop() {
+	for {
+		wire, err := c.tc.Recv()
+		if err != nil {
+			c.mu.Lock()
+			for _, chans := range c.subs {
+				for _, ch := range chans {
+					close(ch)
+				}
+			}
+			c.subs = make(map[string][]chan Message)
+			c.mu.Unlock()
+			return
+		}
+		verb, channel, payload, err := decodeFrame(wire)
+		if err != nil || verb != verbMessage {
+			continue
+		}
+		msg := Message{Channel: channel, Payload: append([]byte(nil), payload...)}
+		c.mu.Lock()
+		chans := append([]chan Message(nil), c.subs[channel]...)
+		c.mu.Unlock()
+		for _, ch := range chans {
+			select {
+			case ch <- msg:
+			default: // slow subscriber: drop, like Redis pub/sub
+			}
+		}
+	}
+}
+
+// Publish sends payload to every subscriber of channel.
+func (c *Client) Publish(channel string, payload []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.tc.Send(encodeFrame(verbPublish, channel, payload))
+}
+
+// Subscribe registers for a channel, returning a buffered delivery
+// channel. Messages overflowing the buffer are dropped (Redis pub/sub
+// semantics).
+func (c *Client) Subscribe(channel string, depth int) (<-chan Message, error) {
+	if depth <= 0 {
+		depth = 256
+	}
+	ch := make(chan Message, depth)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	first := len(c.subs[channel]) == 0
+	c.subs[channel] = append(c.subs[channel], ch)
+	c.mu.Unlock()
+	if first {
+		c.sendMu.Lock()
+		err := c.tc.Send(encodeFrame(verbSubscribe, channel, nil))
+		c.sendMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}

@@ -1,0 +1,182 @@
+package broker
+
+import (
+	"bytes"
+
+	"sync"
+	"testing"
+	"time"
+)
+
+func startBroker(t *testing.T) string {
+	t.Helper()
+	s, addr, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr
+}
+
+func TestPubSub(t *testing.T) {
+	addr := startBroker(t)
+	sub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	ch, err := sub.Subscribe("stats.rlc", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // allow SUBSCRIBE to land
+	if err := pub.Publish("stats.rlc", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m.Channel != "stats.rlc" || !bytes.Equal(m.Payload, []byte("hello")) {
+			t.Fatalf("message %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	addr := startBroker(t)
+	sub, _ := Dial(addr)
+	defer sub.Close()
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	chA, _ := sub.Subscribe("a", 4)
+	time.Sleep(20 * time.Millisecond)
+	_ = pub.Publish("b", []byte("x"))
+	_ = pub.Publish("a", []byte("y"))
+	select {
+	case m := <-chA:
+		if string(m.Payload) != "y" {
+			t.Fatalf("leaked cross-channel message: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	addr := startBroker(t)
+	const n = 5
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ch, err := c.Subscribe("fan", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				t.Errorf("subscriber %d starved", i)
+			}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	if err := pub.Publish("fan", []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestSlowSubscriberDrops(t *testing.T) {
+	addr := startBroker(t)
+	sub, _ := Dial(addr)
+	defer sub.Close()
+	ch, _ := sub.Subscribe("flood", 1)
+	time.Sleep(20 * time.Millisecond)
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	for i := 0; i < 100; i++ {
+		if err := pub.Publish("flood", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	// The channel holds at most its depth; everything else was dropped
+	// without blocking the broker.
+	if len(ch) > 1 {
+		t.Fatalf("buffered %d, want <=1", len(ch))
+	}
+}
+
+func TestSubscriberCloseCleansUp(t *testing.T) {
+	addr := startBroker(t)
+	sub, _ := Dial(addr)
+	ch, _ := sub.Subscribe("c", 4)
+	time.Sleep(20 * time.Millisecond)
+	sub.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected closed channel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed on client close")
+	}
+	// Publishing afterwards must not fail the broker.
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	if err := pub.Publish("c", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	addr := startBroker(t)
+	c, _ := Dial(addr)
+	c.Close()
+	if _, err := c.Subscribe("x", 1); err == nil {
+		t.Fatal("subscribe on closed client must fail")
+	}
+}
+
+func BenchmarkPublishDeliver(b *testing.B) {
+	s, addr, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	sub, _ := Dial(addr)
+	defer sub.Close()
+	ch, _ := sub.Subscribe("bench", 1024)
+	time.Sleep(20 * time.Millisecond)
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	payload := bytes.Repeat([]byte{0x7A}, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			b.Fatal("delivery stalled")
+		}
+	}
+}

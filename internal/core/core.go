@@ -1,0 +1,85 @@
+// Package core is the FlexRIC SDK facade: the paper's primary
+// contribution is the pair of libraries — agent and server — plus the
+// E2 protocol abstraction that lets specialized controllers be composed
+// from iApps (§3, Fig. 1). This package re-exports the SDK's entry
+// points so downstream users assemble agents, controllers and service
+// models from a single import; the implementations live in the
+// subsystem packages (internal/agent, internal/server, internal/e2ap,
+// internal/sm).
+package core
+
+import (
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/server"
+	"flexric/internal/transport"
+)
+
+// The SDK's two libraries (Fig. 1).
+type (
+	// Agent extends a base station with E2 connectivity (§4.1).
+	Agent = agent.Agent
+	// AgentConfig parameterizes an Agent.
+	AgentConfig = agent.Config
+	// Server is the controller core that multiplexes agents and
+	// dispatches messages to iApps (§4.2).
+	Server = server.Server
+	// ServerConfig parameterizes a Server.
+	ServerConfig = server.Config
+)
+
+// The generic RAN function API (§4.1.1) and its controller-side dual.
+type (
+	// RANFunction is implemented by controllable RAN functionality.
+	RANFunction = agent.RANFunction
+	// IndicationSender lets RAN functions emit reports/inserts.
+	IndicationSender = agent.IndicationSender
+	// ControllerID identifies one of an agent's controllers (§4.1.2).
+	ControllerID = agent.ControllerID
+	// SubscriptionCallbacks deliver subscription events to iApps.
+	SubscriptionCallbacks = server.SubscriptionCallbacks
+	// IndicationEvent is one dispatched indication.
+	IndicationEvent = server.IndicationEvent
+	// AgentID identifies a connected agent within a server.
+	AgentID = server.AgentID
+	// AgentInfo describes a connected agent.
+	AgentInfo = server.AgentInfo
+	// RANEntity is a (possibly disaggregated) base station in the RAN
+	// database.
+	RANEntity = server.RANEntity
+)
+
+// The E2 protocol abstraction (§4.3): intermediate representation plus
+// pluggable encodings and transports.
+type (
+	// Codec translates the E2AP IR to and from a wire format.
+	Codec = e2ap.Codec
+	// Envelope is the cheaply-decoded routing view of a message.
+	Envelope = e2ap.Envelope
+	// Scheme names an E2AP encoding scheme.
+	Scheme = e2ap.Scheme
+	// TransportKind names a wire transport.
+	TransportKind = transport.Kind
+)
+
+// Shipped encoding schemes and transports.
+const (
+	// SchemeASN is the O-RAN-standard ASN.1-PER-style encoding.
+	SchemeASN = e2ap.SchemeASN
+	// SchemeFB is the FlatBuffers-style zero-copy encoding.
+	SchemeFB = e2ap.SchemeFB
+	// TransportSCTPish is the SCTP-like framed transport.
+	TransportSCTPish = transport.KindSCTPish
+	// TransportPipe is the in-process transport for co-located
+	// deployments.
+	TransportPipe = transport.KindPipe
+)
+
+// NewAgent returns an agent library instance for a base station.
+func NewAgent(cfg AgentConfig) *Agent { return agent.New(cfg) }
+
+// NewServer returns a server library instance for a controller.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewCodec returns a codec instance for the scheme.
+func NewCodec(s Scheme) (Codec, error) { return e2ap.NewCodec(s) }

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"flexric/internal/core"
+	"flexric/internal/e2ap"
+	"flexric/internal/sm"
+)
+
+// The facade must be sufficient to assemble a working deployment.
+func TestFacadeAssemblesDeployment(t *testing.T) {
+	srv := core.NewServer(core.ServerConfig{Scheme: core.SchemeFB, Transport: core.TransportPipe})
+	addr, err := srv.Start("core-facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	a := core.NewAgent(core.AgentConfig{
+		NodeID:    e2ap.GlobalE2NodeID{PLMN: e2ap.PLMN{MCC: 1, MNC: 1}, Type: e2ap.NodeGNB, NodeID: 1},
+		Scheme:    core.SchemeFB,
+		Transport: core.TransportPipe,
+	})
+	if err := a.RegisterFunction(sm.NewHW()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(srv.Agents()) == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(srv.Agents()) != 1 {
+		t.Fatal("agent did not connect through the facade types")
+	}
+	if !srv.Agents()[0].HasFunction(sm.IDHelloWorld) {
+		t.Fatal("function not announced")
+	}
+}
+
+func TestFacadeCodec(t *testing.T) {
+	for _, s := range []core.Scheme{core.SchemeASN, core.SchemeFB} {
+		c, err := core.NewCodec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := c.Encode(&e2ap.ResetRequest{TransactionID: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := c.Envelope(append([]byte(nil), wire...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Type() != e2ap.TypeResetRequest {
+			t.Fatalf("%s: %v", s, env.Type())
+		}
+	}
+	if _, err := core.NewCodec(core.Scheme("nope")); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+}

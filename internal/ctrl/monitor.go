@@ -1,0 +1,195 @@
+// Package ctrl provides the controller specializations of §6, composed
+// from the FlexRIC server library, iApps, and northbound communication
+// interfaces: a monitoring controller (the "statistics iApp" of §5.3), a
+// RAT-unaware slicing controller with a REST northbound (§6.1.2, Table
+// 4), a flow-based traffic controller with a message-broker northbound
+// (§6.1.1, Table 3), a relaying controller (the two-hop setup of §5.4),
+// and a recursive virtualization controller (§6.2, Table 5).
+package ctrl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+)
+
+// MonitorLayers selects which monitoring SMs the controller subscribes
+// to (bitmask).
+type MonitorLayers uint8
+
+// Monitorable layers.
+const (
+	MonMAC MonitorLayers = 1 << iota
+	MonRLC
+	MonPDCP
+)
+
+// MonAll subscribes to all monitoring SMs.
+const MonAll = MonMAC | MonRLC | MonPDCP
+
+// Monitor is the statistics controller specialization of §5.3: an iApp
+// that subscribes to the monitoring SMs of every connecting agent and
+// "saves incoming messages to an in-memory data structure". Unlike
+// FlexRAN's RIB there is no history ring and no per-poll copying: only
+// the latest report per agent/layer is retained, and consumers are
+// event-driven.
+type Monitor struct {
+	srv      *server.Server
+	scheme   sm.Scheme
+	periodMS uint32
+	layers   MonitorLayers
+	// DecodeReports controls whether payloads are materialized into
+	// report structs (true) or stored as raw SM bytes (false). The raw
+	// mode matches the Fig. 8 setup, where the iApp archives messages.
+	decode bool
+
+	mu   sync.Mutex
+	mac  map[server.AgentID]*sm.MACReport
+	rlc  map[server.AgentID]*sm.RLCReport
+	pdcp map[server.AgentID]*sm.PDCPReport
+	raw  map[server.AgentID]map[uint16][]byte
+
+	indications atomic.Uint64
+	bytesIn     atomic.Uint64
+}
+
+// MonitorConfig parameterizes a Monitor.
+type MonitorConfig struct {
+	Scheme   sm.Scheme
+	PeriodMS uint32
+	Layers   MonitorLayers
+	// Decode materializes reports; false stores raw payload copies.
+	Decode bool
+}
+
+// NewMonitor attaches a monitoring iApp to the server. It subscribes to
+// the selected layers of every agent as it connects.
+func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
+	if cfg.PeriodMS == 0 {
+		cfg.PeriodMS = 1
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = MonAll
+	}
+	m := &Monitor{
+		srv:      srv,
+		scheme:   cfg.Scheme,
+		periodMS: cfg.PeriodMS,
+		layers:   cfg.Layers,
+		decode:   cfg.Decode,
+		mac:      make(map[server.AgentID]*sm.MACReport),
+		rlc:      make(map[server.AgentID]*sm.RLCReport),
+		pdcp:     make(map[server.AgentID]*sm.PDCPReport),
+		raw:      make(map[server.AgentID]map[uint16][]byte),
+	}
+	srv.OnAgentConnect(func(info server.AgentInfo) { m.onAgent(info) })
+	srv.OnAgentDisconnect(func(info server.AgentInfo) {
+		m.mu.Lock()
+		delete(m.mac, info.ID)
+		delete(m.rlc, info.ID)
+		delete(m.pdcp, info.ID)
+		delete(m.raw, info.ID)
+		m.mu.Unlock()
+	})
+	return m
+}
+
+func (m *Monitor) onAgent(info server.AgentInfo) {
+	type layerSub struct {
+		flag MonitorLayers
+		fnID uint16
+	}
+	for _, l := range []layerSub{
+		{MonMAC, sm.IDMACStats},
+		{MonRLC, sm.IDRLCStats},
+		{MonPDCP, sm.IDPDCPStats},
+	} {
+		if m.layers&l.flag == 0 || !info.HasFunction(l.fnID) {
+			continue
+		}
+		fnID := l.fnID
+		_, _ = m.srv.Subscribe(info.ID, fnID,
+			sm.EncodeTrigger(m.scheme, sm.Trigger{PeriodMS: m.periodMS}),
+			[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport}},
+			server.SubscriptionCallbacks{
+				OnIndication: func(ev server.IndicationEvent) { m.store(ev, fnID) },
+			})
+	}
+}
+
+func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
+	payload := ev.Env.IndicationPayload()
+	m.indications.Add(1)
+	m.bytesIn.Add(uint64(len(payload)))
+	if !m.decode {
+		cp := append([]byte(nil), payload...)
+		m.mu.Lock()
+		per := m.raw[ev.Agent]
+		if per == nil {
+			per = make(map[uint16][]byte)
+			m.raw[ev.Agent] = per
+		}
+		per[fnID] = cp
+		m.mu.Unlock()
+		return
+	}
+	switch fnID {
+	case sm.IDMACStats:
+		if rep, err := sm.DecodeMACReport(payload); err == nil {
+			m.mu.Lock()
+			m.mac[ev.Agent] = rep
+			m.mu.Unlock()
+		}
+	case sm.IDRLCStats:
+		if rep, err := sm.DecodeRLCReport(payload); err == nil {
+			m.mu.Lock()
+			m.rlc[ev.Agent] = rep
+			m.mu.Unlock()
+		}
+	case sm.IDPDCPStats:
+		if rep, err := sm.DecodePDCPReport(payload); err == nil {
+			m.mu.Lock()
+			m.pdcp[ev.Agent] = rep
+			m.mu.Unlock()
+		}
+	}
+}
+
+// MAC returns the latest MAC report for an agent (decode mode only).
+func (m *Monitor) MAC(id server.AgentID) *sm.MACReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mac[id]
+}
+
+// RLC returns the latest RLC report for an agent.
+func (m *Monitor) RLC(id server.AgentID) *sm.RLCReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rlc[id]
+}
+
+// PDCP returns the latest PDCP report for an agent.
+func (m *Monitor) PDCP(id server.AgentID) *sm.PDCPReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pdcp[id]
+}
+
+// Raw returns the latest raw payload for (agent, function) in raw mode.
+func (m *Monitor) Raw(id server.AgentID, fnID uint16) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if per := m.raw[id]; per != nil {
+		return per[fnID]
+	}
+	return nil
+}
+
+// Counters reports total indications and payload bytes received.
+func (m *Monitor) Counters() (indications, bytes uint64) {
+	return m.indications.Load(), m.bytesIn.Load()
+}

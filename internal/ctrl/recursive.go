@@ -1,0 +1,419 @@
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/nvs"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+	"flexric/internal/transport"
+)
+
+// VirtCtrl is the recursive virtualization controller of §6.2
+// (Fig. 14a, Table 5): it terminates the shared infrastructure's agents
+// on its southbound (server library), and reuses the agent library as
+// its northbound communication interface to recursively expose the E2
+// interface to multiple guest (tenant) controllers. Its iApps implement
+// the SM-specific virtualization layer:
+//
+//   - SC SM virtualization: tenants configure sub-slices within a
+//     virtual base station of 100 % resources; shares are scaled by the
+//     tenant's SLA per Appendix B and slice IDs are remapped into
+//     disjoint physical intervals, so no tenant can exceed its SLA and
+//     conflicts are impossible by construction.
+//   - MAC statistics partitioning: each tenant only sees its own
+//     subscribers' UEs.
+type VirtCtrl struct {
+	srv   *server.Server
+	north *agent.Agent
+
+	scheme  sm.Scheme
+	tenants []Tenant
+	virt    []*nvs.Virtualizer
+
+	mu         sync.Mutex
+	south      server.AgentID
+	southReady bool
+	// virtSlices holds each tenant's current virtual slice set.
+	virtSlices [][]nvs.Config
+	// northSubs maps (tenant, north request) → south subscription.
+	northSubs map[vSubKey]server.SubID
+}
+
+type vSubKey struct {
+	tenant int
+	req    e2ap.RequestID
+}
+
+// Tenant is one guest operator of the shared infrastructure.
+type Tenant struct {
+	Name string
+	// SLA is the operator's physical resource share in (0,1].
+	SLA float64
+	// Subscribers lists the RNTIs of the tenant's UEs.
+	Subscribers map[uint16]bool
+}
+
+// owns reports whether the tenant serves the UE.
+func (t Tenant) owns(rnti uint16) bool { return t.Subscribers[rnti] }
+
+// VirtConfig parameterizes a VirtCtrl.
+type VirtConfig struct {
+	Scheme    sm.Scheme
+	E2Scheme  e2ap.Scheme
+	Transport transport.Kind
+	Tenants   []Tenant
+	// SouthAddr is where infrastructure agents connect.
+	SouthAddr string
+}
+
+// NewVirtCtrl starts the virtualization controller. Tenant controllers
+// are attached afterwards with ConnectTenant, in tenant order.
+func NewVirtCtrl(cfg VirtConfig) (*VirtCtrl, string, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, "", fmt.Errorf("ctrl: no tenants")
+	}
+	total := 0.0
+	v := &VirtCtrl{
+		scheme:     cfg.Scheme,
+		tenants:    cfg.Tenants,
+		virtSlices: make([][]nvs.Config, len(cfg.Tenants)),
+		northSubs:  make(map[vSubKey]server.SubID),
+	}
+	for i, t := range cfg.Tenants {
+		vr, err := nvs.NewVirtualizer(uint32(i), t.SLA)
+		if err != nil {
+			return nil, "", fmt.Errorf("ctrl: tenant %s: %w", t.Name, err)
+		}
+		v.virt = append(v.virt, vr)
+		total += t.SLA
+	}
+	if total > 1+1e-9 {
+		return nil, "", fmt.Errorf("ctrl: tenant SLAs total %.3f > 1", total)
+	}
+
+	v.srv = server.New(server.Config{Scheme: cfg.E2Scheme, Transport: cfg.Transport})
+	v.srv.OnAgentConnect(func(info server.AgentInfo) { v.onSouthAgent(info) })
+	addr, err := v.srv.Start(cfg.SouthAddr)
+	if err != nil {
+		return nil, "", err
+	}
+
+	v.north = agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{
+			PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: 8000,
+		},
+		Scheme:    cfg.E2Scheme,
+		Transport: cfg.Transport,
+	})
+	fns := []agent.RANFunction{
+		&vSliceFn{v: v},
+		&vStatsFn{v: v, fnID: sm.IDMACStats, oid: "virt-mac"},
+	}
+	for _, fn := range fns {
+		if err := v.north.RegisterFunction(fn); err != nil {
+			v.srv.Close()
+			return nil, "", err
+		}
+	}
+	return v, addr, nil
+}
+
+// ConnectTenant attaches tenant i's guest controller (connect in tenant
+// order: the agent library's controller IDs must line up with tenants).
+func (v *VirtCtrl) ConnectTenant(i int, ctrlAddr string) error {
+	if i < 0 || i >= len(v.tenants) {
+		return fmt.Errorf("ctrl: no tenant %d", i)
+	}
+	id, err := v.north.Connect(ctrlAddr)
+	if err != nil {
+		return err
+	}
+	if int(id) != i {
+		return fmt.Errorf("ctrl: tenant %d got controller id %d; connect tenants in order", i, id)
+	}
+	return nil
+}
+
+// Close tears the virtualization controller down.
+func (v *VirtCtrl) Close() error {
+	v.north.Close()
+	return v.srv.Close()
+}
+
+// onSouthAgent installs the initial physical slice configuration: one
+// default slice per tenant at its SLA, with every subscriber associated,
+// so inter-tenant isolation holds before tenants configure anything.
+func (v *VirtCtrl) onSouthAgent(info server.AgentInfo) {
+	if !info.HasFunction(sm.IDSliceCtrl) {
+		return
+	}
+	v.mu.Lock()
+	v.south = info.ID
+	v.southReady = true
+	for i := range v.tenants {
+		if v.virtSlices[i] == nil {
+			v.virtSlices[i] = []nvs.Config{{ID: 0, Kind: nvs.KindCapacity, Capacity: 1.0, UESched: "pf"}}
+		}
+	}
+	v.mu.Unlock()
+	_ = v.pushPhysical()
+	v.syncAssociations()
+}
+
+// pushPhysical recomputes the combined physical slice set from all
+// tenants' virtual sets and installs it on the infrastructure.
+func (v *VirtCtrl) pushPhysical() error {
+	v.mu.Lock()
+	if !v.southReady {
+		v.mu.Unlock()
+		return fmt.Errorf("ctrl: no southbound agent")
+	}
+	south := v.south
+	var phys []nvs.Config
+	for i := range v.tenants {
+		p, err := v.virt[i].ToPhysical(v.virtSlices[i])
+		if err != nil {
+			v.mu.Unlock()
+			return err
+		}
+		phys = append(phys, p...)
+	}
+	v.mu.Unlock()
+	ctl := &sm.SliceControl{Op: sm.OpConfigureSlices, Slices: sm.ParamsFromNVS(phys)}
+	return v.controlSouth(south, sm.IDSliceCtrl, sm.EncodeSliceControl(v.scheme, ctl))
+}
+
+// syncAssociations points every subscriber at its tenant's default
+// physical slice (virtual slice 0).
+func (v *VirtCtrl) syncAssociations() {
+	v.mu.Lock()
+	south := v.south
+	type assoc struct {
+		rnti uint16
+		phys uint32
+	}
+	var all []assoc
+	for i, t := range v.tenants {
+		pid, err := v.virt[i].PhysicalID(0)
+		if err != nil {
+			continue
+		}
+		for rnti := range t.Subscribers {
+			all = append(all, assoc{rnti, pid})
+		}
+	}
+	v.mu.Unlock()
+	for _, a := range all {
+		ctl := &sm.SliceControl{Op: sm.OpAssociateUE, RNTI: a.rnti, SliceID: a.phys}
+		_ = v.controlSouth(south, sm.IDSliceCtrl, sm.EncodeSliceControl(v.scheme, ctl))
+	}
+}
+
+func (v *VirtCtrl) controlSouth(south server.AgentID, fnID uint16, payload []byte) error {
+	ch := make(chan error, 1)
+	if err := v.srv.Control(south, fnID, nil, payload, true,
+		func(_ []byte, err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// --- SC SM virtualization iApp ---
+
+type vSliceFn struct {
+	v *VirtCtrl
+}
+
+// Definition implements agent.RANFunction.
+func (f *vSliceFn) Definition() e2ap.RANFunctionItem {
+	return e2ap.RANFunctionItem{ID: sm.IDSliceCtrl, Revision: 1, OID: "virt-sc"}
+}
+
+// OnSubscription proxies SC SM status reports, mapped into the tenant's
+// virtual view.
+func (f *vSliceFn) OnSubscription(ctrl agent.ControllerID, req *e2ap.SubscriptionRequest, tx agent.IndicationSender) error {
+	v := f.v
+	tenant := int(ctrl)
+	if tenant >= len(v.tenants) {
+		return fmt.Errorf("ctrl: unknown tenant %d", tenant)
+	}
+	v.mu.Lock()
+	ready := v.southReady
+	south := v.south
+	v.mu.Unlock()
+	if !ready {
+		return fmt.Errorf("ctrl: no southbound agent")
+	}
+	sub, err := v.srv.Subscribe(south, sm.IDSliceCtrl, req.EventTrigger, req.Actions,
+		server.SubscriptionCallbacks{
+			OnIndication: func(ev server.IndicationEvent) {
+				st, err := sm.DecodeSliceStatus(ev.Env.IndicationPayload())
+				if err != nil {
+					return
+				}
+				vst := v.virtualizeStatus(tenant, st)
+				_ = tx.SendIndication(1, e2ap.IndicationReport, nil, sm.EncodeSliceStatus(v.scheme, vst))
+			},
+		})
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.northSubs[vSubKey{tenant, req.RequestID}] = sub
+	v.mu.Unlock()
+	return nil
+}
+
+// virtualizeStatus filters and rescales a physical slice status into the
+// tenant's virtual view.
+func (v *VirtCtrl) virtualizeStatus(tenant int, st *sm.SliceStatus) *sm.SliceStatus {
+	phys := sm.ToNVS(st.Slices)
+	virt := v.virt[tenant].ToVirtual(phys)
+	out := &sm.SliceStatus{Algo: st.Algo, Slices: sm.ParamsFromNVS(virt)}
+	for _, ua := range st.UEs {
+		if !v.tenants[tenant].owns(ua.RNTI) {
+			continue
+		}
+		vid, ok := v.virt[tenant].VirtualID(ua.SliceID)
+		if !ok {
+			continue
+		}
+		out.UEs = append(out.UEs, sm.UESliceAssoc{RNTI: ua.RNTI, SliceID: vid})
+	}
+	return out
+}
+
+// OnSubscriptionDelete implements agent.RANFunction.
+func (f *vSliceFn) OnSubscriptionDelete(ctrl agent.ControllerID, req *e2ap.SubscriptionDeleteRequest) error {
+	return f.v.deleteNorthSub(int(ctrl), req.RequestID, sm.IDSliceCtrl)
+}
+
+func (v *VirtCtrl) deleteNorthSub(tenant int, req e2ap.RequestID, fnID uint16) error {
+	key := vSubKey{tenant, req}
+	v.mu.Lock()
+	sub, ok := v.northSubs[key]
+	delete(v.northSubs, key)
+	v.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ctrl: unknown subscription")
+	}
+	return v.srv.Unsubscribe(sub, fnID)
+}
+
+// OnControl applies a tenant's virtual slice control.
+func (f *vSliceFn) OnControl(ctrl agent.ControllerID, req *e2ap.ControlRequest) ([]byte, error) {
+	v := f.v
+	tenant := int(ctrl)
+	if tenant >= len(v.tenants) {
+		return nil, fmt.Errorf("ctrl: unknown tenant %d", tenant)
+	}
+	c, err := sm.DecodeSliceControl(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	switch c.Op {
+	case sm.OpConfigureSlices:
+		virt := sm.ToNVS(c.Slices)
+		// Virtual admission control happens inside ToPhysical: a tenant
+		// can never occupy more than its SLA.
+		if _, err := v.virt[tenant].ToPhysical(virt); err != nil {
+			return nil, err
+		}
+		v.mu.Lock()
+		v.virtSlices[tenant] = virt
+		v.mu.Unlock()
+		if err := v.pushPhysical(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case sm.OpAssociateUE:
+		if !v.tenants[tenant].owns(c.RNTI) {
+			return nil, fmt.Errorf("ctrl: UE %d is not tenant %s's subscriber", c.RNTI, v.tenants[tenant].Name)
+		}
+		pid, err := v.virt[tenant].PhysicalID(c.SliceID)
+		if err != nil {
+			return nil, err
+		}
+		v.mu.Lock()
+		south := v.south
+		ready := v.southReady
+		v.mu.Unlock()
+		if !ready {
+			return nil, fmt.Errorf("ctrl: no southbound agent")
+		}
+		ctl := &sm.SliceControl{Op: sm.OpAssociateUE, RNTI: c.RNTI, SliceID: pid}
+		return nil, v.controlSouth(south, sm.IDSliceCtrl, sm.EncodeSliceControl(v.scheme, ctl))
+	case sm.OpDisableSlicing:
+		return nil, fmt.Errorf("ctrl: tenants cannot disable shared-infrastructure slicing")
+	default:
+		return nil, fmt.Errorf("ctrl: unknown slice op %d", c.Op)
+	}
+}
+
+// --- MAC statistics partitioning iApp ---
+
+type vStatsFn struct {
+	v    *VirtCtrl
+	fnID uint16
+	oid  string
+}
+
+// Definition implements agent.RANFunction.
+func (f *vStatsFn) Definition() e2ap.RANFunctionItem {
+	return e2ap.RANFunctionItem{ID: f.fnID, Revision: 1, OID: f.oid}
+}
+
+// OnSubscription proxies MAC stats southbound and partitions the reports
+// per tenant: "the MAC statistics SM is sliced by only revealing UEs to
+// a controller which are among the respective operator's subscribers."
+func (f *vStatsFn) OnSubscription(ctrl agent.ControllerID, req *e2ap.SubscriptionRequest, tx agent.IndicationSender) error {
+	v := f.v
+	tenant := int(ctrl)
+	if tenant >= len(v.tenants) {
+		return fmt.Errorf("ctrl: unknown tenant %d", tenant)
+	}
+	v.mu.Lock()
+	ready := v.southReady
+	south := v.south
+	v.mu.Unlock()
+	if !ready {
+		return fmt.Errorf("ctrl: no southbound agent")
+	}
+	sub, err := v.srv.Subscribe(south, f.fnID, req.EventTrigger, req.Actions,
+		server.SubscriptionCallbacks{
+			OnIndication: func(ev server.IndicationEvent) {
+				rep, err := sm.DecodeMACReport(ev.Env.IndicationPayload())
+				if err != nil {
+					return
+				}
+				part := &sm.MACReport{CellTimeMS: rep.CellTimeMS}
+				for _, u := range rep.UEs {
+					if v.tenants[tenant].owns(u.RNTI) {
+						part.UEs = append(part.UEs, u)
+					}
+				}
+				_ = tx.SendIndication(1, e2ap.IndicationReport, nil, sm.EncodeMACReport(v.scheme, part))
+			},
+		})
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.northSubs[vSubKey{tenant, req.RequestID}] = sub
+	v.mu.Unlock()
+	return nil
+}
+
+// OnSubscriptionDelete implements agent.RANFunction.
+func (f *vStatsFn) OnSubscriptionDelete(ctrl agent.ControllerID, req *e2ap.SubscriptionDeleteRequest) error {
+	return f.v.deleteNorthSub(int(ctrl), req.RequestID, f.fnID)
+}
+
+// OnControl implements agent.RANFunction.
+func (f *vStatsFn) OnControl(agent.ControllerID, *e2ap.ControlRequest) ([]byte, error) {
+	return nil, fmt.Errorf("ctrl: stats partitioning has no control endpoint")
+}

@@ -1,0 +1,309 @@
+package ctrl
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/server"
+)
+
+// XAppHost is the §6.3 controller specialization: "a simple-to-use
+// O-RAN RIC replacement, hosting xApps that implement standard O-RAN use
+// cases" without the cluster. It implements, as SM-independent iApps,
+// the services the O-RAN architecture requires to host xApps:
+//
+//  1. a messaging infrastructure between xApps and the controller
+//     (per-xApp event inboxes);
+//  2. subscription management, "e.g., merging identical subscriptions" —
+//     xApps requesting the same (agent, function, trigger, actions)
+//     share one E2 subscription, fanned out locally;
+//  3. xApp management (deploy/undeploy with cleanup);
+//  4. a database for xApps to write and read information gathered
+//     through SMs (latest indication per agent/function, plus a
+//     free-form keyspace).
+type XAppHost struct {
+	srv *server.Server
+
+	mu     sync.Mutex
+	xapps  map[string]*HostedXApp
+	merged map[mergeKey]*mergedSub
+	db     map[string][]byte
+
+	// latest holds the most recent indication payload per
+	// (agent, function) for late-joining xApps.
+	latest map[latestKey][]byte
+}
+
+type mergeKey struct {
+	agent   server.AgentID
+	fnID    uint16
+	trigger [32]byte // hash of trigger ++ actions
+}
+
+type latestKey struct {
+	agent server.AgentID
+	fnID  uint16
+}
+
+type mergedSub struct {
+	sub     server.SubID
+	fnID    uint16
+	members map[*HostedXApp]bool
+}
+
+// HostEvent is one message delivered to an xApp's inbox.
+type HostEvent struct {
+	Agent server.AgentID
+	FnID  uint16
+	// Payload is the SM-encoded indication message.
+	Payload []byte
+}
+
+// HostedXApp is one deployed xApp.
+type HostedXApp struct {
+	host *XAppHost
+	name string
+	// Inbox delivers indication events; overflow drops (the xApp is too
+	// slow), never blocking the E2 path.
+	Inbox chan HostEvent
+
+	mu   sync.Mutex
+	subs map[mergeKey]bool
+	gone bool
+}
+
+// NewXAppHost attaches the hosting specialization to a server.
+func NewXAppHost(srv *server.Server) *XAppHost {
+	return &XAppHost{
+		srv:    srv,
+		xapps:  make(map[string]*HostedXApp),
+		merged: make(map[mergeKey]*mergedSub),
+		db:     make(map[string][]byte),
+		latest: make(map[latestKey][]byte),
+	}
+}
+
+// Deploy registers an xApp by name (unique within the host).
+func (h *XAppHost) Deploy(name string, inboxDepth int) (*HostedXApp, error) {
+	if inboxDepth <= 0 {
+		inboxDepth = 256
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.xapps[name]; dup {
+		return nil, fmt.Errorf("ctrl: xapp %q already deployed", name)
+	}
+	x := &HostedXApp{
+		host:  h,
+		name:  name,
+		Inbox: make(chan HostEvent, inboxDepth),
+		subs:  make(map[mergeKey]bool),
+	}
+	h.xapps[name] = x
+	return x, nil
+}
+
+// Undeploy removes an xApp, releasing its subscriptions (merged
+// subscriptions survive while other members remain).
+func (h *XAppHost) Undeploy(name string) error {
+	h.mu.Lock()
+	x := h.xapps[name]
+	delete(h.xapps, name)
+	h.mu.Unlock()
+	if x == nil {
+		return fmt.Errorf("ctrl: no xapp %q", name)
+	}
+	x.mu.Lock()
+	x.gone = true
+	keys := make([]mergeKey, 0, len(x.subs))
+	for k := range x.subs {
+		keys = append(keys, k)
+	}
+	x.subs = make(map[mergeKey]bool)
+	x.mu.Unlock()
+	for _, k := range keys {
+		h.leave(k, x)
+	}
+	close(x.Inbox)
+	return nil
+}
+
+// XApps lists deployed xApp names.
+func (h *XAppHost) XApps() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.xapps))
+	for n := range h.xapps {
+		out = append(out, n)
+	}
+	return out
+}
+
+// MergedSubscriptions reports how many distinct E2 subscriptions the
+// host maintains (diagnostics for the merging behaviour).
+func (h *XAppHost) MergedSubscriptions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.merged)
+}
+
+// DBPut stores a value in the xApp database.
+func (h *XAppHost) DBPut(key string, value []byte) {
+	h.mu.Lock()
+	h.db[key] = append([]byte(nil), value...)
+	h.mu.Unlock()
+}
+
+// DBGet reads a value from the xApp database (nil if absent).
+func (h *XAppHost) DBGet(key string) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.db[key]; ok {
+		return append([]byte(nil), v...)
+	}
+	return nil
+}
+
+// Latest returns the most recent indication payload seen for an
+// (agent, function) pair — the SM database service.
+func (h *XAppHost) Latest(agent server.AgentID, fnID uint16) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.latest[latestKey{agent, fnID}]; ok {
+		return append([]byte(nil), v...)
+	}
+	return nil
+}
+
+func hashSub(trigger []byte, actions []e2ap.Action) [32]byte {
+	hsh := sha256.New()
+	hsh.Write(trigger)
+	for _, a := range actions {
+		hsh.Write([]byte{a.ID, byte(a.Type)})
+		hsh.Write(a.Definition)
+	}
+	var out [32]byte
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// Subscribe joins the xApp to a (possibly shared) E2 subscription.
+func (x *HostedXApp) Subscribe(agent server.AgentID, fnID uint16, trigger []byte, actions []e2ap.Action) error {
+	h := x.host
+	key := mergeKey{agent: agent, fnID: fnID, trigger: hashSub(trigger, actions)}
+
+	h.mu.Lock()
+	if ms, ok := h.merged[key]; ok {
+		// Identical subscription exists: merge.
+		ms.members[x] = true
+		h.mu.Unlock()
+		x.mu.Lock()
+		x.subs[key] = true
+		x.mu.Unlock()
+		return nil
+	}
+	ms := &mergedSub{fnID: fnID, members: map[*HostedXApp]bool{x: true}}
+	h.merged[key] = ms
+	h.mu.Unlock()
+
+	sub, err := h.srv.Subscribe(agent, fnID, trigger, actions, server.SubscriptionCallbacks{
+		OnIndication: func(ev server.IndicationEvent) { h.fanOut(key, ev) },
+		OnFailure: func(cause e2ap.Cause) {
+			h.mu.Lock()
+			delete(h.merged, key)
+			h.mu.Unlock()
+		},
+		OnDeleted: func() {
+			h.mu.Lock()
+			delete(h.merged, key)
+			h.mu.Unlock()
+		},
+	})
+	if err != nil {
+		h.mu.Lock()
+		delete(h.merged, key)
+		h.mu.Unlock()
+		return err
+	}
+	h.mu.Lock()
+	ms.sub = sub
+	h.mu.Unlock()
+	x.mu.Lock()
+	x.subs[key] = true
+	x.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe leaves a subscription; the E2 subscription is deleted once
+// the last member leaves.
+func (x *HostedXApp) Unsubscribe(agent server.AgentID, fnID uint16, trigger []byte, actions []e2ap.Action) error {
+	key := mergeKey{agent: agent, fnID: fnID, trigger: hashSub(trigger, actions)}
+	x.mu.Lock()
+	member := x.subs[key]
+	delete(x.subs, key)
+	x.mu.Unlock()
+	if !member {
+		return fmt.Errorf("ctrl: xapp %s is not subscribed", x.name)
+	}
+	return x.host.leave(key, x)
+}
+
+func (h *XAppHost) leave(key mergeKey, x *HostedXApp) error {
+	h.mu.Lock()
+	ms := h.merged[key]
+	if ms == nil {
+		h.mu.Unlock()
+		return nil
+	}
+	delete(ms.members, x)
+	last := len(ms.members) == 0
+	sub := ms.sub
+	fnID := ms.fnID
+	if last {
+		delete(h.merged, key)
+	}
+	h.mu.Unlock()
+	if last {
+		return h.srv.Unsubscribe(sub, fnID)
+	}
+	return nil
+}
+
+// fanOut delivers one indication to every member xApp and the SM
+// database.
+func (h *XAppHost) fanOut(key mergeKey, ev server.IndicationEvent) {
+	payload := append([]byte(nil), ev.Env.IndicationPayload()...)
+	h.mu.Lock()
+	h.latest[latestKey{ev.Agent, key.fnID}] = payload
+	ms := h.merged[key]
+	var members []*HostedXApp
+	if ms != nil {
+		members = make([]*HostedXApp, 0, len(ms.members))
+		for m := range ms.members {
+			members = append(members, m)
+		}
+	}
+	h.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		gone := m.gone
+		m.mu.Unlock()
+		if gone {
+			continue
+		}
+		select {
+		case m.Inbox <- HostEvent{Agent: ev.Agent, FnID: key.fnID, Payload: payload}:
+		default: // slow xApp: drop rather than stall the E2 path
+		}
+	}
+}
+
+// Control forwards a control message on behalf of the xApp.
+func (x *HostedXApp) Control(agent server.AgentID, fnID uint16, header, payload []byte, done func(outcome []byte, err error)) error {
+	return x.host.srv.Control(agent, fnID, header, payload, done != nil, done)
+}
+
+// Name returns the xApp's name.
+func (x *HostedXApp) Name() string { return x.name }

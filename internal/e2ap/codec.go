@@ -1,0 +1,169 @@
+package e2ap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec errors.
+var (
+	// ErrUnknownType reports a message type the codec cannot handle.
+	ErrUnknownType = errors.New("e2ap: unknown message type")
+	// ErrBadMessage reports a structurally invalid wire message.
+	ErrBadMessage = errors.New("e2ap: malformed message")
+)
+
+// Codec translates between the E2AP intermediate representation and a wire
+// format. Implementations are NOT safe for concurrent use — each
+// connection owns its codec instances, which lets them reuse scratch
+// buffers without locking (the encode path of a 1 ms-period indication
+// stream must not allocate per message).
+type Codec interface {
+	// Name identifies the encoding scheme ("asn" or "fb").
+	Name() string
+	// Encode serializes pdu. The returned slice is valid until the next
+	// Encode call on this codec.
+	Encode(pdu PDU) ([]byte, error)
+	// Decode fully materializes a PDU from wire bytes.
+	Decode(wire []byte) (PDU, error)
+	// Envelope extracts the routing information (type, request ID, RAN
+	// function ID) needed to dispatch a message. For zero-copy formats
+	// this is O(1) and defers everything else; for formats with an
+	// explicit decode pass it is equivalent to Decode. This asymmetry is
+	// the controller-scalability effect measured in Fig. 8b.
+	Envelope(wire []byte) (Envelope, error)
+}
+
+// Envelope is a cheaply-obtained view of a wire message, sufficient for
+// dispatch. PDU() materializes the full message on demand.
+type Envelope interface {
+	// Type identifies the E2AP procedure.
+	Type() MessageType
+	// RequestID returns the RIC request ID for functional procedures
+	// (zero for global procedures).
+	RequestID() RequestID
+	// RANFunctionID returns the addressed RAN function for functional
+	// procedures (zero otherwise).
+	RANFunctionID() uint16
+	// PDU fully decodes the message. Implementations may cache.
+	PDU() (PDU, error)
+	// IndicationPayload returns the SM-encoded indication message for
+	// TypeIndication envelopes without materializing the PDU; nil
+	// otherwise. The slice may alias the wire buffer.
+	IndicationPayload() []byte
+	// IndicationHeader is the header analogue of IndicationPayload.
+	IndicationHeader() []byte
+}
+
+// decodedEnvelope wraps an already-materialized PDU (used by codecs with
+// an explicit decode pass, where Envelope == Decode).
+type decodedEnvelope struct {
+	pdu PDU
+}
+
+func (d decodedEnvelope) Type() MessageType { return d.pdu.MsgType() }
+
+func (d decodedEnvelope) RequestID() RequestID {
+	switch m := d.pdu.(type) {
+	case *SubscriptionRequest:
+		return m.RequestID
+	case *SubscriptionResponse:
+		return m.RequestID
+	case *SubscriptionFailure:
+		return m.RequestID
+	case *SubscriptionDeleteRequest:
+		return m.RequestID
+	case *SubscriptionDeleteResponse:
+		return m.RequestID
+	case *SubscriptionDeleteFailure:
+		return m.RequestID
+	case *Indication:
+		return m.RequestID
+	case *ControlRequest:
+		return m.RequestID
+	case *ControlAck:
+		return m.RequestID
+	case *ControlFailure:
+		return m.RequestID
+	case *ErrorIndication:
+		return m.RequestID
+	default:
+		return RequestID{}
+	}
+}
+
+func (d decodedEnvelope) RANFunctionID() uint16 {
+	switch m := d.pdu.(type) {
+	case *SubscriptionRequest:
+		return m.RANFunctionID
+	case *SubscriptionResponse:
+		return m.RANFunctionID
+	case *SubscriptionFailure:
+		return m.RANFunctionID
+	case *SubscriptionDeleteRequest:
+		return m.RANFunctionID
+	case *SubscriptionDeleteResponse:
+		return m.RANFunctionID
+	case *SubscriptionDeleteFailure:
+		return m.RANFunctionID
+	case *Indication:
+		return m.RANFunctionID
+	case *ControlRequest:
+		return m.RANFunctionID
+	case *ControlAck:
+		return m.RANFunctionID
+	case *ControlFailure:
+		return m.RANFunctionID
+	case *ErrorIndication:
+		return m.RANFunctionID
+	default:
+		return 0
+	}
+}
+
+func (d decodedEnvelope) PDU() (PDU, error) { return d.pdu, nil }
+
+func (d decodedEnvelope) IndicationPayload() []byte {
+	if m, ok := d.pdu.(*Indication); ok {
+		return m.Payload
+	}
+	return nil
+}
+
+func (d decodedEnvelope) IndicationHeader() []byte {
+	if m, ok := d.pdu.(*Indication); ok {
+		return m.Header
+	}
+	return nil
+}
+
+// Scheme names the two encoding schemes the SDK ships.
+type Scheme string
+
+// Shipped encoding schemes.
+const (
+	SchemeASN Scheme = "asn" // ASN.1-PER-style
+	SchemeFB  Scheme = "fb"  // FlatBuffers-style
+)
+
+// NewCodec returns a fresh codec instance for the scheme. Each connection
+// (or goroutine) must use its own instance.
+func NewCodec(s Scheme) (Codec, error) {
+	switch s {
+	case SchemeASN:
+		return NewPERCodec(), nil
+	case SchemeFB:
+		return NewFlatCodec(), nil
+	default:
+		return nil, fmt.Errorf("e2ap: unknown scheme %q", s)
+	}
+}
+
+// MustCodec is NewCodec that panics on error, for tests and examples.
+func MustCodec(s Scheme) Codec {
+	c, err := NewCodec(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,274 @@
+package asn1per
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reader consumes a bit stream produced by Writer. It performs an explicit
+// decode pass: every field access advances the cursor and materializes the
+// value, mirroring the decode cost profile of ASN.1 PER runtimes.
+type Reader struct {
+	buf  []byte
+	pos  int   // byte index of the next unread byte
+	nbit uint8 // bits already consumed from buf[pos] (0..7)
+}
+
+// NewReader returns a Reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset repositions the reader over b.
+func (r *Reader) Reset(b []byte) {
+	r.buf = b
+	r.pos = 0
+	r.nbit = 0
+}
+
+// Remaining returns the number of whole bytes not yet consumed.
+func (r *Reader) Remaining() int {
+	n := len(r.buf) - r.pos
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Align skips to the next octet boundary.
+func (r *Reader) Align() {
+	if r.nbit != 0 {
+		r.pos++
+		r.nbit = 0
+	}
+}
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrTruncated
+	}
+	b := r.buf[r.pos]>>(7-r.nbit)&1 == 1
+	r.nbit++
+	if r.nbit == 8 {
+		r.nbit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits consumes n bits and returns them right-aligned. n must be in
+// [0,64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("asn1per: ReadBits n=%d", n)
+	}
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrTruncated
+		}
+		avail := 8 - int(r.nbit)
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := r.buf[r.pos] >> uint(avail-take) & (1<<uint(take) - 1)
+		v = v<<uint(take) | uint64(chunk)
+		r.nbit += uint8(take)
+		if r.nbit == 8 {
+			r.nbit = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadBool decodes a BOOLEAN.
+func (r *Reader) ReadBool() (bool, error) { return r.ReadBit() }
+
+// ReadConstrainedInt decodes an integer constrained to [lo, hi].
+func (r *Reader) ReadConstrainedInt(lo, hi int64) (int64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("%w: empty range [%d,%d]", ErrRange, lo, hi)
+	}
+	span := uint64(hi - lo)
+	v, err := r.ReadBits(bitsFor(span))
+	if err != nil {
+		return 0, err
+	}
+	if v > span {
+		return 0, fmt.Errorf("%w: decoded %d exceeds span %d", ErrRange, v, span)
+	}
+	return lo + int64(v), nil
+}
+
+// ReadLength decodes a length determinant written by Writer.WriteLength.
+func (r *Reader) ReadLength() (int, error) {
+	r.Align()
+	if r.pos >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b0 := r.buf[r.pos]
+	r.pos++
+	switch {
+	case b0 < 0x80:
+		return int(b0), nil
+	case b0&0xC0 == 0x80:
+		if r.pos >= len(r.buf) {
+			return 0, ErrTruncated
+		}
+		n := int(b0&0x3F)<<8 | int(r.buf[r.pos])
+		r.pos++
+		return n, nil
+	default:
+		if r.pos+3 > len(r.buf) {
+			return 0, ErrTruncated
+		}
+		n := int(r.buf[r.pos])<<16 | int(r.buf[r.pos+1])<<8 | int(r.buf[r.pos+2])
+		r.pos += 3
+		if n > MaxLength {
+			return 0, ErrTooLong
+		}
+		return n, nil
+	}
+}
+
+// ReadCount decodes a length determinant that counts following sequence
+// items. Since every item occupies at least one byte, a count exceeding
+// the remaining input is rejected before the caller allocates for it —
+// this bounds allocations when decoding untrusted input.
+func (r *Reader) ReadCount() (int, error) {
+	n, err := r.ReadLength()
+	if err != nil {
+		return 0, err
+	}
+	if n > r.Remaining() {
+		return 0, ErrTruncated
+	}
+	return n, nil
+}
+
+// ReadUint decodes an unconstrained non-negative integer.
+func (r *Reader) ReadUint() (uint64, error) {
+	n, err := r.ReadLength()
+	if err != nil {
+		return 0, err
+	}
+	if n > 8 {
+		return 0, fmt.Errorf("%w: uint with %d octets", ErrRange, n)
+	}
+	if r.pos+n > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<8 | uint64(r.buf[r.pos+i])
+	}
+	r.pos += n
+	return v, nil
+}
+
+// ReadInt decodes a signed integer written by Writer.WriteInt.
+func (r *Reader) ReadInt() (int64, error) {
+	u, err := r.ReadUint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// ReadOctets decodes a length-prefixed octet string. The result is a
+// copy; empty strings decode as nil.
+func (r *Reader) ReadOctets() ([]byte, error) {
+	n, err := r.ReadLength()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:r.pos+n])
+	r.pos += n
+	return out, nil
+}
+
+// ReadOctetsZeroCopy decodes a length-prefixed octet string without
+// copying; the result aliases the reader's input.
+func (r *Reader) ReadOctetsZeroCopy() ([]byte, error) {
+	n, err := r.ReadLength()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := r.buf[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// ReadFixedOctets consumes exactly n octets (aligned, no length prefix).
+func (r *Reader) ReadFixedOctets(n int) ([]byte, error) {
+	r.Align()
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:r.pos+n])
+	r.pos += n
+	return out, nil
+}
+
+// ReadString decodes a length-prefixed UTF-8 string.
+func (r *Reader) ReadString() (string, error) {
+	n, err := r.ReadLength()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+n > len(r.buf) {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+// ReadEnum decodes an enumeration of the given cardinality.
+func (r *Reader) ReadEnum(card int) (int, error) {
+	v, err := r.ReadConstrainedInt(0, int64(card-1))
+	return int(v), err
+}
+
+// ReadOptionalBitmap reads n presence bits.
+func (r *Reader) ReadOptionalBitmap(n int) ([]bool, error) {
+	out := make([]bool, n)
+	for i := range out {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// ReadFloat decodes an 8-octet binary64 value.
+func (r *Reader) ReadFloat() (float64, error) {
+	r.Align()
+	if r.pos+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(r.buf[r.pos+i])
+	}
+	r.pos += 8
+	return floatFromBits(v), nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(v uint64) float64 { return math.Float64frombits(v) }

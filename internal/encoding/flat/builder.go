@@ -1,0 +1,241 @@
+// Package flat implements a FlatBuffers-style zero-copy serialization
+// format.
+//
+// It reproduces the properties of Google FlatBuffers that matter for the
+// FlexRIC evaluation: messages are built once into a contiguous buffer and
+// then read *directly from the raw bytes* with no decode pass — field
+// access resolves a vtable slot and returns the value in place. The price
+// is a fixed per-table overhead (vtable + offset fields, ~30–40 bytes per
+// message), which is exactly the signaling-size overhead the paper measures
+// in Fig. 7b.
+//
+// Wire layout (all integers little-endian):
+//
+//	buffer  = [u32 root-table-position] [payload...]
+//	table   = [u32 vtable-position] [inline field data...]
+//	vtable  = [u16 #slots] [u16 slot-offset...]   // offset 0 ⇒ field absent,
+//	                                              // else relative to table start
+//	vector  = [u32 element-count] [elements...]
+//	string  = vector of bytes
+//
+// Out-of-line values (strings, vectors, sub-tables) are referenced by u32
+// absolute buffer positions stored in the table's inline data.
+package flat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt reports a structurally invalid buffer.
+var ErrCorrupt = errors.New("flat: corrupt buffer")
+
+const headerSize = 4
+
+type slotKind uint8
+
+const (
+	slotAbsent slotKind = iota
+	slotU8
+	slotU32
+	slotU64
+	slotF64
+	slotRef // u32 absolute position of out-of-line value
+)
+
+type slot struct {
+	kind slotKind
+	val  uint64
+}
+
+// Builder incrementally constructs a flat buffer. Builders are not safe
+// for concurrent use. A Builder may be reused via Reset.
+type Builder struct {
+	buf     []byte
+	slots   []slot
+	inTable bool
+}
+
+// NewBuilder returns a Builder with the given initial capacity.
+func NewBuilder(capacity int) *Builder {
+	b := &Builder{buf: make([]byte, headerSize, capacity+headerSize)}
+	return b
+}
+
+// Reset clears the builder for reuse, keeping its buffer.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:headerSize]
+	b.buf[0], b.buf[1], b.buf[2], b.buf[3] = 0, 0, 0, 0
+	b.slots = b.slots[:0]
+	b.inTable = false
+}
+
+func (b *Builder) pos() uint32 { return uint32(len(b.buf)) }
+
+func (b *Builder) putU16(v uint16) {
+	b.buf = binary.LittleEndian.AppendUint16(b.buf, v)
+}
+
+func (b *Builder) putU32(v uint32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, v)
+}
+
+func (b *Builder) putU64(v uint64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+}
+
+// CreateByteVector writes a length-prefixed byte vector out of line and
+// returns its position for use with AddRef.
+func (b *Builder) CreateByteVector(data []byte) uint32 {
+	p := b.pos()
+	b.putU32(uint32(len(data)))
+	b.buf = append(b.buf, data...)
+	return p
+}
+
+// CreateString writes s out of line and returns its position.
+func (b *Builder) CreateString(s string) uint32 {
+	p := b.pos()
+	b.putU32(uint32(len(s)))
+	b.buf = append(b.buf, s...)
+	return p
+}
+
+// CreateRefVector writes a vector of out-of-line references (e.g. to
+// sub-tables or strings) and returns its position.
+func (b *Builder) CreateRefVector(refs []uint32) uint32 {
+	p := b.pos()
+	b.putU32(uint32(len(refs)))
+	for _, r := range refs {
+		b.putU32(r)
+	}
+	return p
+}
+
+// CreateUint64Vector writes a vector of u64 scalars and returns its
+// position.
+func (b *Builder) CreateUint64Vector(vals []uint64) uint32 {
+	p := b.pos()
+	b.putU32(uint32(len(vals)))
+	for _, v := range vals {
+		b.putU64(v)
+	}
+	return p
+}
+
+// CreateFloat64Vector writes a vector of f64 scalars and returns its
+// position.
+func (b *Builder) CreateFloat64Vector(vals []float64) uint32 {
+	p := b.pos()
+	b.putU32(uint32(len(vals)))
+	for _, v := range vals {
+		b.putU64(math.Float64bits(v))
+	}
+	return p
+}
+
+// StartTable begins a table with capacity for nSlots fields. Out-of-line
+// values referenced by the table must be created *before* StartTable.
+func (b *Builder) StartTable(nSlots int) {
+	if b.inTable {
+		panic("flat: StartTable while table in progress")
+	}
+	b.inTable = true
+	if cap(b.slots) < nSlots {
+		b.slots = make([]slot, nSlots)
+	} else {
+		b.slots = b.slots[:nSlots]
+		for i := range b.slots {
+			b.slots[i] = slot{}
+		}
+	}
+}
+
+func (b *Builder) setSlot(i int, k slotKind, v uint64) {
+	if !b.inTable {
+		panic("flat: field added outside table")
+	}
+	if i < 0 || i >= len(b.slots) {
+		panic(fmt.Sprintf("flat: slot %d out of range (%d slots)", i, len(b.slots)))
+	}
+	b.slots[i] = slot{kind: k, val: v}
+}
+
+// AddUint8 stores a u8 scalar in slot i.
+func (b *Builder) AddUint8(i int, v uint8) { b.setSlot(i, slotU8, uint64(v)) }
+
+// AddBool stores a boolean in slot i.
+func (b *Builder) AddBool(i int, v bool) {
+	var x uint64
+	if v {
+		x = 1
+	}
+	b.setSlot(i, slotU8, x)
+}
+
+// AddUint32 stores a u32 scalar in slot i.
+func (b *Builder) AddUint32(i int, v uint32) { b.setSlot(i, slotU32, uint64(v)) }
+
+// AddUint64 stores a u64 scalar in slot i.
+func (b *Builder) AddUint64(i int, v uint64) { b.setSlot(i, slotU64, v) }
+
+// AddInt64 stores a signed scalar in slot i.
+func (b *Builder) AddInt64(i int, v int64) { b.setSlot(i, slotU64, uint64(v)) }
+
+// AddFloat64 stores an f64 scalar in slot i.
+func (b *Builder) AddFloat64(i int, v float64) { b.setSlot(i, slotF64, math.Float64bits(v)) }
+
+// AddRef stores a reference to an out-of-line value (string, vector,
+// sub-table) in slot i.
+func (b *Builder) AddRef(i int, ref uint32) { b.setSlot(i, slotRef, uint64(ref)) }
+
+// EndTable writes the table and its vtable, returning the table position
+// for use as a sub-table reference or as the Finish root.
+func (b *Builder) EndTable() uint32 {
+	if !b.inTable {
+		panic("flat: EndTable without StartTable")
+	}
+	b.inTable = false
+
+	// Write the vtable first: [#slots][offset...]. Offsets are relative to
+	// the table start and filled in after we lay out the inline data.
+	vtPos := b.pos()
+	b.putU16(uint16(len(b.slots)))
+	vtBase := len(b.buf)
+	for range b.slots {
+		b.putU16(0)
+	}
+
+	tablePos := b.pos()
+	b.putU32(vtPos)
+	for i, s := range b.slots {
+		if s.kind == slotAbsent {
+			continue
+		}
+		off := uint16(b.pos() - tablePos)
+		binary.LittleEndian.PutUint16(b.buf[vtBase+2*i:], off)
+		switch s.kind {
+		case slotU8:
+			b.buf = append(b.buf, byte(s.val))
+		case slotU32, slotRef:
+			b.putU32(uint32(s.val))
+		case slotU64, slotF64:
+			b.putU64(s.val)
+		}
+	}
+	return tablePos
+}
+
+// Finish records root as the buffer's root table.
+func (b *Builder) Finish(root uint32) {
+	binary.LittleEndian.PutUint32(b.buf[0:], root)
+}
+
+// Bytes returns the finished buffer. It aliases the builder's storage and
+// is valid until the next Reset.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Len returns the current buffer length in bytes.
+func (b *Builder) Len() int { return len(b.buf) }

@@ -1,0 +1,238 @@
+// Package protowire implements the Protocol Buffers wire format
+// (varint/tag/length-delimited), used by the FlexRAN baseline controller.
+//
+// FlexRAN [Foukas et al., CoNEXT'16] encodes its south-bound protocol with
+// Protobuf. Its cost profile sits between PER (bit packing, heavy
+// encode/decode) and FlatBuffers (zero decode, size overhead): varints are
+// byte-oriented and cheap-ish to write, but decoding still materializes
+// every field. This package re-creates that wire format from scratch on
+// the stdlib.
+package protowire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire types, as in the protobuf encoding spec.
+const (
+	TypeVarint  = 0
+	TypeFixed64 = 1
+	TypeBytes   = 2
+	TypeFixed32 = 5
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("protowire: truncated input")
+	ErrOverflow  = errors.New("protowire: varint overflow")
+	ErrBadWire   = errors.New("protowire: invalid wire type")
+)
+
+// Encoder appends protobuf-encoded fields to a buffer. The zero value is
+// ready to use; Reset allows reuse without allocation.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with capacity preallocated for n bytes.
+func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// Reset clears the encoder, retaining its buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded message, aliasing the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded size in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+func (e *Encoder) tag(field, wire int) {
+	e.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// Uint64 writes field as a varint.
+func (e *Encoder) Uint64(field int, v uint64) {
+	e.tag(field, TypeVarint)
+	e.varint(v)
+}
+
+// Int64 writes field as a zig-zag varint (sint64).
+func (e *Encoder) Int64(field int, v int64) {
+	e.Uint64(field, uint64(v)<<1^uint64(v>>63))
+}
+
+// Bool writes field as a 0/1 varint.
+func (e *Encoder) Bool(field int, v bool) {
+	var x uint64
+	if v {
+		x = 1
+	}
+	e.Uint64(field, x)
+}
+
+// Double writes field as a fixed64 IEEE 754 value.
+func (e *Encoder) Double(field int, v float64) {
+	e.tag(field, TypeFixed64)
+	x := math.Float64bits(v)
+	e.buf = append(e.buf,
+		byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+}
+
+// Bytes writes field as a length-delimited byte string.
+func (e *Encoder) BytesField(field int, b []byte) {
+	e.tag(field, TypeBytes)
+	e.varint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String writes field as a length-delimited string.
+func (e *Encoder) String(field int, s string) {
+	e.tag(field, TypeBytes)
+	e.varint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Embedded writes field as a length-delimited sub-message.
+func (e *Encoder) Embedded(field int, msg []byte) { e.BytesField(field, msg) }
+
+// Decoder iterates over the fields of a protobuf-encoded message. Every
+// field access advances the cursor and materializes the value — protobuf,
+// like PER, pays an explicit decode pass.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a Decoder over b without copying.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Reset repositions the decoder over b.
+func (d *Decoder) Reset(b []byte) { d.buf, d.pos = b, 0 }
+
+// More reports whether any bytes remain.
+func (d *Decoder) More() bool { return d.pos < len(d.buf) }
+
+func (d *Decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.buf) {
+			return 0, ErrTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		if shift == 63 && b > 1 {
+			return 0, ErrOverflow
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, ErrOverflow
+		}
+	}
+}
+
+// Tag reads the next field tag, returning field number and wire type.
+func (d *Decoder) Tag() (field, wire int, err error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field = int(t >> 3)
+	wire = int(t & 7)
+	if field == 0 {
+		return 0, 0, fmt.Errorf("%w: field number 0", ErrBadWire)
+	}
+	return field, wire, nil
+}
+
+// Uint64 reads a varint value.
+func (d *Decoder) Uint64() (uint64, error) { return d.varint() }
+
+// Int64 reads a zig-zag varint value.
+func (d *Decoder) Int64() (int64, error) {
+	u, err := d.varint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// Bool reads a varint as a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	u, err := d.varint()
+	return u != 0, err
+}
+
+// Double reads a fixed64 IEEE 754 value.
+func (d *Decoder) Double() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(d.buf[d.pos+i])
+	}
+	d.pos += 8
+	return math.Float64frombits(x), nil
+}
+
+// Bytes reads a length-delimited field. The result aliases the input.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, ErrTruncated
+	}
+	out := d.buf[d.pos : d.pos+int(n) : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// String reads a length-delimited field as a string (copies).
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	return string(b), err
+}
+
+// Skip discards a field of the given wire type.
+func (d *Decoder) Skip(wire int) error {
+	switch wire {
+	case TypeVarint:
+		_, err := d.varint()
+		return err
+	case TypeFixed64:
+		if d.pos+8 > len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos += 8
+		return nil
+	case TypeBytes:
+		_, err := d.Bytes()
+		return err
+	case TypeFixed32:
+		if d.pos+4 > len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadWire, wire)
+	}
+}

@@ -1,0 +1,211 @@
+// Package experiments implements the paper's evaluation (§5 and §6):
+// every table and figure has a function that reproduces its workload and
+// returns the rows/series the paper reports. The cmd/flexric-bench CLI
+// prints them; the repository-root benchmarks run reduced versions.
+//
+// Absolute numbers differ from the paper's i7/Xeon + RF testbed — the
+// substrate here is a simulator (see DESIGN.md) — but the comparisons
+// (who wins, by roughly what factor, where crossovers fall) are the
+// reproduction targets, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/metrics"
+	"flexric/internal/ran"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+)
+
+// BS bundles a simulated base station with its FlexRIC agent and the SM
+// bundle, driven by an explicit slot loop.
+type BS struct {
+	Cell  *ran.Cell
+	Agent *agent.Agent
+	Fns   []agent.RANFunction
+}
+
+// BSOptions configures NewBS.
+type BSOptions struct {
+	NodeID   uint64
+	RAT      ran.RAT
+	NumRB    int
+	E2Scheme e2ap.Scheme
+	SMScheme sm.Scheme
+	// Layers selects which SM functions to register; nil = all.
+	Layers []string
+	// Controller is the E2 address to connect to; empty = no agent.
+	Controller string
+}
+
+// NewBS builds a base station; with Controller set it connects the
+// agent.
+func NewBS(opts BSOptions) (*BS, error) {
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: opts.RAT, NumRB: opts.NumRB})
+	if err != nil {
+		return nil, err
+	}
+	b := &BS{Cell: cell}
+	if opts.Controller == "" {
+		return b, nil
+	}
+	a := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{
+			PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: opts.NodeID,
+		},
+		Scheme: opts.E2Scheme,
+	})
+	b.Agent = a
+	want := map[string]bool{}
+	for _, l := range opts.Layers {
+		want[l] = true
+	}
+	all := len(opts.Layers) == 0
+	add := func(name string, fn agent.RANFunction) error {
+		if all || want[name] {
+			return a.RegisterFunction(fn)
+		}
+		return nil
+	}
+	regs := []struct {
+		name string
+		fn   agent.RANFunction
+	}{
+		{"mac", sm.NewMACStats(cell, opts.SMScheme, a)},
+		{"rlc", sm.NewRLCStats(cell, opts.SMScheme, a)},
+		{"pdcp", sm.NewPDCPStats(cell, opts.SMScheme, a)},
+		{"slice", sm.NewSliceCtrl(cell, opts.SMScheme)},
+		{"tc", sm.NewTCCtrl(cell, opts.SMScheme, a)},
+		{"hw", sm.NewHW()},
+	}
+	for _, r := range regs {
+		if err := add(r.name, r.fn); err != nil {
+			return nil, err
+		}
+		if all || want[r.name] {
+			b.Fns = append(b.Fns, r.fn)
+		}
+	}
+	if _, err := a.Connect(opts.Controller); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close disconnects the agent.
+func (b *BS) Close() {
+	if b.Agent != nil {
+		b.Agent.Close()
+	}
+}
+
+// RunSim advances the base station by simMS TTIs as fast as possible,
+// ticking SM reporters each TTI.
+func (b *BS) RunSim(simMS int) {
+	for i := 0; i < simMS; i++ {
+		b.Cell.Step(1)
+		sm.TickAll(b.Fns, b.Cell.Now())
+	}
+}
+
+// RunSimPaced advances like RunSim but throttles so the socket receivers
+// keep up (used when indications flow at 1 kHz per layer).
+func (b *BS) RunSimPaced(simMS int, pace time.Duration) {
+	for i := 0; i < simMS; i++ {
+		b.Cell.Step(1)
+		sm.TickAll(b.Fns, b.Cell.Now())
+		if pace > 0 {
+			time.Sleep(pace)
+		}
+	}
+}
+
+// StartServer brings up a FlexRIC server on a loopback port.
+func StartServer(scheme e2ap.Scheme) (*server.Server, string, error) {
+	s := server.New(server.Config{Scheme: scheme})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return s, addr, nil
+}
+
+// Saturate attaches a saturating downlink source to a UE.
+func Saturate(cell *ran.Cell, rnti uint16) error {
+	return cell.AddTraffic(rnti, &ran.Saturating{
+		Flow:           ran.FiveTuple{DstIP: uint32(rnti), DstPort: 5001, Proto: ran.ProtoUDP},
+		RateBytesPerMS: 4 * ran.CellCapacityBits(cell.Config().NumRB, ran.MaxMCS) / 8,
+	})
+}
+
+// WaitUntil polls cond until it holds or the deadline passes.
+func WaitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Table renders rows as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range width {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// Mbps formats a bit count over a window as Mbit/s.
+func Mbps(bits uint64, ms int64) float64 {
+	if ms <= 0 {
+		return 0
+	}
+	return float64(bits) / float64(ms) * 1000 / 1e6
+}
+
+// heapSinceMB returns live-heap growth since base in MB, clamped at zero
+// (GC can shrink the heap below the baseline).
+func heapSinceMB(base uint64) float64 {
+	h := metrics.HeapInUse()
+	if h < base {
+		return 0
+	}
+	return metrics.MB(h - base)
+}

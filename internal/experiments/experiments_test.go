@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"flexric/internal/ran"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests run reduced-scale versions of every experiment and assert
+// the paper's qualitative shapes (who wins, rough factors). Paper-scale
+// runs go through cmd/flexric-bench.
+
+func TestFig6aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig6a(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.BaselineCPU <= 0 {
+			t.Fatalf("%s: baseline CPU %.3f", r.Label, r.BaselineCPU)
+		}
+		// The agent is a bounded, small absolute cost (a few % of a
+		// core). The paper's "agent ≪ user plane" relation holds against
+		// OAI's real PHY; our simulated user plane is far cheaper than
+		// OAI, so the meaningful check here is the absolute bound (see
+		// EXPERIMENTS.md).
+		if r.AgentCPU > 10 {
+			t.Fatalf("%s: agent CPU %.2f%% of a core per sim-second", r.Label, r.AgentCPU)
+		}
+	}
+	// FlexRIC and FlexRAN agents are in the same cost class (paper:
+	// "FlexRIC incurs comparable overhead as FlexRAN"). FlexRIC ships 3
+	// SM indications per period vs FlexRAN's single bundled report, so
+	// allow a wide band (see EXPERIMENTS.md note 5).
+	ricCPU, ranCPU := res.Rows[0].AgentCPU, res.Rows[1].AgentCPU
+	if ricCPU > 8*ranCPU+3 || ranCPU > 8*ricCPU+3 {
+		t.Errorf("agent costs diverge: FlexRIC %.2f vs FlexRAN %.2f", ricCPU, ranCPU)
+	}
+	// The 5G cell's user plane is more demanding than 4G (the paper's
+	// "relative overhead decreases when deploying FlexRIC over NR").
+	if res.Rows[2].BaselineCPU <= res.Rows[0].BaselineCPU {
+		t.Fatalf("NR baseline %.2f <= LTE baseline %.2f",
+			res.Rows[2].BaselineCPU, res.Rows[0].BaselineCPU)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig6bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig6b([]int{4, 32}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.FlexRIC < p.NoAgent || p.FlexRAN < p.NoAgent {
+			// CPU accounting noise can make tiny overheads dip below
+			// baseline, but not by much.
+			if p.NoAgent-p.FlexRIC > 0.5*p.NoAgent {
+				t.Fatalf("UE=%d: FlexRIC (%.2f) below baseline (%.2f)", p.UEs, p.FlexRIC, p.NoAgent)
+			}
+		}
+	}
+	// Work grows with UEs for all variants.
+	if res.Points[1].NoAgent <= res.Points[0].NoAgent {
+		t.Fatalf("baseline not increasing with UEs: %+v", res.Points)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig7aShape(t *testing.T) {
+	res, err := Fig7a(30, []int{100, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RTTStats{}
+	for _, r := range res.Rows {
+		byKey[r.Combo+"/"+itoa(r.Payload)] = r.RTT
+	}
+	// 5 systems × 2 payloads.
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	// FB/FB must not be clearly slower than ASN/ASN at 1500 B (paper:
+	// ~66 % lower with asn1c; our PER codec is so cheap that socket and
+	// scheduler noise dominate loopback RTTs, so we compare min-RTT with
+	// a generous margin rather than medians).
+	if fb, asn := byKey["FB/FB/1500"], byKey["ASN/ASN/1500"]; fb.Min > asn.Min*13/10+20*time.Microsecond {
+		t.Errorf("FB/FB min %v clearly above ASN/ASN min %v at 1500B", fb.Min, asn.Min)
+	}
+	// All RTTs are sane loopback values.
+	for k, s := range byKey {
+		if s.Min <= 0 || s.Min > 50*time.Millisecond {
+			t.Fatalf("%s: implausible RTT %v", k, s.Min)
+		}
+	}
+	t.Log("\n" + res.String())
+}
+
+func itoa(n int) string {
+	if n == 100 {
+		return "100"
+	}
+	return "1500"
+}
+
+func TestFig7bShape(t *testing.T) {
+	res, err := Fig7b(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(combo string, payload int) float64 {
+		for _, r := range res.Rows {
+			if r.Combo == combo && r.Payload == payload {
+				return r.Mbps
+			}
+		}
+		t.Fatalf("missing %s/%d", combo, payload)
+		return 0
+	}
+	asn100, fb100 := get("ASN/ASN", 100), get("FB/FB", 100)
+	// Paper: FB/FB ≈ +67 % signaling at 100 B.
+	if ratio := fb100 / asn100; ratio < 1.2 || ratio > 2.5 {
+		t.Errorf("FB/FB / ASN/ASN at 100B = %.2f, want ~1.67", ratio)
+	}
+	asn1500, fb1500 := get("ASN/ASN", 1500), get("FB/FB", 1500)
+	// Paper: almost negligible at 1500 B.
+	if ratio := fb1500 / asn1500; ratio > 1.15 {
+		t.Errorf("FB/FB / ASN/ASN at 1500B = %.2f, want ~1.06", ratio)
+	}
+	// FlexRAN (single encoding) has the smallest rate.
+	if fr := get("FlexRAN", 100); fr >= asn100 {
+		t.Errorf("FlexRAN %.2f >= ASN/ASN %.2f at 100B", fr, asn100)
+	}
+	// The ASN/FB combination must not beat ASN/ASN (the paper calls it
+	// "useless").
+	if mixed := get("ASN/FB", 100); mixed < asn100 {
+		t.Errorf("ASN/FB %.2f < ASN/ASN %.2f: mixed combo should not win", mixed, asn100)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig8aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig8a(4, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FlexRIC must use (much) less CPU than FlexRAN; the paper reports
+	// 10x, we accept any clear win.
+	if res.FlexRICCPU >= res.FlexRANCPU {
+		t.Errorf("FlexRIC CPU %.2f >= FlexRAN %.2f", res.FlexRICCPU, res.FlexRANCPU)
+	}
+	// And less controller state (paper: 124 vs 375 MB with history).
+	if res.FlexRICMem >= res.FlexRANMem {
+		t.Errorf("FlexRIC mem %.1f >= FlexRAN %.1f", res.FlexRICMem, res.FlexRANMem)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig8bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig8b([]int{2, 6}, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASN costs more CPU than FB at equal load. The paper reports ~4x
+	// with asn1c; our from-scratch PER codec is much faster, so the
+	// end-to-end gap compresses into wall-clock measurement noise when
+	// the machine is loaded (documented in EXPERIMENTS.md). We therefore
+	// assert only that FB is never *clearly worse*; the deterministic
+	// per-message mechanism is asserted in
+	// BenchmarkAblationDispatchDecode (~10x).
+	var asnSum, fbSum float64
+	for i := range res.ASN {
+		asnSum += res.ASN[i].CPU
+		fbSum += res.FB[i].CPU
+		if res.FB[i].CPU > res.ASN[i].CPU*1.25+1 {
+			t.Errorf("agents=%d: FB %.2f clearly above ASN %.2f", res.FB[i].Agents, res.FB[i].CPU, res.ASN[i].CPU)
+		}
+	}
+	if fbSum > asnSum*1.15+1 {
+		t.Errorf("FB total CPU %.2f clearly above ASN total %.2f", fbSum, asnSum)
+	}
+	// CPU grows with agent count (wide margin for load noise).
+	if res.ASN[1].CPU <= res.ASN[0].CPU*0.8 {
+		t.Errorf("ASN CPU not increasing: %+v", res.ASN)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flexricMB, oranMB float64
+	for _, r := range res.Rows {
+		if strings.Contains(r.Component, "O-RAN RIC platform") {
+			oranMB = r.SizeMB
+		}
+		if strings.Contains(r.Component, "flexric") {
+			flexricMB = r.SizeMB
+		}
+	}
+	if oranMB != 2469 {
+		t.Fatalf("O-RAN platform %v MB", oranMB)
+	}
+	if flexricMB <= 0 || flexricMB > 200 {
+		t.Fatalf("flexric artifact %v MB", flexricMB)
+	}
+	if oranMB/flexricMB < 10 {
+		t.Fatalf("size ratio %.1f, expect >10x", oranMB/flexricMB)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig9a(30, []int{100, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sys string, payload int) RTTStats {
+		for _, r := range res.Rows {
+			if r.System == sys && r.Payload == payload {
+				return r.RTT
+			}
+		}
+		t.Fatalf("missing %s/%d", sys, payload)
+		return RTTStats{}
+	}
+	// O-RAN must be slower than FlexRIC FB/FB at both payloads (paper:
+	// ≥3x at 100B, ≥2x at 1500B). Min-RTT is the noise-robust signal:
+	// the O-RAN pipeline's calibrated processing tax is deterministic
+	// compute that survives scheduler jitter, while percentile
+	// comparisons flake when the suite saturates the machine.
+	for _, payload := range []int{100, 1500} {
+		oran, fb := get("O-RAN", payload), get("FB/FB", payload)
+		if oran.Min <= fb.Min {
+			t.Errorf("payload %d: O-RAN min %v <= FB/FB min %v", payload, oran.Min, fb.Min)
+		}
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig9bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig9b(4, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlexRICCPU >= res.ORANCPU {
+		t.Errorf("FlexRIC CPU %.2f >= O-RAN %.2f", res.FlexRICCPU, res.ORANCPU)
+	}
+	if res.FlexRICMem >= res.ORANMem {
+		t.Errorf("FlexRIC mem %.1f >= O-RAN %.1f", res.FlexRICMem, res.ORANMem)
+	}
+	if res.E2TDecodes == 0 || res.XAppDecodes == 0 {
+		t.Error("double-decode counters empty")
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig11(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transparent: bufferbloat pushes VoIP RTT into hundreds of ms.
+	if m := res.Transparent.RTTPercentile(95); m < 200 {
+		t.Errorf("transparent p95 RTT %d ms, expected bufferbloat", m)
+	}
+	// xApp mode: the remedy was applied and the tail is protected.
+	if res.XApp.RemedyAtMS == 0 {
+		t.Error("xApp never applied its remedy")
+	}
+	if m := res.XApp.RTTPercentile(95); m >= res.Transparent.RTTPercentile(95) {
+		t.Errorf("xApp p95 %d >= transparent p95 %d", m, res.Transparent.RTTPercentile(95))
+	}
+	// The CDF comparison of Fig. 11c: clear improvement at the median
+	// for post-remedy traffic, ~4x overall in the paper.
+	if imp := float64(res.Transparent.RTTPercentile(50)) / float64(res.XApp.RTTPercentile(50)+1); imp < 1.5 {
+		t.Errorf("median improvement %.1fx, want >1.5x", imp)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig13aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig13a(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("phases: %d", len(res.Phases))
+	}
+	t1, t2, t3, t4 := res.Phases[0], res.Phases[1], res.Phases[2], res.Phases[3]
+	// t1: equal shares between 2 UEs.
+	if rel(t1.PerUE[1], t1.PerUE[2]) > 0.15 {
+		t.Errorf("t1 shares unequal: %+v", t1.PerUE)
+	}
+	// t2: white UE drops below half the cell.
+	if t2.PerUE[1] > 0.45*t2.Total {
+		t.Errorf("t2 white UE still has %.1f of %.1f", t2.PerUE[1], t2.Total)
+	}
+	// t3: white UE back at ~50 %.
+	if rel(t3.PerUE[1], 0.5*t3.Total) > 0.12 {
+		t.Errorf("t3 white UE %.1f, want ~%.1f", t3.PerUE[1], 0.5*t3.Total)
+	}
+	// t4: ~66 %.
+	if rel(t4.PerUE[1], 0.66*t4.Total) > 0.12 {
+		t.Errorf("t4 white UE %.1f, want ~%.1f", t4.PerUE[1], 0.66*t4.Total)
+	}
+	t.Log("\n" + res.String())
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestFig13bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig13b(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the first third (slice 2 idle): static caps gray at ~66 %,
+	// sharing gives it ~100 %.
+	gray := func(pts []Fig13bPoint) float64 {
+		n := len(pts) / 3
+		if n == 0 {
+			n = 1
+		}
+		sum := 0.0
+		for _, p := range pts[1:n] { // skip the settling first sample
+			sum += p.Gray
+		}
+		return sum / float64(n-1)
+	}
+	gStatic, gShare := gray(res.Static), gray(res.Sharing)
+	if gShare <= gStatic*1.2 {
+		t.Errorf("sharing gray %.1f vs static %.1f: expected ~1.5x gain", gShare, gStatic)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig15(24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := func(s *Fig15Series, fromFrac, toFrac float64, ue int) float64 {
+		lo := int(fromFrac * float64(len(s.Points)))
+		hi := int(toFrac * float64(len(s.Points)))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, p := range s.Points[lo:hi] {
+			sum += p.UE[ue]
+		}
+		return sum / float64(hi-lo)
+	}
+	// Isolation: after A's reconfig (middle window before B pauses), B's
+	// UEs are unaffected in the shared case — each still ~25 % of cell.
+	cell50 := float64(ran.CellCapacityBits(50, 28)) * 1000 / 1e6
+	b3 := window(res.Shared, 0.25, 0.45, 2)
+	if rel(b3, cell50/4) > 0.25 {
+		t.Errorf("shared: B's UE3 at %.1f Mbps, want ~%.1f (isolation)", b3, cell50/4)
+	}
+	// Multiplexing gain: when B is fully idle (final stretch, after B's
+	// RLC backlog drains), A's UEs in the shared case take (almost) the
+	// whole cell; dedicated A is still capped at its own 25 RB eNB.
+	aShared := window(res.Shared, 0.93, 1.0, 0) + window(res.Shared, 0.93, 1.0, 1)
+	aDed := window(res.Dedicated, 0.93, 1.0, 0) + window(res.Dedicated, 0.93, 1.0, 1)
+	if aShared < 1.5*aDed {
+		t.Errorf("multiplexing gain %.1f/%.1f = %.2fx, want ≥1.5x", aShared, aDed, aShared/aDed)
+	}
+	t.Log("\n" + res.String())
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"flexric/internal/flexran"
+	"flexric/internal/transport"
+)
+
+// fakeFlexRANAgent speaks the FlexRAN protocol without a cell behind it
+// — the FlexRAN-side counterpart of DummyAgent for the Fig. 8a load
+// comparison.
+type fakeFlexRANAgent struct {
+	bsID uint64
+	nUE  int
+	tc   transport.Conn
+	seq  uint64
+}
+
+func newFakeFlexRANAgent(bsID uint64, nUE int, addr string) (*fakeFlexRANAgent, error) {
+	tc, err := transport.Dial(transport.KindSCTPish, addr)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := flexran.Encode(flexran.MsgHello, &flexran.Hello{BSID: bsID})
+	if err != nil {
+		tc.Close()
+		return nil, err
+	}
+	if err := tc.Send(wire); err != nil {
+		tc.Close()
+		return nil, err
+	}
+	a := &fakeFlexRANAgent{bsID: bsID, nUE: nUE, tc: tc}
+	// Drain controller messages (stats requests etc.) in the background.
+	go func() {
+		for {
+			if _, err := tc.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	return a, nil
+}
+
+// tick sends one synthetic all-layer stats report.
+func (a *fakeFlexRANAgent) tick(now int64) {
+	a.seq++
+	rep := &flexran.StatsReport{BSID: a.bsID, TimeMS: now}
+	for i := 0; i < a.nUE; i++ {
+		rep.UEs = append(rep.UEs, flexran.UEStats{
+			RNTI:      uint16(i + 1),
+			CQI:       15,
+			MCS:       28,
+			RBsUsed:   a.seq * 25,
+			MACTxBits: a.seq * 16000,
+		})
+	}
+	if wire, err := flexran.Encode(flexran.MsgStatsReport, rep); err == nil {
+		_ = a.tc.Send(wire)
+	}
+}
+
+func (a *fakeFlexRANAgent) close() { a.tc.Close() }

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/ran"
+	"flexric/internal/sm"
+	"flexric/internal/xapp"
+)
+
+// Fig. 13: the RAT-unaware slicing controller (§6.1.2) on a 106 RB NR
+// cell at fixed MCS 20, all UEs saturated by downlink iperf.
+//
+// (a) isolation: t1 two UEs share equally; t2 a third UE joins and the
+// "white" UE's share drops below its 50 % requirement; t3 the xApp
+// deploys 50/50 NVS slices with the white UE alone in slice 1; t4 the
+// share is raised to 66 %.
+// (b) static attribution vs sharing: two slices 66/34, the 34 % slice's
+// UE goes idle; without sharing its resources are wasted, with NVS the
+// 66 % slice takes them.
+
+// Fig13aPhase is one time instance of Fig. 13a.
+type Fig13aPhase struct {
+	Label string
+	// PerUE maps RNTI → Mbps during the phase.
+	PerUE map[uint16]float64
+	Total float64
+}
+
+// Fig13aResult is the Fig. 13a dataset.
+type Fig13aResult struct {
+	Phases []Fig13aPhase
+}
+
+// fig13Stack brings up cell + agent + slicing controller + xApp.
+type fig13Stack struct {
+	bs  *BS
+	sc  *ctrl.SlicingController
+	x   *xapp.SliceXApp
+	srv interface{ Close() error }
+}
+
+func newFig13Stack() (*fig13Stack, error) {
+	srv, addr, err := StartServer(e2ap.SchemeASN)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ctrl.NewSlicingController(srv, sm.SchemeASN, "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	bs, err := NewBS(BSOptions{
+		NodeID: 1, RAT: ran.RAT5G, NumRB: 106,
+		E2Scheme: e2ap.SchemeASN, SMScheme: sm.SchemeASN,
+		Layers: []string{"mac", "slice"}, Controller: addr,
+	})
+	if err != nil {
+		sc.Close()
+		srv.Close()
+		return nil, err
+	}
+	if !WaitUntil(waitShort, func() bool { return len(srv.Agents()) == 1 }) {
+		bs.Close()
+		sc.Close()
+		srv.Close()
+		return nil, fmt.Errorf("agent connect")
+	}
+	return &fig13Stack{bs: bs, sc: sc, x: xapp.NewSliceXApp("http://"+sc.Addr(), 0), srv: srv}, nil
+}
+
+func (s *fig13Stack) close() {
+	s.bs.Close()
+	s.sc.Close()
+	s.srv.Close()
+}
+
+// measurePhase runs ms simulated milliseconds and returns per-UE Mbps.
+func measurePhase(bs *BS, rntis []uint16, ms int) map[uint16]float64 {
+	start := make(map[uint16]uint64, len(rntis))
+	for _, r := range rntis {
+		start[r] = bs.Cell.UEDeliveredBits(r)
+	}
+	bs.RunSim(ms)
+	out := make(map[uint16]float64, len(rntis))
+	for _, r := range rntis {
+		out[r] = Mbps(bs.Cell.UEDeliveredBits(r)-start[r], int64(ms))
+	}
+	return out
+}
+
+// Fig13a reproduces Fig. 13a. phaseMS is the duration of each of the
+// four time instances (paper: ~15 s each).
+func Fig13a(phaseMS int) (*Fig13aResult, error) {
+	st, err := newFig13Stack()
+	if err != nil {
+		return nil, err
+	}
+	defer st.close()
+	bs, x := st.bs, st.x
+
+	attach := func(rnti uint16) error {
+		if _, err := bs.Cell.Attach(rnti, "", "208.95", 20); err != nil {
+			return err
+		}
+		return Saturate(bs.Cell, rnti)
+	}
+	res := &Fig13aResult{}
+	record := func(label string, rntis []uint16, ms int) {
+		per := measurePhase(bs, rntis, ms)
+		total := 0.0
+		for _, v := range per {
+			total += v
+		}
+		res.Phases = append(res.Phases, Fig13aPhase{Label: label, PerUE: per, Total: total})
+	}
+
+	// t1: two UEs, no slicing — equal shares.
+	if err := attach(1); err != nil {
+		return nil, err
+	}
+	if err := attach(2); err != nil {
+		return nil, err
+	}
+	record("t1/None (2 UEs)", []uint16{1, 2}, phaseMS)
+
+	// t2: third UE joins — the white UE (1) drops to a third.
+	if err := attach(3); err != nil {
+		return nil, err
+	}
+	record("t2/None (3 UEs)", []uint16{1, 2, 3}, phaseMS)
+
+	// t3: 50/50 NVS slices; UE 1 alone in slice 1.
+	if err := x.Deploy(ctrl.SliceConfigJSON{
+		Algo: "nvs",
+		Slices: []ctrl.SliceParamJSON{
+			{ID: 1, Kind: "capacity", Capacity: 0.5, UESched: "pf"},
+			{ID: 2, Kind: "capacity", Capacity: 0.5, UESched: "pf"},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	for rnti, slice := range map[uint16]uint32{1: 1, 2: 2, 3: 2} {
+		if err := x.Associate(rnti, slice); err != nil {
+			return nil, err
+		}
+	}
+	record("t3/NVS 50-50", []uint16{1, 2, 3}, phaseMS)
+
+	// t4: 66/34.
+	if err := x.Deploy(ctrl.SliceConfigJSON{
+		Algo: "nvs",
+		Slices: []ctrl.SliceParamJSON{
+			{ID: 1, Kind: "capacity", Capacity: 0.66, UESched: "pf"},
+			{ID: 2, Kind: "capacity", Capacity: 0.34, UESched: "pf"},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	record("t4/NVS 66-34", []uint16{1, 2, 3}, phaseMS)
+	return res, nil
+}
+
+// String renders the Fig. 13a table.
+func (r *Fig13aResult) String() string {
+	rows := make([][]string, 0, len(r.Phases))
+	for _, p := range r.Phases {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.1f", p.PerUE[1]),
+			fmt.Sprintf("%.1f", p.PerUE[2]),
+			fmt.Sprintf("%.1f", p.PerUE[3]),
+			fmt.Sprintf("%.1f", p.Total),
+		})
+	}
+	return "Fig 13a — slice isolation on a 106 RB NR cell (Mbps; UE1 is the 'white' UE)\n" +
+		Table([]string{"phase", "UE1", "UE2", "UE3", "total"}, rows)
+}
+
+// Fig13bPoint is one throughput sample of Fig. 13b.
+type Fig13bPoint struct {
+	TimeMS int64
+	Gray   float64 // 66 % slice (active UE)
+	Black  float64 // 34 % slice (on/off UE)
+}
+
+// Fig13bResult holds both Fig. 13b series.
+type Fig13bResult struct {
+	Static  []Fig13bPoint // sharing disabled
+	Sharing []Fig13bPoint // NVS sharing
+}
+
+// Fig13b reproduces Fig. 13b: two slices 66/34; the 34 % slice's UE only
+// transmits in the middle third of the run. Sampled once per second.
+func Fig13b(simMS int) (*Fig13bResult, error) {
+	run := func(noShare bool) ([]Fig13bPoint, error) {
+		st, err := newFig13Stack()
+		if err != nil {
+			return nil, err
+		}
+		defer st.close()
+		bs, x := st.bs, st.x
+		if _, err := bs.Cell.Attach(1, "", "208.95", 20); err != nil {
+			return nil, err
+		}
+		if err := Saturate(bs.Cell, 1); err != nil {
+			return nil, err
+		}
+		if _, err := bs.Cell.Attach(2, "", "208.95", 20); err != nil {
+			return nil, err
+		}
+		// UE 2 transmits only in the middle third.
+		if err := bs.Cell.AddTraffic(2, &ran.Saturating{
+			Flow:           ran.FiveTuple{DstIP: 2, DstPort: 5001, Proto: ran.ProtoUDP},
+			RateBytesPerMS: 4 * ran.CellCapacityBits(106, 20) / 8,
+			StartMS:        int64(simMS / 3),
+			StopMS:         int64(2 * simMS / 3),
+		}); err != nil {
+			return nil, err
+		}
+		if err := x.Deploy(ctrl.SliceConfigJSON{
+			Algo: "nvs",
+			Slices: []ctrl.SliceParamJSON{
+				{ID: 1, Kind: "capacity", Capacity: 0.66, NoSharing: noShare, UESched: "pf"},
+				{ID: 2, Kind: "capacity", Capacity: 0.34, NoSharing: noShare, UESched: "pf"},
+			},
+		}); err != nil {
+			return nil, err
+		}
+		if err := x.Associate(1, 1); err != nil {
+			return nil, err
+		}
+		if err := x.Associate(2, 2); err != nil {
+			return nil, err
+		}
+		var series []Fig13bPoint
+		last1, last2 := bs.Cell.UEDeliveredBits(1), bs.Cell.UEDeliveredBits(2)
+		const sample = 1000
+		for t := 0; t < simMS; t += sample {
+			bs.RunSim(sample)
+			b1, b2 := bs.Cell.UEDeliveredBits(1), bs.Cell.UEDeliveredBits(2)
+			series = append(series, Fig13bPoint{
+				TimeMS: bs.Cell.Now(),
+				Gray:   Mbps(b1-last1, sample),
+				Black:  Mbps(b2-last2, sample),
+			})
+			last1, last2 = b1, b2
+		}
+		return series, nil
+	}
+	static, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	sharing, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13bResult{Static: static, Sharing: sharing}, nil
+}
+
+// String renders both Fig. 13b series.
+func (r *Fig13bResult) String() string {
+	rows := make([][]string, 0, len(r.Static))
+	for i := range r.Static {
+		sh := Fig13bPoint{}
+		if i < len(r.Sharing) {
+			sh = r.Sharing[i]
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Static[i].TimeMS/1000),
+			fmt.Sprintf("%.1f", r.Static[i].Gray),
+			fmt.Sprintf("%.1f", r.Static[i].Black),
+			fmt.Sprintf("%.1f", sh.Gray),
+			fmt.Sprintf("%.1f", sh.Black),
+		})
+	}
+	return "Fig 13b — static attribution vs NVS sharing (Mbps per second; slice2 active in the middle third)\n" +
+		Table([]string{"t(s)", "static gray", "static black", "share gray", "share black"}, rows)
+}

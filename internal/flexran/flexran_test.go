@@ -1,0 +1,171 @@
+package flexran
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"flexric/internal/ran"
+)
+
+func TestProtocolRoundTrip(t *testing.T) {
+	msgs := []struct {
+		t MsgType
+		m any
+	}{
+		{MsgHello, &Hello{BSID: 7}},
+		{MsgStatsRequest, &StatsRequest{PeriodMS: 1, Flags: FlagMAC | FlagRLC | FlagPDCP}},
+		{MsgStatsReport, &StatsReport{BSID: 7, TimeMS: 99, UEs: []UEStats{
+			{RNTI: 1, CQI: 15, MCS: 28, RBsUsed: 100, MACTxBits: 1e6, RLCTxPkts: 10, RLCTxB: 1e4, RLCBufB: 500, PDCPTxPkt: 10, PDCPTxB: 1e4},
+		}}},
+		{MsgEchoRequest, &Echo{Seq: 3, T0: 123, Data: bytes.Repeat([]byte{1}, 100)}},
+		{MsgEchoReply, &Echo{Seq: 4, T0: 456, Data: []byte{9}}},
+	}
+	for _, c := range msgs {
+		wire, err := Encode(c.t, c.m)
+		if err != nil {
+			t.Fatalf("encode %d: %v", c.t, err)
+		}
+		gt, gm, err := Decode(wire)
+		if err != nil || gt != c.t {
+			t.Fatalf("decode %d: %v %v", c.t, gt, err)
+		}
+		if !reflect.DeepEqual(gm, c.m) {
+			t.Fatalf("round-trip %d:\n got %+v\nwant %+v", c.t, gm, c.m)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, _, err := Decode([]byte{99}); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+	if _, err := Encode(MsgHello, struct{}{}); err == nil {
+		t.Fatal("unknown struct must fail")
+	}
+}
+
+func TestSingleEncodingSmallerThanDouble(t *testing.T) {
+	// FlexRAN does not double-encode: its echo message must be smaller
+	// than both FlexRIC E2AP encodings carrying the same 100 B payload
+	// (Fig. 7b: "FlexRAN has the smallest signaling rate").
+	wire, err := Encode(MsgEchoRequest, &Echo{Seq: 1, T0: 1, Data: make([]byte, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) > 130 {
+		t.Fatalf("echo wire %d B for 100 B payload", len(wire))
+	}
+}
+
+func TestEndToEndStatsAndEcho(t *testing.T) {
+	ctrl, addr, err := NewController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT4G, NumRB: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue, err := cell.Attach(1, "", "208.95", 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue.AddSource(&ran.Saturating{Flow: ran.FiveTuple{DstIP: 1}, RateBytesPerMS: 5000})
+
+	ag, err := NewAgent(7, cell, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(ctrl.Agents()) == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(ctrl.Agents()) != 1 {
+		t.Fatal("agent not registered")
+	}
+	if err := ctrl.RequestStats(7, 1, FlagMAC|FlagRLC|FlagPDCP); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the cell+agent for 100 simulated ms.
+	waitStats := time.Now().Add(5 * time.Second)
+	for time.Now().Before(waitStats) {
+		cell.Step(1)
+		ag.Tick(cell.Now())
+		if rep, ok := ctrl.Poll()[7]; ok && len(rep.UEs) == 1 && rep.UEs[0].MACTxBits > 0 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	rep := ctrl.Poll()[7]
+	if rep == nil || len(rep.UEs) != 1 || rep.UEs[0].MACTxBits == 0 {
+		t.Fatalf("polled report: %+v", rep)
+	}
+	if rep.UEs[0].CQI == 0 || rep.UEs[0].PDCPTxB == 0 {
+		t.Fatalf("layer stats missing: %+v", rep.UEs[0])
+	}
+
+	// Echo round-trip.
+	replies := make(chan *Echo, 1)
+	ctrl.SubscribeEcho(replies)
+	if err := ctrl.Echo(7, &Echo{Seq: 9, T0: time.Now().UnixNano(), Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-replies:
+		if e.Seq != 9 {
+			t.Fatalf("echo seq %d", e.Seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no echo reply")
+	}
+
+	// RequestStats to an unknown agent fails.
+	if err := ctrl.RequestStats(99, 1, FlagMAC); err == nil {
+		t.Fatal("unknown agent must fail")
+	}
+	if err := ctrl.Echo(99, &Echo{}); err == nil {
+		t.Fatal("echo to unknown agent must fail")
+	}
+}
+
+func TestPollLoopCountsAndStops(t *testing.T) {
+	ctrl, _, err := NewController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() { done <- ctrl.PollLoop(time.Millisecond, stop) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	polls := <-done
+	if polls < 10 {
+		t.Fatalf("polls %d, want >=10", polls)
+	}
+}
+
+func TestRIBHistoryBounded(t *testing.T) {
+	ctrl := &Controller{rib: map[uint64]*ribEntry{1: {bsID: 1}}, agents: map[uint64]*ctrlAgent{}}
+	for i := 0; i < 3*ribHistoryDepth; i++ {
+		ctrl.storeReport(&StatsReport{BSID: 1, TimeMS: int64(i)})
+	}
+	e := ctrl.rib[1]
+	if len(e.history) != ribHistoryDepth {
+		t.Fatalf("history %d, want %d", len(e.history), ribHistoryDepth)
+	}
+	// Poll returns the most recent report.
+	rep := ctrl.Poll()[1]
+	if rep.TimeMS != int64(3*ribHistoryDepth-1) {
+		t.Fatalf("latest report time %d", rep.TimeMS)
+	}
+}

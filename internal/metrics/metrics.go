@@ -1,0 +1,113 @@
+// Package metrics measures CPU and memory consumption of experiment
+// scenarios. The paper reports normalized CPU usage (CPU time over wall
+// time, normalized by cores) from OS accounting and memory from docker
+// stats; this package provides the equivalents available in-process:
+// getrusage-based CPU time and runtime heap statistics.
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// ProcessCPU returns the process's cumulative user+system CPU time.
+func ProcessCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// CPUMeter measures CPU consumption over an interval.
+type CPUMeter struct {
+	startCPU  time.Duration
+	startWall time.Time
+}
+
+// StartCPU begins a measurement interval.
+func StartCPU() *CPUMeter {
+	return &CPUMeter{startCPU: ProcessCPU(), startWall: time.Now()}
+}
+
+// Sample returns the CPU time consumed and wall time elapsed since
+// StartCPU.
+func (m *CPUMeter) Sample() (cpu, wall time.Duration) {
+	return ProcessCPU() - m.startCPU, time.Since(m.startWall)
+}
+
+// NormalizedPercent returns CPU time over wall time as a percentage of
+// one core — the paper's "normalized CPU usage".
+func (m *CPUMeter) NormalizedPercent() float64 {
+	cpu, wall := m.Sample()
+	if wall <= 0 {
+		return 0
+	}
+	return 100 * float64(cpu) / float64(wall)
+}
+
+// CPUPerSimSecond expresses CPU cost against simulated time: CPU seconds
+// consumed per simulated second, as a percentage. This is the meaningful
+// normalization when the workload runs a discrete-event simulation
+// faster than real time.
+func (m *CPUMeter) CPUPerSimSecond(simMS int64) float64 {
+	if simMS <= 0 {
+		return 0
+	}
+	cpu, _ := m.Sample()
+	return 100 * cpu.Seconds() / (float64(simMS) / 1000)
+}
+
+// HeapInUse reports live heap bytes after a GC cycle — the steady-state
+// memory of the measured structures.
+func HeapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// HeapDelta runs f and returns the live-heap growth it caused.
+func HeapDelta(f func()) uint64 {
+	before := HeapInUse()
+	f()
+	after := HeapInUse()
+	if after < before {
+		return 0
+	}
+	return after - before
+}
+
+// MB formats bytes as mebibytes.
+func MB(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// FmtDuration renders µs-scale durations the way the paper's figures
+// label them.
+func FmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return d.String()
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of samples; the slice
+// is sorted in place by the caller beforehand.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}

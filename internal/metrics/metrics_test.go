@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestProcessCPUMonotone(t *testing.T) {
+	a := ProcessCPU()
+	// Burn a little CPU.
+	x := 0
+	for i := 0; i < 20_000_000; i++ {
+		x += i
+	}
+	_ = x
+	b := ProcessCPU()
+	if b < a {
+		t.Fatalf("CPU time went backwards: %v -> %v", a, b)
+	}
+	if b == a {
+		t.Skip("CPU accounting too coarse on this platform")
+	}
+}
+
+func TestCPUMeter(t *testing.T) {
+	m := StartCPU()
+	x := 0
+	for i := 0; i < 50_000_000; i++ {
+		x += i
+	}
+	_ = x
+	cpu, wall := m.Sample()
+	if cpu <= 0 || wall <= 0 {
+		t.Fatalf("cpu %v wall %v", cpu, wall)
+	}
+	if p := m.NormalizedPercent(); p <= 0 || p > 100*float64(64) {
+		t.Fatalf("normalized %v%%", p)
+	}
+	if v := m.CPUPerSimSecond(1000); v <= 0 {
+		t.Fatalf("per-sim-second %v", v)
+	}
+	if v := m.CPUPerSimSecond(0); v != 0 {
+		t.Fatalf("zero sim time: %v", v)
+	}
+}
+
+func TestHeapDelta(t *testing.T) {
+	var sink [][]byte
+	d := HeapDelta(func() {
+		for i := 0; i < 64; i++ {
+			sink = append(sink, make([]byte, 1<<20))
+		}
+	})
+	if MB(d) < 32 {
+		t.Fatalf("heap delta %.1f MB, expected ~64", MB(d))
+	}
+	runtime.KeepAlive(sink)
+}
+
+func TestPercentile(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Millisecond)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p := Percentile(s, 50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 %v", p)
+	}
+	if Percentile(s, 0) != time.Millisecond {
+		t.Fatal("p0")
+	}
+	if Percentile(s, 100) != 100*time.Millisecond {
+		t.Fatal("p100")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	if s := FmtDuration(250 * time.Microsecond); s != "250µs" {
+		t.Fatal(s)
+	}
+	if s := FmtDuration(2500 * time.Microsecond); s != "2.50ms" {
+		t.Fatal(s)
+	}
+}

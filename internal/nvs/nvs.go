@@ -1,0 +1,243 @@
+// Package nvs implements the NVS wireless-resource virtualization
+// algorithm (Kokku et al., IEEE/ACM ToN 2012 [26]) used by FlexRIC's
+// slicing control service model, plus the Appendix-B virtualization
+// arithmetic that lets recursive controllers expose scaled virtual
+// resource shares to tenants.
+//
+// NVS defines two slice types: capacity slices, reserving a fraction c of
+// base-station resources, and rate slices, reserving a rate r_rsv against
+// a reference rate r_ref. Admission control requires
+//
+//	Σ c_s + Σ r_rsv,s / r_ref,s ≤ 1 .
+//
+// Each scheduling interval, NVS grants the slot to the slice with the
+// largest ratio of reserved share to exponentially-averaged received
+// share, which simultaneously guarantees reservations (isolation) and
+// redistributes unused resources (work conservation / sharing) — the two
+// properties demonstrated in Fig. 13.
+package nvs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SliceKind distinguishes NVS slice types.
+type SliceKind uint8
+
+// NVS slice kinds.
+const (
+	// KindCapacity reserves a fraction of base-station resources.
+	KindCapacity SliceKind = iota
+	// KindRate reserves a rate (bits/s) against a reference rate.
+	KindRate
+)
+
+// Config describes one NVS slice.
+type Config struct {
+	ID   uint32
+	Kind SliceKind
+	// Capacity is the reserved resource share in (0,1] for KindCapacity.
+	Capacity float64
+	// RateRsv and RateRef are the reserved and reference rates in bits/s
+	// for KindRate.
+	RateRsv float64
+	RateRef float64
+	// Share: when false the slice also receives surplus resources left
+	// idle by other slices (work conservation); when true it is limited
+	// to its reservation even if the spectrum would otherwise idle.
+	// The NVS default is sharing enabled (Share=false means "do not
+	// prevent sharing"); Fig. 13b contrasts both.
+	NoSharing bool
+	// UESched names the per-slice user scheduler ("pf", "rr"); consumed
+	// by the MAC integration, opaque here.
+	UESched string
+}
+
+// demand returns the admission-control weight of the slice.
+func (c Config) demand() (float64, error) {
+	switch c.Kind {
+	case KindCapacity:
+		if c.Capacity <= 0 || c.Capacity > 1 {
+			return 0, fmt.Errorf("nvs: slice %d: capacity %v outside (0,1]", c.ID, c.Capacity)
+		}
+		return c.Capacity, nil
+	case KindRate:
+		if c.RateRsv <= 0 || c.RateRef <= 0 {
+			return 0, fmt.Errorf("nvs: slice %d: rates must be positive", c.ID)
+		}
+		if c.RateRsv > c.RateRef {
+			return 0, fmt.Errorf("nvs: slice %d: reserved rate exceeds reference", c.ID)
+		}
+		return c.RateRsv / c.RateRef, nil
+	default:
+		return 0, fmt.Errorf("nvs: slice %d: unknown kind %d", c.ID, c.Kind)
+	}
+}
+
+// ErrOverbooked reports that admission control rejected a configuration.
+var ErrOverbooked = errors.New("nvs: total reservations exceed capacity")
+
+// movingAvgWindow is the effective averaging horizon (in scheduling
+// intervals) of the exponential moving averages; NVS suggests averaging
+// over a window much longer than one interval.
+const movingAvgWindow = 256.0
+
+const emaAlpha = 1.0 / movingAvgWindow
+
+type sliceState struct {
+	cfg Config
+	// avgShare is the EWMA of the fraction of intervals granted.
+	avgShare float64
+	// avgRate is the EWMA of the achieved rate (bits/s), for rate slices.
+	avgRate float64
+	active  bool // has traffic pending this interval
+}
+
+// Scheduler is an NVS slice scheduler. It decides, per scheduling
+// interval, which slice owns the interval's resources. Safe for
+// concurrent use.
+type Scheduler struct {
+	mu     sync.Mutex
+	slices map[uint32]*sliceState
+	order  []uint32 // deterministic iteration order
+}
+
+// NewScheduler returns an empty NVS scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{slices: make(map[uint32]*sliceState)}
+}
+
+// Admit validates cfgs as a complete slice set and installs it,
+// replacing the previous configuration. State of surviving slice IDs is
+// retained so reconfiguration does not reset averages.
+func (s *Scheduler) Admit(cfgs []Config) error {
+	total := 0.0
+	seen := make(map[uint32]bool, len(cfgs))
+	for _, c := range cfgs {
+		if seen[c.ID] {
+			return fmt.Errorf("nvs: duplicate slice id %d", c.ID)
+		}
+		seen[c.ID] = true
+		d, err := c.demand()
+		if err != nil {
+			return err
+		}
+		total += d
+	}
+	const eps = 1e-9
+	if total > 1+eps {
+		return fmt.Errorf("%w: Σ=%.4f", ErrOverbooked, total)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[uint32]*sliceState, len(cfgs))
+	order := make([]uint32, 0, len(cfgs))
+	for _, c := range cfgs {
+		st := s.slices[c.ID]
+		if st == nil {
+			st = &sliceState{}
+		}
+		st.cfg = c
+		next[c.ID] = st
+		order = append(order, c.ID)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	s.slices = next
+	s.order = order
+	return nil
+}
+
+// Slices returns the current slice configurations in ID order.
+func (s *Scheduler) Slices() []Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Config, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.slices[id].cfg)
+	}
+	return out
+}
+
+// Pick selects the slice that owns the next scheduling interval.
+// active[id] reports whether a slice has pending traffic; inactive slices
+// are skipped (their averages still decay, which is what redistributes
+// their resources). ok is false when no active slice exists.
+//
+// The caller must afterwards call Update with the selected slice and the
+// rate it achieved in the interval.
+func (s *Scheduler) Pick(active map[uint32]bool) (id uint32, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := -1.0
+	for _, sid := range s.order {
+		st := s.slices[sid]
+		st.active = active[sid]
+		if !st.active {
+			continue
+		}
+		if st.cfg.NoSharing && st.avgShare >= s.reservedShareLocked(st) {
+			// Slice at (or above) its reservation and sharing disabled:
+			// it may not take surplus.
+			continue
+		}
+		w := s.weightLocked(st)
+		if w > best {
+			best = w
+			id = sid
+			ok = true
+		}
+	}
+	return id, ok
+}
+
+// reservedShareLocked is the slice's admitted resource fraction.
+func (s *Scheduler) reservedShareLocked(st *sliceState) float64 {
+	if st.cfg.Kind == KindCapacity {
+		return st.cfg.Capacity
+	}
+	return st.cfg.RateRsv / st.cfg.RateRef
+}
+
+// weightLocked computes the NVS selection weight: reserved over received.
+func (s *Scheduler) weightLocked(st *sliceState) float64 {
+	const floor = 1e-9
+	switch st.cfg.Kind {
+	case KindRate:
+		return st.cfg.RateRsv / (st.avgRate + floor)
+	default:
+		return st.cfg.Capacity / (st.avgShare + floor)
+	}
+}
+
+// Update records the outcome of one scheduling interval: selected is the
+// slice granted the interval (or none if !any), and achievedRate its
+// realized rate in bits/s over the interval.
+func (s *Scheduler) Update(selected uint32, any bool, achievedRate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sid := range s.order {
+		st := s.slices[sid]
+		granted := 0.0
+		rate := 0.0
+		if any && sid == selected {
+			granted = 1.0
+			rate = achievedRate
+		}
+		st.avgShare = (1-emaAlpha)*st.avgShare + emaAlpha*granted
+		st.avgRate = (1-emaAlpha)*st.avgRate + emaAlpha*rate
+	}
+}
+
+// AvgShare returns the EWMA share granted to slice id (0 if unknown).
+func (s *Scheduler) AvgShare(id uint32) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.slices[id]; ok {
+		return st.avgShare
+	}
+	return 0
+}

@@ -1,0 +1,145 @@
+package nvs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements Appendix B of the FlexRIC paper: virtualizing NVS
+// so multiple guest controllers can each manage sub-slices within an SLA-
+// bounded share of the physical base station.
+//
+// An operator with SLA q (fraction of physical resources) sees a virtual
+// base station with 100 % resources. Its virtual capacity slices are
+// scaled by q on the way down:
+//
+//	c_phys = q · c_virt
+//
+// and its virtual rate slices keep their reserved rate but have the
+// reference rate scaled *up* by 1/q:
+//
+//	r_ref,phys = r_ref,virt / q
+//
+// (the paper's example: a 5 Mbps slice over a 50 Mbps virtual reference in
+// a q=0.5 network maps to 5 Mbps over 100 Mbps physical — a 5 % share).
+// Because virtual admission control bounds Σ(c_virt + rsv/ref_virt) ≤ 1,
+// the physical demand of the tenant is bounded by q: no controller can
+// exceed its SLA, so tenants can never conflict.
+
+// ErrBadSLA reports an SLA outside (0,1].
+var ErrBadSLA = errors.New("nvs: SLA must be in (0,1]")
+
+// Virtualizer maps one tenant's virtual slice configurations onto the
+// physical resource space and back. It also remaps slice IDs into a
+// disjoint per-tenant interval so tenants may choose IDs freely (paper:
+// "virtual IDs in the range 0-9 into physical IDs in disjoint intervals").
+type Virtualizer struct {
+	// SLA is the tenant's physical resource share q.
+	SLA float64
+	// Tenant selects the disjoint physical ID interval.
+	Tenant uint32
+}
+
+// IDSpan is the size of each tenant's physical slice-ID interval; virtual
+// IDs must be < IDSpan.
+const IDSpan = 10
+
+// NewVirtualizer validates q and returns a Virtualizer for the tenant.
+func NewVirtualizer(tenant uint32, q float64) (*Virtualizer, error) {
+	if q <= 0 || q > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadSLA, q)
+	}
+	return &Virtualizer{SLA: q, Tenant: tenant}, nil
+}
+
+// PhysicalID maps a tenant-local virtual slice ID into the tenant's
+// disjoint physical interval.
+func (v *Virtualizer) PhysicalID(virtID uint32) (uint32, error) {
+	if virtID >= IDSpan {
+		return 0, fmt.Errorf("nvs: virtual slice id %d outside [0,%d)", virtID, IDSpan)
+	}
+	return v.Tenant*IDSpan + virtID, nil
+}
+
+// VirtualID inverts PhysicalID; ok is false when the physical ID does not
+// belong to this tenant.
+func (v *Virtualizer) VirtualID(physID uint32) (uint32, bool) {
+	if physID/IDSpan != v.Tenant {
+		return 0, false
+	}
+	return physID % IDSpan, true
+}
+
+// ToPhysical validates the tenant's virtual slice set against virtual
+// admission control (Σ ≤ 1, i.e. Σ physical ≤ SLA) and returns the
+// physical slice configurations.
+func (v *Virtualizer) ToPhysical(virt []Config) ([]Config, error) {
+	total := 0.0
+	out := make([]Config, len(virt))
+	for i, c := range virt {
+		d, err := c.demand()
+		if err != nil {
+			return nil, err
+		}
+		total += d
+		pid, err := v.PhysicalID(c.ID)
+		if err != nil {
+			return nil, err
+		}
+		p := c
+		p.ID = pid
+		switch c.Kind {
+		case KindCapacity:
+			p.Capacity = c.Capacity * v.SLA
+		case KindRate:
+			p.RateRef = c.RateRef / v.SLA
+		}
+		out[i] = p
+	}
+	const eps = 1e-9
+	if total > 1+eps {
+		return nil, fmt.Errorf("%w: tenant %d Σ=%.4f", ErrOverbooked, v.Tenant, total)
+	}
+	return out, nil
+}
+
+// ToVirtual maps physical slice configurations belonging to this tenant
+// back into the tenant's virtual view; foreign slices are skipped.
+func (v *Virtualizer) ToVirtual(phys []Config) []Config {
+	var out []Config
+	for _, c := range phys {
+		vid, ok := v.VirtualID(c.ID)
+		if !ok {
+			continue
+		}
+		p := c
+		p.ID = vid
+		switch c.Kind {
+		case KindCapacity:
+			p.Capacity = c.Capacity / v.SLA
+		case KindRate:
+			p.RateRef = c.RateRef * v.SLA
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// PhysicalDemand returns the total physical resource fraction a virtual
+// slice set would occupy, which by construction is ≤ SLA when the set
+// passes virtual admission control.
+func (v *Virtualizer) PhysicalDemand(virt []Config) (float64, error) {
+	phys, err := v.ToPhysical(virt)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range phys {
+		d, err := c.demand()
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}

@@ -1,0 +1,132 @@
+package oranric
+
+import (
+	"fmt"
+	"sync"
+
+	"flexric/internal/e2ap"
+)
+
+// XAppCallbacks deliver events to an xApp.
+type XAppCallbacks struct {
+	// OnIndication receives the fully-decoded indication (the second
+	// decode of the O-RAN pipeline happens before this call).
+	OnIndication func(agent int, ind *e2ap.Indication)
+	// OnSubscribed confirms a subscription.
+	OnSubscribed func(agent int)
+	// OnControlOutcome reports a control ack/failure.
+	OnControlOutcome func(agent int, outcome []byte, failed bool)
+}
+
+// XApp is a deployed external application.
+type XApp struct {
+	ric  *RIC
+	name string
+	ns   uint16 // requestor namespace
+	cb   XAppCallbacks
+
+	mu      sync.Mutex
+	instSeq uint16
+}
+
+// DeployXApp registers an xApp with the platform.
+func (r *RIC) DeployXApp(name string, cb XAppCallbacks) *XApp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	x := &XApp{ric: r, name: name, ns: r.nextNS, cb: cb}
+	r.nextNS++
+	r.xapps[x.ns] = x
+	return x
+}
+
+// Name returns the xApp's name.
+func (x *XApp) Name() string { return x.name }
+
+func (x *XApp) nextReq() e2ap.RequestID {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.instSeq++
+	return e2ap.RequestID{Requestor: x.ns, Instance: x.instSeq}
+}
+
+// sendToAgent encodes a PDU at the xApp (first encoding of the
+// northbound direction) and ships it over the bus; the E2T decodes,
+// validates and re-encodes it toward the agent.
+func (x *XApp) sendToAgent(agent int, pdu e2ap.PDU) error {
+	r := x.ric
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	enc := e2ap.NewPERCodec()
+	wire, err := enc.Encode(pdu)
+	if err != nil {
+		return err
+	}
+	return rmrSend(r.xappConn, &r.xapSendMu, rmrMsg{agent: uint32(agent), payload: wire})
+}
+
+// Subscribe sends an E2 subscription through the platform.
+func (x *XApp) Subscribe(agent int, fnID uint16, trigger []byte, actions []e2ap.Action) error {
+	return x.sendToAgent(agent, &e2ap.SubscriptionRequest{
+		RequestID:     x.nextReq(),
+		RANFunctionID: fnID,
+		EventTrigger:  trigger,
+		Actions:       actions,
+	})
+}
+
+// Control sends an E2 control message through the platform.
+func (x *XApp) Control(agent int, fnID uint16, header, payload []byte, ack bool) error {
+	return x.sendToAgent(agent, &e2ap.ControlRequest{
+		RequestID:     x.nextReq(),
+		RANFunctionID: fnID,
+		Header:        header,
+		Payload:       payload,
+		AckRequested:  ack,
+	})
+}
+
+// xappHostLoop is the xApp host: it receives bus frames and performs the
+// SECOND E2AP decode before dispatching to the owning xApp.
+func (r *RIC) xappHostLoop() {
+	dec := e2ap.NewPERCodec()
+	for {
+		msg, err := rmrRecv(r.xappConn, &r.xapRecvMu)
+		if err != nil {
+			return
+		}
+		pdu, err := dec.Decode(msg.payload) // second decode
+		if err != nil {
+			continue
+		}
+		r.decodesAtXApp.Add(1)
+		agent := int(msg.agent)
+		switch m := pdu.(type) {
+		case *e2ap.Indication:
+			if x := r.xappByNS(m.RequestID.Requestor); x != nil && x.cb.OnIndication != nil {
+				x.cb.OnIndication(agent, m)
+			}
+		case *e2ap.SubscriptionResponse:
+			if x := r.xappByNS(m.RequestID.Requestor); x != nil && x.cb.OnSubscribed != nil {
+				x.cb.OnSubscribed(agent)
+			}
+		case *e2ap.ControlAck:
+			if x := r.xappByNS(m.RequestID.Requestor); x != nil && x.cb.OnControlOutcome != nil {
+				x.cb.OnControlOutcome(agent, m.Outcome, false)
+			}
+		case *e2ap.ControlFailure:
+			if x := r.xappByNS(m.RequestID.Requestor); x != nil && x.cb.OnControlOutcome != nil {
+				x.cb.OnControlOutcome(agent, m.Outcome, true)
+			}
+		}
+	}
+}
+
+func (r *RIC) xappByNS(ns uint16) *XApp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.xapps[ns]
+}
+
+// String describes the xApp for logs.
+func (x *XApp) String() string { return fmt.Sprintf("xapp(%s/%d)", x.name, x.ns) }

@@ -1,0 +1,225 @@
+package ran
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexric/internal/nvs"
+)
+
+// Cell is one simulated base station cell: PHY capacity, MAC scheduler,
+// and per-UE bearer paths. A Cell advances in 1 ms TTIs via Step; all
+// methods are safe for concurrent use, so service models may snapshot
+// statistics and apply control while the slot loop runs — the same
+// concurrency the FlexRIC agent has with a real user plane.
+type Cell struct {
+	cfg PHYConfig
+
+	mu sync.Mutex
+	// now is atomic so the clock is readable from inside WithUE/WithUEs
+	// closures and SM callbacks without re-taking the cell lock.
+	now  atomic.Int64
+	ues  []*UE
+	byID map[uint16]*UE
+	mac  *mac
+
+	totalTxBits uint64
+
+	attachHooks []func(ue *UE)
+}
+
+// NewCell returns a cell with the given radio configuration.
+func NewCell(cfg PHYConfig) (*Cell, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cell{cfg: cfg, byID: make(map[uint16]*UE), mac: newMAC()}, nil
+}
+
+// Config returns the cell's radio configuration.
+func (c *Cell) Config() PHYConfig { return c.cfg }
+
+// Now returns the simulator time in ms. Safe to call from anywhere,
+// including WithUE/WithUEs closures.
+func (c *Cell) Now() int64 { return c.now.Load() }
+
+// OnUEAttach registers a hook invoked (synchronously, under no lock) for
+// every new UE; this backs the RRC UE-notification SM (§6.1.2).
+func (c *Cell) OnUEAttach(f func(ue *UE)) {
+	c.mu.Lock()
+	c.attachHooks = append(c.attachHooks, f)
+	c.mu.Unlock()
+}
+
+// Attach adds a UE. The RNTI must be unique within the cell.
+func (c *Cell) Attach(rnti uint16, imsi, plmn string, mcs int) (*UE, error) {
+	c.mu.Lock()
+	if _, dup := c.byID[rnti]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ran: duplicate RNTI %d", rnti)
+	}
+	ue := newUE(rnti, imsi, plmn, mcs)
+	c.ues = append(c.ues, ue)
+	c.byID[rnti] = ue
+	hooks := append([]func(ue *UE){}, c.attachHooks...)
+	c.mu.Unlock()
+	for _, h := range hooks {
+		h(ue)
+	}
+	return ue, nil
+}
+
+// Detach removes a UE.
+func (c *Cell) Detach(rnti uint16) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.byID[rnti]
+	if !ok {
+		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
+	}
+	delete(c.byID, rnti)
+	for i, u := range c.ues {
+		if u == ue {
+			c.ues = append(c.ues[:i], c.ues[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// UE returns the UE with the given RNTI, or nil.
+func (c *Cell) UE(rnti uint16) *UE {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[rnti]
+}
+
+// UEs returns the attached UEs in RNTI order.
+func (c *Cell) UEs() []*UE {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]*UE(nil), c.ues...)
+	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
+	return out
+}
+
+// Step advances the cell by n TTIs: traffic generation, TC pumping, and
+// MAC scheduling.
+func (c *Cell) Step(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		now := c.now.Add(TTI)
+		for _, ue := range c.ues {
+			if ue.channel != nil {
+				ue.MCS = ue.channel.NextMCS(now)
+			}
+			ue.tickTraffic(now)
+		}
+		for _, ue := range c.ues {
+			ue.pumpTC(now)
+		}
+		bits := c.mac.schedule(c.ues, c.cfg.NumRB, now)
+		c.totalTxBits += uint64(bits)
+		for _, ue := range c.ues {
+			ue.finishTTI()
+		}
+	}
+}
+
+// ConfigureSlices installs an NVS slice set (the SC SM control path).
+func (c *Cell) ConfigureSlices(cfgs []nvs.Config) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mac.configureSlices(cfgs)
+}
+
+// DisableSlicing returns to the shared proportional-fair pool.
+func (c *Cell) DisableSlicing() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mac.disableSlicing()
+}
+
+// SliceMode reports the current slice-scheduler algorithm.
+func (c *Cell) SliceMode() SliceMode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mac.mode
+}
+
+// Slices returns the admitted NVS slice configurations.
+func (c *Cell) Slices() []nvs.Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mac.nvs.Slices()
+}
+
+// AssociateUE assigns a UE to a slice (SC SM UE association).
+func (c *Cell) AssociateUE(rnti uint16, sliceID uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.byID[rnti]
+	if !ok {
+		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
+	}
+	ue.SliceID = sliceID
+	return nil
+}
+
+// AddTraffic attaches a traffic generator to a UE under the cell lock,
+// safe while the slot loop runs. (UE.AddSource is the lock-free variant
+// for single-threaded setup before stepping begins.)
+func (c *Cell) AddTraffic(rnti uint16, s TrafficSource) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.byID[rnti]
+	if !ok {
+		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
+	}
+	ue.AddSource(s)
+	return nil
+}
+
+// UEDeliveredBits returns a UE's cumulative delivered MAC bits under the
+// cell lock, safe while the slot loop runs (0 for unknown UEs).
+func (c *Cell) UEDeliveredBits(rnti uint16) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ue, ok := c.byID[rnti]; ok {
+		return ue.deliveredBits
+	}
+	return 0
+}
+
+// TotalTxBits returns cumulative downlink MAC bits across all UEs.
+func (c *Cell) TotalTxBits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalTxBits
+}
+
+// CapacityBits returns the per-TTI cell capacity at the given MCS.
+func (c *Cell) CapacityBits(mcs int) int { return CellCapacityBits(c.cfg.NumRB, mcs) }
+
+// WithUE runs f with the UE's bearer structures under the cell lock —
+// the access path service models use so snapshots are consistent with
+// the slot loop.
+func (c *Cell) WithUE(rnti uint16, f func(ue *UE) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.byID[rnti]
+	if !ok {
+		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
+	}
+	return f(ue)
+}
+
+// WithUEs runs f over all UEs under the cell lock.
+func (c *Cell) WithUEs(f func(ues []*UE)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.ues)
+}

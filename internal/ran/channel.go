@@ -1,0 +1,85 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChannelProcess models radio-quality variation over time: each TTI it
+// yields the UE's current MCS. The paper's evaluation pins MCS (28 on
+// LTE, 20 on NR) for reproducibility, but the TC experiment's motivation
+// — "the RLC sublayer is provided with large buffers to absorb the
+// brusque changes that the radio channel may suffer" — needs a varying
+// channel, which this interface provides.
+type ChannelProcess interface {
+	// NextMCS advances the process by one TTI.
+	NextMCS(now int64) int
+}
+
+// FixedChannel pins the MCS (the evaluation default).
+type FixedChannel int
+
+// NextMCS implements ChannelProcess.
+func (f FixedChannel) NextMCS(int64) int { return int(f) }
+
+// RandomWalkChannel is a bounded random walk over MCS indices,
+// deterministic for a given seed: a simple fading model with tunable
+// coherence (steps happen every CoherenceMS).
+type RandomWalkChannel struct {
+	Min, Max int
+	// CoherenceMS is the interval between walk steps (default 10 ms).
+	CoherenceMS int64
+	Seed        int64
+
+	rng     *rand.Rand
+	current int
+	nextAt  int64
+}
+
+// NextMCS implements ChannelProcess.
+func (w *RandomWalkChannel) NextMCS(now int64) int {
+	if w.rng == nil {
+		w.rng = rand.New(rand.NewSource(w.Seed))
+		if w.Max <= 0 || w.Max > MaxMCS {
+			w.Max = MaxMCS
+		}
+		if w.Min < 0 {
+			w.Min = 0
+		}
+		if w.Min > w.Max {
+			w.Min = w.Max
+		}
+		w.current = (w.Min + w.Max) / 2
+		if w.CoherenceMS <= 0 {
+			w.CoherenceMS = 10
+		}
+		w.nextAt = now
+	}
+	for now >= w.nextAt {
+		w.nextAt += w.CoherenceMS
+		switch w.rng.Intn(3) {
+		case 0:
+			if w.current > w.Min {
+				w.current--
+			}
+		case 1:
+			if w.current < w.Max {
+				w.current++
+			}
+		}
+	}
+	return w.current
+}
+
+// SetChannel installs a channel process for the UE under the cell lock.
+// A nil process freezes the UE at its current MCS.
+func (c *Cell) SetChannel(rnti uint16, proc ChannelProcess) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.byID[rnti]
+	if !ok {
+		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
+	}
+	ue.channel = proc
+	return nil
+}

@@ -1,0 +1,90 @@
+package ran
+
+// Disaggregation support: a base station may run monolithic or split into
+// a centralized unit (CU: SDAP/PDCP/RRC) and a distributed unit (DU:
+// RLC/MAC/PHY). FlexRIC "natively supports such disaggregation through
+// the selection of appropriate RAN functions" (§4.1.1): each node exposes
+// only the layers it hosts, and the server's RAN management merges CU and
+// DU agents of the same base station into one RAN entity.
+
+// Layer names a RAN protocol sublayer.
+type Layer string
+
+// RAN sublayers.
+const (
+	LayerSDAP Layer = "sdap"
+	LayerPDCP Layer = "pdcp"
+	LayerRRC  Layer = "rrc"
+	LayerRLC  Layer = "rlc"
+	LayerMAC  Layer = "mac"
+	LayerPHY  Layer = "phy"
+	LayerTC   Layer = "tc"
+)
+
+// NodeKind distinguishes deployment shapes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NodeMonolithic NodeKind = iota
+	NodeCU
+	NodeDU
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeCU:
+		return "CU"
+	case NodeDU:
+		return "DU"
+	default:
+		return "BS"
+	}
+}
+
+// Node is the view of a (possibly disaggregated) base station part over
+// the shared cell. BSID identifies the logical base station: CU and DU of
+// the same station share it.
+type Node struct {
+	Kind NodeKind
+	BSID uint64
+	cell *Cell
+}
+
+// NewMonolithicNode wraps a cell as a complete base station.
+func NewMonolithicNode(bsID uint64, cell *Cell) *Node {
+	return &Node{Kind: NodeMonolithic, BSID: bsID, cell: cell}
+}
+
+// Split returns CU and DU node views over one cell, sharing the base
+// station identity.
+func Split(bsID uint64, cell *Cell) (cu, du *Node) {
+	return &Node{Kind: NodeCU, BSID: bsID, cell: cell},
+		&Node{Kind: NodeDU, BSID: bsID, cell: cell}
+}
+
+// Cell returns the underlying cell.
+func (n *Node) Cell() *Cell { return n.cell }
+
+// Layers lists the sublayers this node hosts; RAN functions for absent
+// layers must not be registered by the agent.
+func (n *Node) Layers() []Layer {
+	switch n.Kind {
+	case NodeCU:
+		return []Layer{LayerSDAP, LayerTC, LayerPDCP, LayerRRC}
+	case NodeDU:
+		return []Layer{LayerRLC, LayerMAC, LayerPHY}
+	default:
+		return []Layer{LayerSDAP, LayerTC, LayerPDCP, LayerRRC, LayerRLC, LayerMAC, LayerPHY}
+	}
+}
+
+// HasLayer reports whether the node hosts the given sublayer.
+func (n *Node) HasLayer(l Layer) bool {
+	for _, h := range n.Layers() {
+		if h == l {
+			return true
+		}
+	}
+	return false
+}

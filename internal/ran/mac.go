@@ -1,0 +1,203 @@
+package ran
+
+import (
+	"fmt"
+
+	"flexric/internal/nvs"
+)
+
+// The MAC scheduler implements the two-level structure of the slicing
+// control SM (Fig. 12): "Upon the MAC scheduling phase, first the slice
+// scheduler distributes resources among slices, and for each selected
+// slice, the corresponding UE scheduler distributes resources among the
+// UEs."
+
+// SliceMode selects the slice-scheduler algorithm.
+type SliceMode uint8
+
+// Slice scheduler algorithms.
+const (
+	// SliceNone disables slicing: all UEs share one scheduler pool.
+	SliceNone SliceMode = iota
+	// SliceNVS uses the NVS algorithm (isolation + sharing).
+	SliceNVS
+)
+
+func (m SliceMode) String() string {
+	if m == SliceNVS {
+		return "nvs"
+	}
+	return "none"
+}
+
+// UESched selects the per-slice user scheduler.
+type UESched uint8
+
+// User scheduler algorithms.
+const (
+	// SchedPF is proportional fair.
+	SchedPF UESched = iota
+	// SchedRR is round robin.
+	SchedRR
+)
+
+// ParseUESched maps SM string names to scheduler constants.
+func ParseUESched(s string) (UESched, error) {
+	switch s {
+	case "", "pf":
+		return SchedPF, nil
+	case "rr":
+		return SchedRR, nil
+	default:
+		return 0, fmt.Errorf("ran: unknown UE scheduler %q", s)
+	}
+}
+
+type mac struct {
+	mode    SliceMode
+	nvs     *nvs.Scheduler
+	ueSched map[uint32]UESched // per-slice user scheduler
+	rrCur   int                // round-robin rotation cursor
+}
+
+func newMAC() *mac {
+	return &mac{nvs: nvs.NewScheduler(), ueSched: make(map[uint32]UESched)}
+}
+
+// configureSlices installs the NVS slice set and per-slice UE schedulers.
+func (m *mac) configureSlices(cfgs []nvs.Config) error {
+	if err := m.nvs.Admit(cfgs); err != nil {
+		return err
+	}
+	m.mode = SliceNVS
+	for _, c := range cfgs {
+		sched, err := ParseUESched(c.UESched)
+		if err != nil {
+			return err
+		}
+		m.ueSched[c.ID] = sched
+	}
+	return nil
+}
+
+// disableSlicing returns to the shared-pool scheduler.
+func (m *mac) disableSlicing() { m.mode = SliceNone }
+
+// schedule runs one TTI: selects UEs, drains their RLC queues against the
+// cell capacity, and returns total transmitted bits.
+func (m *mac) schedule(ues []*UE, numRB int, now int64) int {
+	switch m.mode {
+	case SliceNVS:
+		return m.scheduleNVS(ues, numRB, now)
+	default:
+		active := activeUEs(ues)
+		return m.scheduleUEs(active, SchedPF, numRB, now)
+	}
+}
+
+func activeUEs(ues []*UE) []*UE {
+	var out []*UE
+	for _, u := range ues {
+		if u.hasData() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (m *mac) scheduleNVS(ues []*UE, numRB int, now int64) int {
+	// Build slice activity from UE queues.
+	active := make(map[uint32]bool)
+	for _, u := range ues {
+		if u.hasData() {
+			active[u.SliceID] = true
+		}
+	}
+	id, ok := m.nvs.Pick(active)
+	if !ok {
+		m.nvs.Update(0, false, 0)
+		return 0
+	}
+	var members []*UE
+	for _, u := range ues {
+		if u.SliceID == id && u.hasData() {
+			members = append(members, u)
+		}
+	}
+	bits := m.scheduleUEs(members, m.ueSched[id], numRB, now)
+	// Achieved rate over the interval in bits/s.
+	m.nvs.Update(id, true, float64(bits)*1000/TTI)
+	return bits
+}
+
+// scheduleUEs distributes numRB blocks among the given UEs using the
+// selected policy and drains their queues. Work-conserving: blocks
+// unused by a drained UE are offered to the others.
+func (m *mac) scheduleUEs(ues []*UE, policy UESched, numRB int, now int64) int {
+	if len(ues) == 0 || numRB <= 0 {
+		return 0
+	}
+	const pfAlpha = 1.0 / 128
+	totalBits := 0
+	remaining := numRB
+	sent := make([]int, len(ues)) // bits granted this TTI, for PF update
+	// Allocate in chunks to bound per-TTI work for large bandwidths.
+	chunk := numRB / (4 * len(ues))
+	if chunk < 1 {
+		chunk = 1
+	}
+	live := len(ues)
+	dead := make([]bool, len(ues))
+	for remaining > 0 && live > 0 {
+		// Pick the next UE per policy.
+		best := -1
+		switch policy {
+		case SchedRR:
+			for i := 0; i < len(ues); i++ {
+				cand := (m.rrCur + i) % len(ues)
+				if !dead[cand] {
+					best = cand
+					m.rrCur = cand + 1
+					break
+				}
+			}
+		default: // PF: max instantaneous-over-average rate
+			bestMetric := -1.0
+			for i, u := range ues {
+				if dead[i] {
+					continue
+				}
+				inst := float64(BitsPerRB(u.MCS))
+				metric := inst / (u.pf + 1e-9)
+				if metric > bestMetric {
+					bestMetric = metric
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rbs := chunk
+		if rbs > remaining {
+			rbs = remaining
+		}
+		u := ues[best]
+		bits := u.drain(rbs, now)
+		totalBits += bits
+		sent[best] += bits
+		remaining -= rbs
+		// Tentatively raise the PF average so subsequent chunks in this
+		// TTI spread across UEs.
+		u.pf += pfAlpha * float64(bits)
+		if !u.hasData() {
+			dead[best] = true
+			live--
+		}
+	}
+	// Finalize PF averages: decay everyone, credit what they received.
+	for _, u := range ues {
+		u.pf = (1 - pfAlpha) * u.pf
+	}
+	return totalBits
+}

@@ -1,0 +1,54 @@
+package ran
+
+// Proto identifies a transport protocol in a packet 5-tuple.
+type Proto uint8
+
+// Transport protocols.
+const (
+	ProtoUDP Proto = 17
+	ProtoTCP Proto = 6
+)
+
+// FiveTuple identifies a flow, as used by the TC SM's OSI classifier
+// (§6.1.1: "source and destination addresses and ports, as well as,
+// protocol").
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Packet is a downlink user-plane packet traversing
+// SDAP → TC → PDCP → RLC → MAC.
+type Packet struct {
+	Flow FiveTuple
+	Size int // bytes
+	Seq  uint64
+	// EnqueueTC/EnqueueRLC are simulator timestamps (ms) stamped as the
+	// packet enters each buffer, for sojourn-time accounting.
+	EnqueueTC  int64
+	EnqueueRLC int64
+	// Sent is when the application handed the packet to the network.
+	Sent int64
+	// onDeliver, if set, is invoked when the MAC completes transmission
+	// (used by traffic sources for ACK/RTT bookkeeping).
+	onDeliver func(p *Packet, now int64)
+	// onDrop, if set, is invoked when a queue discards the packet.
+	onDrop func(p *Packet, now int64)
+}
+
+// Deliver runs the delivery callback.
+func (p *Packet) Deliver(now int64) {
+	if p.onDeliver != nil {
+		p.onDeliver(p, now)
+	}
+}
+
+// Drop runs the drop callback.
+func (p *Packet) Drop(now int64) {
+	if p.onDrop != nil {
+		p.onDrop(p, now)
+	}
+}

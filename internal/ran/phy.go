@@ -1,0 +1,98 @@
+// Package ran implements a slot-driven (1 ms TTI) discrete-event radio
+// access network user-plane simulator: PHY capacity model, MAC scheduling
+// with slice and UE schedulers, RLC buffering (including the bufferbloat
+// dynamics of §6.1.1), PDCP/SDAP accounting, the TC sublayer (classifier,
+// queues, pacer), traffic generation with a loss-based Cubic congestion-
+// control model, and CU/DU disaggregation.
+//
+// It substitutes for the paper's OpenAirInterface 4G/5G user plane and
+// "L2 simulator": the SDK experiments exercise per-TTI statistics
+// generation, slice scheduling and queueing behaviour, all of which this
+// simulator reproduces (see DESIGN.md, substitution table).
+package ran
+
+import "fmt"
+
+// TTI is the transmission time interval in milliseconds. Both 4G and the
+// paper's NR numerology-0 configuration use 1 ms.
+const TTI = 1
+
+// RAT identifies the radio access technology of a cell.
+type RAT uint8
+
+// Supported RATs.
+const (
+	RAT4G RAT = iota
+	RAT5G
+)
+
+func (r RAT) String() string {
+	if r == RAT4G {
+		return "4G"
+	}
+	return "5G"
+}
+
+// MaxMCS is the highest modulation-and-coding-scheme index.
+const MaxMCS = 28
+
+// mcsEfficiency maps MCS index to spectral efficiency in bits per
+// resource element, following the 3GPP 64QAM CQI/MCS tables closely
+// enough for throughput shape (MCS 28 ≈ 5.5 b/RE, MCS 20 ≈ 3.9 b/RE).
+var mcsEfficiency = [MaxMCS + 1]float64{
+	0.15, 0.19, 0.23, 0.30, 0.37, 0.44, 0.59, 0.74, 0.88, 1.03,
+	1.18, 1.33, 1.48, 1.70, 1.91, 2.16, 2.41, 2.57, 2.87, 3.26,
+	3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55, 5.55, 5.55,
+}
+
+// dataREsPerRB is the number of resource elements per resource block per
+// TTI usable for data after control/reference-signal overhead
+// (12 subcarriers × 14 symbols minus ~20 % overhead).
+const dataREsPerRB = 134
+
+// BitsPerRB returns the transport capacity of one resource block in one
+// TTI at the given MCS.
+func BitsPerRB(mcs int) int {
+	if mcs < 0 {
+		mcs = 0
+	}
+	if mcs > MaxMCS {
+		mcs = MaxMCS
+	}
+	return int(mcsEfficiency[mcs] * dataREsPerRB)
+}
+
+// CellCapacityBits returns the aggregate downlink capacity of numRB
+// resource blocks in one TTI at the given MCS.
+func CellCapacityBits(numRB, mcs int) int { return numRB * BitsPerRB(mcs) }
+
+// CQIFromMCS inverts the (approximate) CQI→MCS mapping used by the MAC
+// stats service model: MCS ≈ 2·CQI − 2 ⇒ CQI ≈ (MCS + 2) / 2.
+func CQIFromMCS(mcs int) int {
+	cqi := (mcs + 2) / 2
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > 15 {
+		cqi = 15
+	}
+	return cqi
+}
+
+// PHYConfig describes a cell's radio configuration.
+type PHYConfig struct {
+	RAT RAT
+	// NumRB is the carrier bandwidth in resource blocks (25 ⇒ 5 MHz LTE,
+	// 50 ⇒ 10 MHz LTE, 106 ⇒ 20 MHz NR).
+	NumRB int
+	// Band is informational (e.g. 7 for LTE band 7, 78 for n78).
+	Band int
+}
+
+// Validate checks the configuration.
+func (c PHYConfig) Validate() error {
+	if c.NumRB <= 0 || c.NumRB > 275 {
+		return fmt.Errorf("ran: NumRB %d outside (0,275]", c.NumRB)
+	}
+	return nil
+}

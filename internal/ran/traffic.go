@@ -1,0 +1,229 @@
+package ran
+
+import "math"
+
+// TrafficSource generates downlink packets for one UE. Tick is called
+// once per TTI with the current simulator time; emit injects a packet
+// into the UE's bearer path.
+type TrafficSource interface {
+	Tick(now int64, emit func(*Packet))
+}
+
+// CBR is a constant-bit-rate source: one packet of Size bytes every
+// IntervalMS. With Size=172 and IntervalMS=20 it reproduces the paper's
+// G.711 VoIP flow (irtt, 64 kbps). It records per-packet round-trip
+// times assuming a fixed uplink return delay, like irtt does.
+type CBR struct {
+	Flow       FiveTuple
+	Size       int
+	IntervalMS int64
+	// StartMS delays the first packet.
+	StartMS int64
+	// ReturnDelayMS models the uplink (reply) path; irtt echoes are
+	// small and skip the bloated downlink buffer.
+	ReturnDelayMS int64
+
+	seq     uint64
+	sent    uint64
+	recvd   uint64
+	dropped uint64
+	rtts    []int64
+}
+
+// Tick implements TrafficSource.
+func (c *CBR) Tick(now int64, emit func(*Packet)) {
+	if now < c.StartMS || c.IntervalMS <= 0 {
+		return
+	}
+	if (now-c.StartMS)%c.IntervalMS != 0 {
+		return
+	}
+	c.seq++
+	c.sent++
+	p := &Packet{Flow: c.Flow, Size: c.Size, Seq: c.seq, Sent: now}
+	p.onDeliver = func(p *Packet, dnow int64) {
+		c.recvd++
+		c.rtts = append(c.rtts, (dnow-p.Sent)+c.ReturnDelayMS)
+	}
+	p.onDrop = func(*Packet, int64) { c.dropped++ }
+	emit(p)
+}
+
+// RTTs returns the recorded round-trip samples in ms.
+func (c *CBR) RTTs() []int64 { return c.rtts }
+
+// Counters returns sent/received/dropped packet counts.
+func (c *CBR) Counters() (sent, recvd, dropped uint64) { return c.sent, c.recvd, c.dropped }
+
+// Saturating is an iperf-UDP-like source that emits RateBytesPerMS every
+// TTI, enough to exhaust any slice share when RateBytesPerMS exceeds the
+// cell drain rate.
+type Saturating struct {
+	Flow           FiveTuple
+	PktSize        int
+	RateBytesPerMS int
+	StartMS        int64
+	StopMS         int64 // 0 = never
+
+	seq     uint64
+	carry   int
+	dropped uint64
+}
+
+// Tick implements TrafficSource.
+func (s *Saturating) Tick(now int64, emit func(*Packet)) {
+	if now < s.StartMS || (s.StopMS > 0 && now >= s.StopMS) {
+		return
+	}
+	size := s.PktSize
+	if size <= 0 {
+		size = 1500
+	}
+	budget := s.RateBytesPerMS + s.carry
+	for budget >= size {
+		s.seq++
+		p := &Packet{Flow: s.Flow, Size: size, Seq: s.seq, Sent: now}
+		p.onDrop = func(*Packet, int64) { s.dropped++ }
+		emit(p)
+		budget -= size
+	}
+	s.carry = budget
+}
+
+// Dropped returns packets lost to queue overflow.
+func (s *Saturating) Dropped() uint64 { return s.dropped }
+
+// CubicFlow models a TCP Cubic bulk transfer (the iperf3 flow of
+// §6.1.1). It is loss-based: the window grows until a drop-tail loss in
+// the RLC buffer, so when it shares a FIFO with latency-sensitive
+// traffic it bloats the buffer — the phenomenon of Fig. 11a.
+//
+// The model is self-clocked through the simulator: packets are emitted
+// while bytes in flight are below cwnd; deliveries generate ACKs after
+// AckDelayMS (uplink path); drops trigger Cubic's multiplicative
+// decrease and window-growth epoch reset.
+type CubicFlow struct {
+	Flow FiveTuple
+	// MSS is the segment size (default 1448).
+	MSS int
+	// AckDelayMS is the uplink ACK path delay (default 10 ms).
+	AckDelayMS int64
+	StartMS    int64
+
+	cwnd     float64 // segments
+	ssthresh float64
+	wMax     float64
+	epoch    int64 // epoch start time, -1 when unset
+	inflight int   // segments in flight
+	seq      uint64
+	recover  uint64 // loss-recovery horizon
+
+	acks []pendingAck
+
+	delivered uint64 // segments
+	losses    uint64
+}
+
+type pendingAck struct {
+	due int64
+	seq uint64
+}
+
+// Cubic constants (RFC 8312): C scaling and β multiplicative decrease.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+func (f *CubicFlow) mss() int {
+	if f.MSS > 0 {
+		return f.MSS
+	}
+	return 1448
+}
+
+func (f *CubicFlow) ackDelay() int64 {
+	if f.AckDelayMS > 0 {
+		return f.AckDelayMS
+	}
+	return 10
+}
+
+// Tick implements TrafficSource.
+func (f *CubicFlow) Tick(now int64, emit func(*Packet)) {
+	if now < f.StartMS {
+		return
+	}
+	if f.cwnd == 0 {
+		f.cwnd = 10 // RFC 6928 initial window
+		f.ssthresh = math.Inf(1)
+		f.epoch = -1
+	}
+	// Process due ACKs.
+	i := 0
+	for ; i < len(f.acks) && f.acks[i].due <= now; i++ {
+		f.inflight--
+		f.delivered++
+		f.onAck(now)
+	}
+	if i > 0 {
+		f.acks = append(f.acks[:0], f.acks[i:]...)
+	}
+	// Emit while the window allows.
+	for f.inflight < int(f.cwnd) {
+		f.seq++
+		f.inflight++
+		p := &Packet{Flow: f.Flow, Size: f.mss(), Seq: f.seq, Sent: now}
+		p.onDeliver = func(p *Packet, dnow int64) {
+			f.acks = append(f.acks, pendingAck{due: dnow + f.ackDelay(), seq: p.Seq})
+		}
+		p.onDrop = func(p *Packet, dnow int64) { f.onLoss(p.Seq, dnow) }
+		emit(p)
+	}
+}
+
+// onAck applies Cubic window growth.
+func (f *CubicFlow) onAck(now int64) {
+	if f.cwnd < f.ssthresh {
+		f.cwnd++ // slow start
+		return
+	}
+	if f.epoch < 0 {
+		f.epoch = now
+		if f.wMax < f.cwnd {
+			f.wMax = f.cwnd
+		}
+	}
+	t := float64(now-f.epoch) / 1000.0
+	k := math.Cbrt(f.wMax * (1 - cubicBeta) / cubicC)
+	target := cubicC*math.Pow(t-k, 3) + f.wMax
+	if target > f.cwnd {
+		// Approach the cubic target gradually (per-ACK increase).
+		f.cwnd += (target - f.cwnd) / f.cwnd
+	} else {
+		f.cwnd += 0.01 // TCP-friendly floor
+	}
+}
+
+// onLoss applies multiplicative decrease once per window of loss.
+func (f *CubicFlow) onLoss(seq uint64, now int64) {
+	f.inflight--
+	if seq <= f.recover {
+		return // still recovering from the same loss event
+	}
+	f.losses++
+	f.recover = f.seq
+	f.wMax = f.cwnd
+	f.cwnd *= cubicBeta
+	if f.cwnd < 2 {
+		f.cwnd = 2
+	}
+	f.ssthresh = f.cwnd
+	f.epoch = -1
+}
+
+// Stats returns delivered segments and loss events.
+func (f *CubicFlow) Stats() (delivered, losses uint64) { return f.delivered, f.losses }
+
+// Cwnd returns the current congestion window in segments.
+func (f *CubicFlow) Cwnd() float64 { return f.cwnd }

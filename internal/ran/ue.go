@@ -1,0 +1,144 @@
+package ran
+
+// PDCPStats are the counters exported by the PDCP monitoring SM. (SDAP
+// is accounted with PDCP: the simulator's SDAP is the mapping of flows
+// onto the single default DRB, refined by the TC sublayer.)
+type PDCPStats struct {
+	TxPackets uint64
+	TxBytes   uint64
+	// SDU sizes are informational for the stats SM payloads.
+	LastSDUBytes int
+}
+
+// MACUEStats are the per-UE counters exported by the MAC monitoring SM.
+type MACUEStats struct {
+	RNTI uint16
+	CQI  int
+	MCS  int
+	// RBsUsed is cumulative scheduled resource blocks.
+	RBsUsed uint64
+	// TxBits is cumulative MAC transport bits delivered.
+	TxBits uint64
+	// ThroughputBps is an exponentially-averaged delivered rate.
+	ThroughputBps float64
+}
+
+// UE is one attached user with its downlink bearer path.
+type UE struct {
+	RNTI uint16
+	IMSI string
+	// PLMNID is the selected network ("208.95"), used for
+	// UE-to-controller and UE-to-slice association.
+	PLMNID string
+	// SliceID associates the UE to a scheduling slice.
+	SliceID uint32
+
+	// MCS is the current modulation-and-coding scheme (radio quality).
+	MCS int
+	// channel, when set, drives MCS variation per TTI.
+	channel ChannelProcess
+
+	tc   *TC
+	rlc  *RLCQueue
+	pdcp PDCPStats
+	mac  MACUEStats
+
+	sources []TrafficSource
+
+	// drainEWMA tracks recent RLC drain in bytes/TTI for the BDP pacer.
+	drainEWMA float64
+	// ttiBits/ttiBytes accumulate within the current TTI (a UE may be
+	// drained in several scheduler chunks) and feed the EWMAs once per
+	// slot via finishTTI.
+	ttiBits  int
+	ttiBytes int
+
+	// pf is the proportional-fair average throughput state (bits/TTI).
+	pf float64
+
+	// deliveredBits accumulates for external rate sampling.
+	deliveredBits uint64
+}
+
+func newUE(rnti uint16, imsi, plmn string, mcs int) *UE {
+	ue := &UE{RNTI: rnti, IMSI: imsi, PLMNID: plmn, MCS: mcs}
+	ue.rlc = &RLCQueue{}
+	ue.tc = NewTC(func(p *Packet, now int64) bool {
+		ue.pdcp.TxPackets++
+		ue.pdcp.TxBytes += uint64(p.Size)
+		ue.pdcp.LastSDUBytes = p.Size
+		return ue.rlc.Enqueue(p, now)
+	})
+	ue.mac.RNTI = rnti
+	ue.mac.MCS = mcs
+	ue.mac.CQI = CQIFromMCS(mcs)
+	return ue
+}
+
+// Submit hands a downlink packet to the UE's bearer path (SDAP entry).
+func (u *UE) Submit(p *Packet, now int64) bool { return u.tc.Submit(p, now) }
+
+// AddSource attaches a traffic generator to the UE.
+func (u *UE) AddSource(s TrafficSource) { u.sources = append(u.sources, s) }
+
+// TC exposes the UE's traffic-control sublayer for the TC SM.
+func (u *UE) TC() *TC { return u.tc }
+
+// RLC exposes the UE's RLC queue for the RLC SM.
+func (u *UE) RLC() *RLCQueue { return u.rlc }
+
+// PDCPStats snapshots the PDCP counters.
+func (u *UE) PDCPStats() PDCPStats { return u.pdcp }
+
+// MACStats snapshots the MAC counters.
+func (u *UE) MACStats() MACUEStats {
+	s := u.mac
+	s.MCS = u.MCS
+	s.CQI = CQIFromMCS(u.MCS)
+	return s
+}
+
+// DeliveredBits returns cumulative delivered MAC bits (for throughput
+// sampling by experiments).
+func (u *UE) DeliveredBits() uint64 { return u.deliveredBits }
+
+// hasData reports whether the UE needs scheduling this TTI.
+func (u *UE) hasData() bool { return u.rlc.HasData() }
+
+// tickTraffic generates this TTI's application traffic.
+func (u *UE) tickTraffic(now int64) {
+	for _, s := range u.sources {
+		s.Tick(now, func(p *Packet) { u.Submit(p, now) })
+	}
+}
+
+// pumpTC runs the TC scheduler/pacer for this TTI.
+func (u *UE) pumpTC(now int64) {
+	u.tc.Pump(now, u.rlc.Backlog(), int(u.drainEWMA)+1)
+}
+
+// drain transmits up to rbs resource blocks worth of data and updates
+// MAC accounting. It returns the bits actually sent. A UE may be
+// drained several times within one TTI (scheduler chunks); per-TTI rate
+// statistics are finalized by finishTTI.
+func (u *UE) drain(rbs int, now int64) int {
+	budgetBits := rbs * BitsPerRB(u.MCS)
+	usedBytes := u.rlc.Drain(budgetBits/8, now)
+	bits := usedBytes * 8
+	u.mac.RBsUsed += uint64(rbs)
+	u.mac.TxBits += uint64(bits)
+	u.deliveredBits += uint64(bits)
+	u.ttiBits += bits
+	u.ttiBytes += usedBytes
+	return bits
+}
+
+// finishTTI folds the slot's transmissions into the rate EWMAs; called
+// once per TTI for every attached UE (idle slots decay the averages).
+func (u *UE) finishTTI() {
+	const alpha = 1.0 / 64
+	u.drainEWMA = (1-alpha)*u.drainEWMA + alpha*float64(u.ttiBytes)
+	u.mac.ThroughputBps = (1-alpha)*u.mac.ThroughputBps + alpha*float64(u.ttiBits)*1000/TTI
+	u.ttiBits = 0
+	u.ttiBytes = 0
+}

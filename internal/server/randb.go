@@ -1,0 +1,146 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"flexric/internal/e2ap"
+)
+
+// RANDB is the RAN database of §4.2.2: it stores information about the
+// composition of the RAN network and "handles disaggregated deployments
+// by merging agents that belong to the same base station (e.g., CU agent
+// and DU agent) into the same RAN entity ... and provides events to
+// signal when a complete RAN is formed from disaggregated entities."
+type RANDB struct {
+	mu         sync.Mutex
+	entities   map[entityKey]*RANEntity
+	completeCB []func(RANEntity)
+}
+
+type entityKey struct {
+	plmn   e2ap.PLMN
+	nodeID uint64
+}
+
+// RANEntity is one logical base station, possibly assembled from
+// multiple agents (CU + DU).
+type RANEntity struct {
+	PLMN   e2ap.PLMN
+	NodeID uint64
+	// Parts maps node type to the agent serving it.
+	Parts map[e2ap.NodeType]AgentID
+	// Complete is true when the entity covers a full user plane.
+	Complete bool
+	// notified guards the one-shot completion event.
+	notified bool
+}
+
+// clone returns a copy safe to hand to callbacks.
+func (e *RANEntity) clone() RANEntity {
+	parts := make(map[e2ap.NodeType]AgentID, len(e.Parts))
+	for k, v := range e.Parts {
+		parts[k] = v
+	}
+	return RANEntity{PLMN: e.PLMN, NodeID: e.NodeID, Parts: parts, Complete: e.Complete}
+}
+
+// isComplete: a monolithic node alone, or a CU+DU pair, forms a full
+// user plane.
+func (e *RANEntity) isComplete() bool {
+	if _, ok := e.Parts[e2ap.NodeENB]; ok {
+		return true
+	}
+	if _, ok := e.Parts[e2ap.NodeGNB]; ok {
+		return true
+	}
+	_, cu := e.Parts[e2ap.NodeCU]
+	_, du := e.Parts[e2ap.NodeDU]
+	return cu && du
+}
+
+func newRANDB() *RANDB {
+	return &RANDB{entities: make(map[entityKey]*RANEntity)}
+}
+
+func (db *RANDB) onComplete(f func(RANEntity)) {
+	db.mu.Lock()
+	db.completeCB = append(db.completeCB, f)
+	db.mu.Unlock()
+}
+
+func (db *RANDB) addAgent(info AgentInfo) {
+	key := entityKey{plmn: info.NodeID.PLMN, nodeID: info.NodeID.NodeID}
+	db.mu.Lock()
+	ent := db.entities[key]
+	if ent == nil {
+		ent = &RANEntity{
+			PLMN:   info.NodeID.PLMN,
+			NodeID: info.NodeID.NodeID,
+			Parts:  make(map[e2ap.NodeType]AgentID),
+		}
+		db.entities[key] = ent
+	}
+	ent.Parts[info.NodeID.Type] = info.ID
+	ent.Complete = ent.isComplete()
+	var fire []func(RANEntity)
+	var snapshot RANEntity
+	if ent.Complete && !ent.notified {
+		ent.notified = true
+		fire = append(fire, db.completeCB...)
+		snapshot = ent.clone()
+	}
+	db.mu.Unlock()
+	for _, f := range fire {
+		f(snapshot)
+	}
+}
+
+func (db *RANDB) removeAgent(info AgentInfo) {
+	key := entityKey{plmn: info.NodeID.PLMN, nodeID: info.NodeID.NodeID}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ent := db.entities[key]
+	if ent == nil {
+		return
+	}
+	if ent.Parts[info.NodeID.Type] == info.ID {
+		delete(ent.Parts, info.NodeID.Type)
+	}
+	if len(ent.Parts) == 0 {
+		delete(db.entities, key)
+		return
+	}
+	ent.Complete = ent.isComplete()
+	if !ent.Complete {
+		ent.notified = false // completion may fire again after re-attach
+	}
+}
+
+// Entities returns the current RAN entities, ordered by node ID.
+func (db *RANDB) Entities() []RANEntity {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]RANEntity, 0, len(db.entities))
+	for _, e := range db.entities {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PLMN != out[j].PLMN {
+			return out[i].PLMN.MCC < out[j].PLMN.MCC ||
+				(out[i].PLMN.MCC == out[j].PLMN.MCC && out[i].PLMN.MNC < out[j].PLMN.MNC)
+		}
+		return out[i].NodeID < out[j].NodeID
+	})
+	return out
+}
+
+// Entity looks up one RAN entity.
+func (db *RANDB) Entity(plmn e2ap.PLMN, nodeID uint64) (RANEntity, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if e, ok := db.entities[entityKey{plmn: plmn, nodeID: nodeID}]; ok {
+		return e.clone(), true
+	}
+	return RANEntity{}, false
+}

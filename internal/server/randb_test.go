@@ -1,0 +1,103 @@
+package server
+
+import (
+	"testing"
+
+	"flexric/internal/e2ap"
+)
+
+func info(id AgentID, t e2ap.NodeType, nodeID uint64) AgentInfo {
+	return AgentInfo{
+		ID:     id,
+		NodeID: e2ap.GlobalE2NodeID{PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: t, NodeID: nodeID},
+	}
+}
+
+func TestRANDBCompletionFiresOncePerCycle(t *testing.T) {
+	db := newRANDB()
+	fired := 0
+	db.onComplete(func(RANEntity) { fired++ })
+
+	cu := info(1, e2ap.NodeCU, 5)
+	du := info(2, e2ap.NodeDU, 5)
+	db.addAgent(cu)
+	if fired != 0 {
+		t.Fatal("CU alone must not complete")
+	}
+	db.addAgent(du)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	// Re-adding a part must not re-fire.
+	db.addAgent(du)
+	if fired != 1 {
+		t.Fatalf("re-add fired again: %d", fired)
+	}
+	// DU drops: entity incomplete; DU returns: completion fires again.
+	db.removeAgent(du)
+	ent, ok := db.Entity(e2ap.PLMN{MCC: 208, MNC: 95}, 5)
+	if !ok || ent.Complete {
+		t.Fatalf("entity after DU loss: %+v %v", ent, ok)
+	}
+	db.addAgent(du)
+	if fired != 2 {
+		t.Fatalf("re-completion fired %d, want 2", fired)
+	}
+}
+
+func TestRANDBRemoveLastPartDeletesEntity(t *testing.T) {
+	db := newRANDB()
+	enb := info(3, e2ap.NodeENB, 9)
+	db.addAgent(enb)
+	if len(db.Entities()) != 1 {
+		t.Fatal("entity missing")
+	}
+	db.removeAgent(enb)
+	if len(db.Entities()) != 0 {
+		t.Fatal("entity not deleted")
+	}
+	// Removing from an empty DB is harmless.
+	db.removeAgent(enb)
+}
+
+func TestRANDBRemoveWrongAgentIDKeepsPart(t *testing.T) {
+	// If a newer agent replaced the same node part, removing the stale
+	// agent must not evict the replacement.
+	db := newRANDB()
+	old := info(1, e2ap.NodeENB, 4)
+	db.addAgent(old)
+	replacement := info(7, e2ap.NodeENB, 4)
+	db.addAgent(replacement)
+	db.removeAgent(old) // stale: part now owned by agent 7
+	ent, ok := db.Entity(e2ap.PLMN{MCC: 208, MNC: 95}, 4)
+	if !ok || ent.Parts[e2ap.NodeENB] != 7 {
+		t.Fatalf("replacement evicted: %+v %v", ent, ok)
+	}
+}
+
+func TestRANDBEntitiesSorted(t *testing.T) {
+	db := newRANDB()
+	db.addAgent(info(1, e2ap.NodeENB, 20))
+	db.addAgent(info(2, e2ap.NodeENB, 3))
+	db.addAgent(info(3, e2ap.NodeENB, 11))
+	ents := db.Entities()
+	if len(ents) != 3 {
+		t.Fatalf("entities: %d", len(ents))
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].NodeID > ents[i].NodeID {
+			t.Fatalf("not sorted: %+v", ents)
+		}
+	}
+}
+
+func TestRANDBCloneIsolation(t *testing.T) {
+	db := newRANDB()
+	db.addAgent(info(1, e2ap.NodeCU, 2))
+	ent, _ := db.Entity(e2ap.PLMN{MCC: 208, MNC: 95}, 2)
+	ent.Parts[e2ap.NodeDU] = 99 // mutate the clone
+	fresh, _ := db.Entity(e2ap.PLMN{MCC: 208, MNC: 95}, 2)
+	if _, leaked := fresh.Parts[e2ap.NodeDU]; leaked {
+		t.Fatal("clone mutation leaked into the database")
+	}
+}

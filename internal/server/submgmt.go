@@ -1,0 +1,173 @@
+package server
+
+import (
+	"sync"
+
+	"flexric/internal/e2ap"
+)
+
+// subManager is the subscription management of §4.2.2: it "(i) keeps
+// track of existing subscriptions and (ii) delivers arriving
+// subscription-related messages to the corresponding iApps". Lookup on
+// the indication hot path is a single map access keyed by
+// (agent, request ID) read from the message envelope.
+type subManager struct {
+	mu       sync.Mutex
+	subs     map[SubID]*subscription
+	controls map[SubID]func(outcome []byte, err error)
+	// Requestor namespaces: subscriptions and controls use distinct
+	// requestor IDs so their instance counters are independent.
+	subSeq  uint16
+	ctlSeq  uint16
+	fafSeq  uint16
+	dropped uint64 // indications without a matching subscription
+}
+
+// Requestor namespaces for RequestID.Requestor.
+const (
+	requestorSub     = 1
+	requestorControl = 2
+	requestorFaF     = 3 // fire-and-forget controls
+)
+
+type subscription struct {
+	cb SubscriptionCallbacks
+}
+
+func newSubManager() *subManager {
+	return &subManager{
+		subs:     make(map[SubID]*subscription),
+		controls: make(map[SubID]func([]byte, error)),
+	}
+}
+
+func (m *subManager) create(agent AgentID, cb SubscriptionCallbacks) e2ap.RequestID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subSeq++
+	req := e2ap.RequestID{Requestor: requestorSub, Instance: m.subSeq}
+	m.subs[SubID{Agent: agent, Req: req}] = &subscription{cb: cb}
+	return req
+}
+
+func (m *subManager) remove(id SubID) {
+	m.mu.Lock()
+	delete(m.subs, id)
+	m.mu.Unlock()
+}
+
+func (m *subManager) createControl(agent AgentID, done func([]byte, error)) e2ap.RequestID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctlSeq++
+	req := e2ap.RequestID{Requestor: requestorControl, Instance: m.ctlSeq}
+	m.controls[SubID{Agent: agent, Req: req}] = done
+	return req
+}
+
+func (m *subManager) nextFireAndForget() e2ap.RequestID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fafSeq++
+	return e2ap.RequestID{Requestor: requestorFaF, Instance: m.fafSeq}
+}
+
+// dispatchIndication routes an indication envelope to its subscriber.
+// This is the server's hottest path (§5.3): one lock, one map lookup,
+// one callback.
+func (m *subManager) dispatchIndication(agent AgentID, env e2ap.Envelope) {
+	id := SubID{Agent: agent, Req: env.RequestID()}
+	m.mu.Lock()
+	sub := m.subs[id]
+	m.mu.Unlock()
+	if sub == nil || sub.cb.OnIndication == nil {
+		m.mu.Lock()
+		m.dropped++
+		m.mu.Unlock()
+		return
+	}
+	sub.cb.OnIndication(IndicationEvent{Agent: agent, Env: env})
+}
+
+func (m *subManager) handleSubResponse(agent AgentID, resp *e2ap.SubscriptionResponse) {
+	m.mu.Lock()
+	sub := m.subs[SubID{Agent: agent, Req: resp.RequestID}]
+	m.mu.Unlock()
+	if sub != nil && sub.cb.OnAdmitted != nil {
+		sub.cb.OnAdmitted(resp)
+	}
+}
+
+func (m *subManager) handleSubFailure(agent AgentID, f *e2ap.SubscriptionFailure) {
+	id := SubID{Agent: agent, Req: f.RequestID}
+	m.mu.Lock()
+	sub := m.subs[id]
+	delete(m.subs, id)
+	m.mu.Unlock()
+	if sub != nil && sub.cb.OnFailure != nil {
+		sub.cb.OnFailure(f.Cause)
+	}
+}
+
+func (m *subManager) handleSubDeleted(agent AgentID, req e2ap.RequestID) {
+	id := SubID{Agent: agent, Req: req}
+	m.mu.Lock()
+	sub := m.subs[id]
+	delete(m.subs, id)
+	m.mu.Unlock()
+	if sub != nil && sub.cb.OnDeleted != nil {
+		sub.cb.OnDeleted()
+	}
+}
+
+func (m *subManager) handleControlOutcome(agent AgentID, req e2ap.RequestID, outcome []byte, err error) {
+	id := SubID{Agent: agent, Req: req}
+	m.mu.Lock()
+	done := m.controls[id]
+	delete(m.controls, id)
+	m.mu.Unlock()
+	if done != nil {
+		if err != nil {
+			done(outcome, err)
+		} else {
+			done(outcome, nil)
+		}
+	}
+}
+
+// dropAgent discards all state for a disconnected agent, notifying
+// subscribers via OnDeleted and pending controls via an error.
+func (m *subManager) dropAgent(agent AgentID) {
+	m.mu.Lock()
+	var deleted []*subscription
+	for id, sub := range m.subs {
+		if id.Agent == agent {
+			deleted = append(deleted, sub)
+			delete(m.subs, id)
+		}
+	}
+	var aborted []func([]byte, error)
+	for id, done := range m.controls {
+		if id.Agent == agent {
+			aborted = append(aborted, done)
+			delete(m.controls, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, sub := range deleted {
+		if sub.cb.OnDeleted != nil {
+			sub.cb.OnDeleted()
+		}
+	}
+	for _, done := range aborted {
+		done(nil, ErrClosed)
+	}
+}
+
+// DroppedIndications reports indications that arrived without a matching
+// subscription (diagnostics).
+func (m *subManager) droppedCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}

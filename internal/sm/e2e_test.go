@@ -1,0 +1,397 @@
+package sm_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/nvs"
+	"flexric/internal/ran"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+	"flexric/internal/transport"
+)
+
+// testBS bundles a simulated base station with a FlexRIC agent exposing
+// the full SM bundle, the composition of Fig. 3.
+type testBS struct {
+	cell  *ran.Cell
+	agent *agent.Agent
+	fns   []agent.RANFunction
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func startBS(t *testing.T, addr string, scheme sm.Scheme) *testBS {
+	t.Helper()
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT4G, NumRB: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: 1},
+	})
+	bs := &testBS{cell: cell, agent: a, stop: make(chan struct{}), done: make(chan struct{})}
+	bs.fns = []agent.RANFunction{
+		sm.NewMACStats(cell, scheme, a),
+		sm.NewRLCStats(cell, scheme, a),
+		sm.NewPDCPStats(cell, scheme, a),
+		sm.NewSliceCtrl(cell, scheme),
+		sm.NewTCCtrl(cell, scheme, a),
+		sm.NewRRC(cell, scheme, a),
+		sm.NewKPM(cell, scheme),
+		sm.NewHW(),
+	}
+	for _, fn := range bs.fns {
+		if err := a.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Real-time slot loop: 1 TTI per iteration, yielding so the test
+	// stays fast while preserving slot semantics.
+	go func() {
+		defer close(bs.done)
+		for {
+			select {
+			case <-bs.stop:
+				return
+			default:
+			}
+			cell.Step(1)
+			sm.TickAll(bs.fns, cell.Now())
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	t.Cleanup(func() {
+		close(bs.stop)
+		<-bs.done
+		a.Close()
+	})
+	return bs
+}
+
+func startRIC(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	s := server.New(server.Config{Transport: transport.KindSCTPish})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func waitAgents(t *testing.T, s *server.Server, n int) server.AgentID {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ags := s.Agents(); len(ags) >= n {
+			return ags[0].ID
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("agents did not connect")
+	return 0
+}
+
+func TestMACStatsEndToEnd(t *testing.T) {
+	for _, scheme := range []sm.Scheme{sm.SchemeASN, sm.SchemeFB} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			s, addr := startRIC(t)
+			bs := startBS(t, addr, scheme)
+			if _, err := bs.cell.Attach(1, "imsi-1", "208.95", 28); err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.cell.AddTraffic(1, &ran.Saturating{Flow: ran.FiveTuple{DstIP: 1}, RateBytesPerMS: 10000}); err != nil {
+				t.Fatal(err)
+			}
+			agentID := waitAgents(t, s, 1)
+
+			var reports atomic.Int64
+			var lastTx atomic.Uint64
+			_, err := s.Subscribe(agentID, sm.IDMACStats,
+				sm.EncodeTrigger(scheme, sm.Trigger{PeriodMS: 1}),
+				[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport}},
+				server.SubscriptionCallbacks{
+					OnIndication: func(ev server.IndicationEvent) {
+						rep, err := sm.DecodeMACReport(ev.Env.IndicationPayload())
+						if err != nil {
+							t.Errorf("decode: %v", err)
+							return
+						}
+						if len(rep.UEs) == 1 && rep.UEs[0].RNTI == 1 {
+							lastTx.Store(rep.UEs[0].TxBits)
+							reports.Add(1)
+						}
+					},
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) && (reports.Load() < 50 || lastTx.Load() == 0) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if reports.Load() < 50 {
+				t.Fatalf("only %d reports", reports.Load())
+			}
+			if lastTx.Load() == 0 {
+				t.Fatal("MAC TxBits never became nonzero")
+			}
+		})
+	}
+}
+
+func TestSliceControlEndToEnd(t *testing.T) {
+	s, addr := startRIC(t)
+	bs := startBS(t, addr, sm.SchemeASN)
+	if _, err := bs.cell.Attach(1, "", "208.95", 28); err != nil {
+		t.Fatal(err)
+	}
+	agentID := waitAgents(t, s, 1)
+
+	apply := func(c *sm.SliceControl) error {
+		errCh := make(chan error, 1)
+		if err := s.Control(agentID, sm.IDSliceCtrl, nil,
+			sm.EncodeSliceControl(sm.SchemeASN, c), true,
+			func(_ []byte, err error) { errCh <- err }); err != nil {
+			return err
+		}
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(5 * time.Second):
+			t.Fatal("control timeout")
+			return nil
+		}
+	}
+
+	cfg := &sm.SliceControl{
+		Op: sm.OpConfigureSlices,
+		Slices: sm.ParamsFromNVS([]nvs.Config{
+			{ID: 1, Kind: nvs.KindCapacity, Capacity: 0.5, UESched: "pf"},
+			{ID: 2, Kind: nvs.KindCapacity, Capacity: 0.5, UESched: "pf"},
+		}),
+	}
+	if err := apply(cfg); err != nil {
+		t.Fatalf("configure: %v", err)
+	}
+	if bs.cell.SliceMode() != ran.SliceNVS || len(bs.cell.Slices()) != 2 {
+		t.Fatalf("cell not sliced: %v %d", bs.cell.SliceMode(), len(bs.cell.Slices()))
+	}
+	if err := apply(&sm.SliceControl{Op: sm.OpAssociateUE, RNTI: 1, SliceID: 2}); err != nil {
+		t.Fatalf("associate: %v", err)
+	}
+	if bs.cell.UE(1).SliceID != 2 {
+		t.Fatal("association not applied")
+	}
+	// Overbooked configuration must fail admission control at the SM.
+	bad := &sm.SliceControl{
+		Op: sm.OpConfigureSlices,
+		Slices: sm.ParamsFromNVS([]nvs.Config{
+			{ID: 1, Kind: nvs.KindCapacity, Capacity: 0.7},
+			{ID: 2, Kind: nvs.KindCapacity, Capacity: 0.7},
+		}),
+	}
+	if err := apply(bad); err == nil {
+		t.Fatal("overbooked slice set must be rejected")
+	}
+	if err := apply(&sm.SliceControl{Op: sm.OpDisableSlicing}); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	if bs.cell.SliceMode() != ran.SliceNone {
+		t.Fatal("slicing not disabled")
+	}
+}
+
+func TestTCControlEndToEnd(t *testing.T) {
+	s, addr := startRIC(t)
+	bs := startBS(t, addr, sm.SchemeFB)
+	if _, err := bs.cell.Attach(1, "", "208.95", 28); err != nil {
+		t.Fatal(err)
+	}
+	agentID := waitAgents(t, s, 1)
+
+	do := func(c *sm.TCControl) ([]byte, error) {
+		type res struct {
+			out []byte
+			err error
+		}
+		ch := make(chan res, 1)
+		if err := s.Control(agentID, sm.IDTrafficCtrl, nil,
+			sm.EncodeTCControl(sm.SchemeFB, c), true,
+			func(out []byte, err error) { ch <- res{out, err} }); err != nil {
+			return nil, err
+		}
+		select {
+		case r := <-ch:
+			return r.out, r.err
+		case <-time.After(5 * time.Second):
+			t.Fatal("control timeout")
+			return nil, nil
+		}
+	}
+
+	out, err := do(&sm.TCControl{Op: sm.OpAddQueue, RNTI: 1})
+	if err != nil {
+		t.Fatalf("add queue: %v", err)
+	}
+	oc, err := sm.DecodeTCOutcome(out)
+	if err != nil || oc.Queue != 1 {
+		t.Fatalf("outcome: %+v %v", oc, err)
+	}
+	if _, err := do(&sm.TCControl{
+		Op: sm.OpAddFilter, RNTI: 1, Queue: oc.Queue,
+		DstPort: 5060, Proto: 17, MatchProto: true,
+	}); err != nil {
+		t.Fatalf("add filter: %v", err)
+	}
+	if _, err := do(&sm.TCControl{Op: sm.OpSetPacer, RNTI: 1, Pacer: uint8(ran.PacerBDP), PacerTargetMS: 4}); err != nil {
+		t.Fatalf("set pacer: %v", err)
+	}
+	var st ran.TCStats
+	if err := bs.cell.WithUE(1, func(u *ran.UE) error {
+		st = u.TC().Stats()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "active" || len(st.Queues) != 2 || st.Filters != 1 || st.Pacer != ran.PacerBDP {
+		t.Fatalf("TC state: %+v", st)
+	}
+	// Control for an unknown UE fails.
+	if _, err := do(&sm.TCControl{Op: sm.OpAddQueue, RNTI: 99}); err == nil {
+		t.Fatal("unknown UE must fail")
+	}
+}
+
+func TestRRCNotificationEndToEnd(t *testing.T) {
+	s, addr := startRIC(t)
+	bs := startBS(t, addr, sm.SchemeASN)
+	agentID := waitAgents(t, s, 1)
+
+	events := make(chan *sm.RRCEvent, 4)
+	if _, err := s.Subscribe(agentID, sm.IDRRC,
+		sm.EncodeTrigger(sm.SchemeASN, sm.Trigger{PeriodMS: 1}), nil,
+		server.SubscriptionCallbacks{
+			OnIndication: func(ev server.IndicationEvent) {
+				e, err := sm.DecodeRRCEvent(ev.Env.IndicationPayload())
+				if err == nil {
+					events <- e
+				}
+			},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the subscription a moment to be admitted before attaching.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := bs.cell.Attach(33, "imsi-33", "208.95", 20); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-events:
+		if e.Kind != sm.RRCAttach || e.RNTI != 33 || e.PLMNID != "208.95" {
+			t.Fatalf("event: %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no RRC attach notification")
+	}
+}
+
+func TestHWPingEndToEnd(t *testing.T) {
+	s, addr := startRIC(t)
+	startBS(t, addr, sm.SchemeASN)
+	agentID := waitAgents(t, s, 1)
+
+	pongs := make(chan *sm.HWPing, 4)
+	if _, err := s.Subscribe(agentID, sm.IDHelloWorld, sm.EncodeTrigger(sm.SchemeASN, sm.Trigger{PeriodMS: 1}), nil,
+		server.SubscriptionCallbacks{
+			OnIndication: func(ev server.IndicationEvent) {
+				p, err := sm.DecodeHWPing(ev.Env.IndicationPayload())
+				if err == nil {
+					pongs <- p
+				}
+			},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	ping := &sm.HWPing{Seq: 7, T0: time.Now().UnixNano(), Data: make([]byte, 100)}
+	if err := s.Control(agentID, sm.IDHelloWorld, nil, sm.EncodeHWPing(sm.SchemeASN, ping), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-pongs:
+		if p.Seq != 7 || p.T0 != ping.T0 {
+			t.Fatalf("pong: %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no pong")
+	}
+}
+
+func TestStatsSubscriptionDelete(t *testing.T) {
+	s, addr := startRIC(t)
+	bs := startBS(t, addr, sm.SchemeASN)
+	agentID := waitAgents(t, s, 1)
+	macFn := bs.fns[0].(*sm.StatsFunction)
+
+	var count atomic.Int64
+	sub, err := s.Subscribe(agentID, sm.IDMACStats,
+		sm.EncodeTrigger(sm.SchemeASN, sm.Trigger{PeriodMS: 1}), nil,
+		server.SubscriptionCallbacks{
+			OnIndication: func(server.IndicationEvent) { count.Add(1) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && count.Load() < 10 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if count.Load() < 10 {
+		t.Fatal("no reports flowing")
+	}
+	if macFn.Subscriptions() != 1 {
+		t.Fatalf("agent-side subscriptions: %d", macFn.Subscriptions())
+	}
+	if err := s.Unsubscribe(sub, sm.IDMACStats); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && macFn.Subscriptions() != 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if macFn.Subscriptions() != 0 {
+		t.Fatal("agent-side subscription not removed")
+	}
+	// Reports stop (allow in-flight drain).
+	time.Sleep(50 * time.Millisecond)
+	before := count.Load()
+	time.Sleep(100 * time.Millisecond)
+	if count.Load() != before {
+		t.Fatal("reports kept flowing after unsubscribe")
+	}
+}
+
+func TestZeroPeriodRejected(t *testing.T) {
+	s, addr := startRIC(t)
+	startBS(t, addr, sm.SchemeASN)
+	agentID := waitAgents(t, s, 1)
+	failed := make(chan e2ap.Cause, 1)
+	if _, err := s.Subscribe(agentID, sm.IDMACStats,
+		sm.EncodeTrigger(sm.SchemeASN, sm.Trigger{PeriodMS: 0}), nil,
+		server.SubscriptionCallbacks{OnFailure: func(c e2ap.Cause) { failed <- c }}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("zero period must be rejected")
+	}
+}

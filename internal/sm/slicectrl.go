@@ -1,0 +1,393 @@
+package sm
+
+import (
+	"fmt"
+	"math"
+
+	"flexric/internal/encoding/asn1per"
+	"flexric/internal/encoding/flat"
+	"flexric/internal/nvs"
+)
+
+// The slicing control SM (SC SM, §6.1.2) "abstracts the slice
+// configuration ... The SM allows to configure the slice algorithm
+// (setting the slice scheduler) and a list of slices with
+// algorithm-specific parameters (selecting the user scheduler and
+// configuring its available resources)." It is RAT-independent: the same
+// messages drive 4G and 5G cells (the multi-RAT property of Fig. 15).
+
+// SliceOp is the SC SM control operation, carried in the control header.
+type SliceOp uint8
+
+// SC SM operations.
+const (
+	// OpConfigureSlices installs a complete slice set.
+	OpConfigureSlices SliceOp = iota + 1
+	// OpAssociateUE assigns a UE to a slice.
+	OpAssociateUE
+	// OpDisableSlicing returns to the shared scheduler pool.
+	OpDisableSlicing
+)
+
+// SliceParams describes one slice, mirroring nvs.Config in SM terms.
+type SliceParams struct {
+	ID        uint32
+	Kind      uint8 // 0 = capacity, 1 = rate
+	CapacityQ uint32
+	RateRsv   float64
+	RateRef   float64
+	NoSharing bool
+	UESched   string
+}
+
+// capacityScale fixes the SM wire representation of capacity fractions
+// (parts per million).
+const capacityScale = 1_000_000
+
+// ParamsFromNVS converts scheduler configs to SM wire parameters.
+func ParamsFromNVS(cfgs []nvs.Config) []SliceParams {
+	out := make([]SliceParams, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = SliceParams{
+			ID:        c.ID,
+			Kind:      uint8(c.Kind),
+			CapacityQ: uint32(math.Round(c.Capacity * capacityScale)),
+			RateRsv:   c.RateRsv,
+			RateRef:   c.RateRef,
+			NoSharing: c.NoSharing,
+			UESched:   c.UESched,
+		}
+	}
+	return out
+}
+
+// ToNVS converts SM wire parameters to scheduler configs.
+func ToNVS(ps []SliceParams) []nvs.Config {
+	out := make([]nvs.Config, len(ps))
+	for i, p := range ps {
+		out[i] = nvs.Config{
+			ID:        p.ID,
+			Kind:      nvs.SliceKind(p.Kind),
+			Capacity:  float64(p.CapacityQ) / capacityScale,
+			RateRsv:   p.RateRsv,
+			RateRef:   p.RateRef,
+			NoSharing: p.NoSharing,
+			UESched:   p.UESched,
+		}
+	}
+	return out
+}
+
+// SliceControl is the SC SM control payload.
+type SliceControl struct {
+	Op SliceOp
+	// Slices is the complete slice set for OpConfigureSlices.
+	Slices []SliceParams
+	// RNTI/SliceID are the association for OpAssociateUE.
+	RNTI    uint16
+	SliceID uint32
+}
+
+// EncodeSliceControl serializes an SC SM control payload.
+func EncodeSliceControl(s Scheme, c *SliceControl) []byte {
+	switch s {
+	case SchemeFB:
+		b := newFB(64 + 48*len(c.Slices))
+		refs := make([]uint32, len(c.Slices))
+		for i, sl := range c.Slices {
+			sched := b.CreateString(sl.UESched)
+			b.StartTable(7)
+			b.AddUint32(0, sl.ID)
+			b.AddUint8(1, sl.Kind)
+			b.AddUint32(2, sl.CapacityQ)
+			b.AddFloat64(3, sl.RateRsv)
+			b.AddFloat64(4, sl.RateRef)
+			b.AddBool(5, sl.NoSharing)
+			b.AddRef(6, sched)
+			refs[i] = b.EndTable()
+		}
+		vec := b.CreateRefVector(refs)
+		b.StartTable(4)
+		b.AddUint8(0, uint8(c.Op))
+		b.AddRef(1, vec)
+		b.AddUint32(2, uint32(c.RNTI))
+		b.AddUint32(3, c.SliceID)
+		b.Finish(b.EndTable())
+		return fbBytes(b)
+	default:
+		w := newPER(32 + 48*len(c.Slices))
+		w.WriteBits(uint64(c.Op), 8)
+		w.WriteLength(len(c.Slices))
+		for _, sl := range c.Slices {
+			w.WriteBits(uint64(sl.ID), 32)
+			w.WriteBits(uint64(sl.Kind), 8)
+			w.WriteBits(uint64(sl.CapacityQ), 32)
+			w.WriteFloat(sl.RateRsv)
+			w.WriteFloat(sl.RateRef)
+			w.WriteBool(sl.NoSharing)
+			w.WriteString(sl.UESched)
+		}
+		w.WriteBits(uint64(c.RNTI), 16)
+		w.WriteBits(uint64(c.SliceID), 32)
+		return append([]byte(nil), w.Bytes()...)
+	}
+}
+
+// DecodeSliceControl parses an SC SM control payload.
+func DecodeSliceControl(b []byte) (*SliceControl, error) {
+	s, body, err := schemeOf(b)
+	if err != nil {
+		return nil, err
+	}
+	switch s {
+	case SchemeFB:
+		tab, err := flat.GetRoot(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		c := &SliceControl{
+			Op:      SliceOp(tab.Uint8(0)),
+			RNTI:    uint16(tab.Uint32(2)),
+			SliceID: tab.Uint32(3),
+		}
+		n := tab.VectorLen(1)
+		if n > 0 {
+			c.Slices = make([]SliceParams, n)
+			for i := 0; i < n; i++ {
+				st := tab.RefVectorAt(1, i)
+				c.Slices[i] = SliceParams{
+					ID:        st.Uint32(0),
+					Kind:      st.Uint8(1),
+					CapacityQ: st.Uint32(2),
+					RateRsv:   st.Float64(3),
+					RateRef:   st.Float64(4),
+					NoSharing: st.Bool(5),
+					UESched:   st.String(6),
+				}
+			}
+		}
+		return c, nil
+	default:
+		rd := asn1per.NewReader(body)
+		c := &SliceControl{}
+		v, err := rd.ReadBits(8)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		c.Op = SliceOp(v)
+		n, err := rd.ReadCount()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		if n > 0 {
+			c.Slices = make([]SliceParams, n)
+			for i := range c.Slices {
+				sl := &c.Slices[i]
+				if v, err = rd.ReadBits(32); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.ID = uint32(v)
+				if v, err = rd.ReadBits(8); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.Kind = uint8(v)
+				if v, err = rd.ReadBits(32); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.CapacityQ = uint32(v)
+				if sl.RateRsv, err = rd.ReadFloat(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.RateRef, err = rd.ReadFloat(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.NoSharing, err = rd.ReadBool(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.UESched, err = rd.ReadString(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+			}
+		}
+		if v, err = rd.ReadBits(16); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		c.RNTI = uint16(v)
+		if v, err = rd.ReadBits(32); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		c.SliceID = uint32(v)
+		return c, nil
+	}
+}
+
+// SliceStatus is the SC SM report payload: the installed configuration
+// plus UE associations.
+type SliceStatus struct {
+	Algo   string // "nvs" or "none"
+	Slices []SliceParams
+	UEs    []UESliceAssoc
+}
+
+// UESliceAssoc reports one UE's slice membership.
+type UESliceAssoc struct {
+	RNTI    uint16
+	SliceID uint32
+}
+
+// EncodeSliceStatus serializes an SC SM status report.
+func EncodeSliceStatus(s Scheme, st *SliceStatus) []byte {
+	switch s {
+	case SchemeFB:
+		b := newFB(128)
+		algo := b.CreateString(st.Algo)
+		srefs := make([]uint32, len(st.Slices))
+		for i, sl := range st.Slices {
+			sched := b.CreateString(sl.UESched)
+			b.StartTable(7)
+			b.AddUint32(0, sl.ID)
+			b.AddUint8(1, sl.Kind)
+			b.AddUint32(2, sl.CapacityQ)
+			b.AddFloat64(3, sl.RateRsv)
+			b.AddFloat64(4, sl.RateRef)
+			b.AddBool(5, sl.NoSharing)
+			b.AddRef(6, sched)
+			srefs[i] = b.EndTable()
+		}
+		svec := b.CreateRefVector(srefs)
+		urefs := make([]uint32, len(st.UEs))
+		for i, u := range st.UEs {
+			b.StartTable(2)
+			b.AddUint32(0, uint32(u.RNTI))
+			b.AddUint32(1, u.SliceID)
+			urefs[i] = b.EndTable()
+		}
+		uvec := b.CreateRefVector(urefs)
+		b.StartTable(3)
+		b.AddRef(0, algo)
+		b.AddRef(1, svec)
+		b.AddRef(2, uvec)
+		b.Finish(b.EndTable())
+		return fbBytes(b)
+	default:
+		w := newPER(128)
+		w.WriteString(st.Algo)
+		w.WriteLength(len(st.Slices))
+		for _, sl := range st.Slices {
+			w.WriteBits(uint64(sl.ID), 32)
+			w.WriteBits(uint64(sl.Kind), 8)
+			w.WriteBits(uint64(sl.CapacityQ), 32)
+			w.WriteFloat(sl.RateRsv)
+			w.WriteFloat(sl.RateRef)
+			w.WriteBool(sl.NoSharing)
+			w.WriteString(sl.UESched)
+		}
+		w.WriteLength(len(st.UEs))
+		for _, u := range st.UEs {
+			w.WriteBits(uint64(u.RNTI), 16)
+			w.WriteBits(uint64(u.SliceID), 32)
+		}
+		return append([]byte(nil), w.Bytes()...)
+	}
+}
+
+// DecodeSliceStatus parses an SC SM status report.
+func DecodeSliceStatus(b []byte) (*SliceStatus, error) {
+	s, body, err := schemeOf(b)
+	if err != nil {
+		return nil, err
+	}
+	switch s {
+	case SchemeFB:
+		tab, err := flat.GetRoot(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		st := &SliceStatus{Algo: tab.String(0)}
+		n := tab.VectorLen(1)
+		if n > 0 {
+			st.Slices = make([]SliceParams, n)
+			for i := 0; i < n; i++ {
+				t := tab.RefVectorAt(1, i)
+				st.Slices[i] = SliceParams{
+					ID:        t.Uint32(0),
+					Kind:      t.Uint8(1),
+					CapacityQ: t.Uint32(2),
+					RateRsv:   t.Float64(3),
+					RateRef:   t.Float64(4),
+					NoSharing: t.Bool(5),
+					UESched:   t.String(6),
+				}
+			}
+		}
+		m := tab.VectorLen(2)
+		if m > 0 {
+			st.UEs = make([]UESliceAssoc, m)
+			for i := 0; i < m; i++ {
+				t := tab.RefVectorAt(2, i)
+				st.UEs[i] = UESliceAssoc{RNTI: uint16(t.Uint32(0)), SliceID: t.Uint32(1)}
+			}
+		}
+		return st, nil
+	default:
+		rd := asn1per.NewReader(body)
+		st := &SliceStatus{}
+		if st.Algo, err = rd.ReadString(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		n, err := rd.ReadCount()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		if n > 0 {
+			st.Slices = make([]SliceParams, n)
+			for i := range st.Slices {
+				sl := &st.Slices[i]
+				var v uint64
+				if v, err = rd.ReadBits(32); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.ID = uint32(v)
+				if v, err = rd.ReadBits(8); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.Kind = uint8(v)
+				if v, err = rd.ReadBits(32); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				sl.CapacityQ = uint32(v)
+				if sl.RateRsv, err = rd.ReadFloat(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.RateRef, err = rd.ReadFloat(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.NoSharing, err = rd.ReadBool(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				if sl.UESched, err = rd.ReadString(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+			}
+		}
+		m, err := rd.ReadCount()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		if m > 0 {
+			st.UEs = make([]UESliceAssoc, m)
+			for i := range st.UEs {
+				v, err := rd.ReadBits(16)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				st.UEs[i].RNTI = uint16(v)
+				if v, err = rd.ReadBits(32); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+				}
+				st.UEs[i].SliceID = uint32(v)
+			}
+		}
+		return st, nil
+	}
+}

@@ -1,0 +1,134 @@
+// Package sm implements FlexRIC's service models (SMs): the extendable,
+// composable information contracts between RAN functions and controllers
+// (§3, §6). The SDK ships the monitoring SMs (MAC, RLC, PDCP statistics),
+// the slicing control SM (SC SM, §6.1.2), the traffic control SM (TC SM,
+// §6.1.1), an RRC UE-notification SM, an O-RAN-style KPM SM, and the
+// "Hello World" ping SM used by the encoding experiments (§5.2).
+//
+// Every SM payload is encoded independently from E2AP (E2's mandated
+// double encoding) and supports both the ASN.1-PER-style and the
+// FlatBuffers-style scheme; the leading wire byte names the scheme, so
+// payloads are self-describing and the four E2AP×E2SM combinations of
+// Fig. 7 can be composed freely.
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"flexric/internal/encoding/asn1per"
+	"flexric/internal/encoding/flat"
+)
+
+// Well-known RAN function IDs for the shipped service models.
+const (
+	IDHelloWorld  uint16 = 140
+	IDMACStats    uint16 = 142
+	IDRLCStats    uint16 = 143
+	IDPDCPStats   uint16 = 144
+	IDSliceCtrl   uint16 = 145
+	IDTrafficCtrl uint16 = 146
+	IDKPM         uint16 = 147
+	IDRRC         uint16 = 148
+)
+
+// Scheme selects an SM payload encoding.
+type Scheme uint8
+
+// SM encoding schemes. Wire values are stable: they lead every payload.
+const (
+	SchemeASN Scheme = 0
+	SchemeFB  Scheme = 1
+)
+
+func (s Scheme) String() string {
+	if s == SchemeFB {
+		return "fb"
+	}
+	return "asn"
+}
+
+// Codec errors.
+var (
+	// ErrBadPayload reports a malformed SM payload.
+	ErrBadPayload = errors.New("sm: malformed payload")
+	// ErrBadScheme reports an unknown scheme byte.
+	ErrBadScheme = errors.New("sm: unknown encoding scheme")
+)
+
+// schemeOf splits the scheme byte off a payload.
+func schemeOf(b []byte) (Scheme, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, ErrBadPayload
+	}
+	s := Scheme(b[0])
+	if s != SchemeASN && s != SchemeFB {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadScheme, b[0])
+	}
+	return s, b[1:], nil
+}
+
+// newPER returns a writer pre-seeded with the ASN scheme byte.
+func newPER(capacity int) *asn1per.Writer {
+	w := asn1per.NewWriter(capacity)
+	w.WriteBits(uint64(SchemeASN), 8)
+	return w
+}
+
+// newFB returns a flat builder; the scheme byte is prepended by fbBytes.
+func newFB(capacity int) *flat.Builder { return flat.NewBuilder(capacity) }
+
+// fbBytes prefixes the FB scheme byte. The copy is the price of the
+// self-describing prefix; the flat buffer body itself is still read
+// zero-copy by receivers (the prefix only shifts the view).
+func fbBytes(b *flat.Builder) []byte {
+	out := make([]byte, 1+b.Len())
+	out[0] = byte(SchemeFB)
+	copy(out[1:], b.Bytes())
+	return out
+}
+
+// Trigger is the event trigger definition shared by the periodic
+// monitoring SMs: report every PeriodMS milliseconds.
+type Trigger struct {
+	PeriodMS uint32
+}
+
+// EncodeTrigger serializes a periodic event trigger.
+func EncodeTrigger(s Scheme, t Trigger) []byte {
+	switch s {
+	case SchemeFB:
+		b := newFB(16)
+		b.StartTable(1)
+		b.AddUint32(0, t.PeriodMS)
+		b.Finish(b.EndTable())
+		return fbBytes(b)
+	default:
+		w := newPER(8)
+		w.WriteBits(uint64(t.PeriodMS), 32)
+		return append([]byte(nil), w.Bytes()...)
+	}
+}
+
+// DecodeTrigger parses a periodic event trigger.
+func DecodeTrigger(b []byte) (Trigger, error) {
+	s, body, err := schemeOf(b)
+	if err != nil {
+		return Trigger{}, err
+	}
+	switch s {
+	case SchemeFB:
+		tab, err := flat.GetRoot(body)
+		if err != nil {
+			return Trigger{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		return Trigger{PeriodMS: tab.Uint32(0)}, nil
+	default:
+		r := asn1per.NewReader(body)
+		v, err := r.ReadBits(32)
+		if err != nil {
+			return Trigger{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		return Trigger{PeriodMS: uint32(v)}, nil
+	}
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The pipe transport exchanges messages over in-process channels. It is
+// the zero-overhead configuration for co-located controller/agent
+// deployments and makes tests deterministic and fast.
+
+// pipeBufDepth bounds in-flight messages per direction, emulating a
+// socket buffer: senders block when the peer falls behind.
+const pipeBufDepth = 1024
+
+var pipeNS = struct {
+	sync.Mutex
+	listeners map[string]*pipeListener
+}{listeners: make(map[string]*pipeListener)}
+
+type pipeListener struct {
+	name   string
+	accept chan *pipeConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func pipeListen(name string) (Listener, error) {
+	pipeNS.Lock()
+	defer pipeNS.Unlock()
+	if _, ok := pipeNS.listeners[name]; ok {
+		return nil, fmt.Errorf("transport: pipe %q already bound", name)
+	}
+	l := &pipeListener{
+		name:   name,
+		accept: make(chan *pipeConn),
+		done:   make(chan struct{}),
+	}
+	pipeNS.listeners[name] = l
+	return l, nil
+}
+
+func pipeDial(name string) (Conn, error) {
+	pipeNS.Lock()
+	l, ok := pipeNS.listeners[name]
+	pipeNS.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no pipe listener %q", name)
+	}
+	a2b := make(chan []byte, pipeBufDepth)
+	b2a := make(chan []byte, pipeBufDepth)
+	done := make(chan struct{})
+	once := new(sync.Once) // shared: closing either end closes both exactly once
+	client := &pipeConn{peer: "pipe:" + name, send: a2b, recv: b2a, done: done, once: once}
+	server := &pipeConn{peer: "pipe-client:" + name, send: b2a, recv: a2b, done: done, once: once}
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Accept implements Listener.
+func (l *pipeListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		pipeNS.Lock()
+		delete(pipeNS.listeners, l.name)
+		pipeNS.Unlock()
+	})
+	return nil
+}
+
+// Addr implements Listener. It returns the pipe name unadorned so the
+// result can be passed back to Dial.
+func (l *pipeListener) Addr() string { return l.name }
+
+type pipeConn struct {
+	peer string
+	send chan<- []byte
+	recv <-chan []byte
+	done chan struct{}
+	once *sync.Once
+}
+
+// Send implements Conn. The message is copied, matching the socket
+// transport's "does not retain b" contract.
+func (p *pipeConn) Send(b []byte) error {
+	if len(b) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	msg := make([]byte, len(b))
+	copy(msg, b)
+	select {
+	case p.send <- msg:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (p *pipeConn) Recv() ([]byte, error) {
+	select {
+	case m := <-p.recv:
+		return m, nil
+	case <-p.done:
+		// Drain messages that raced with close, as a socket would deliver
+		// buffered data before EOF.
+		select {
+		case m := <-p.recv:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn. Closing either end closes both.
+func (p *pipeConn) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+// RemoteAddr implements Conn.
+func (p *pipeConn) RemoteAddr() string { return p.peer }

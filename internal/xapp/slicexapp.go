@@ -1,0 +1,51 @@
+package xapp
+
+import (
+	"fmt"
+
+	"flexric/internal/ctrl"
+	"flexric/internal/sm"
+)
+
+// SliceXApp is the slicing xApp of §6.1.2 — in the paper a plain curl
+// command line against the controller's REST interface; here a thin
+// typed wrapper over the same interface. It is oblivious of the RAT.
+type SliceXApp struct {
+	rest  *RESTClient
+	agent int
+}
+
+// NewSliceXApp returns a slicing xApp against a slicing controller's
+// REST base URL.
+func NewSliceXApp(restBase string, agent int) *SliceXApp {
+	return &SliceXApp{rest: NewRESTClient(restBase), agent: agent}
+}
+
+// Deploy installs a slice configuration.
+func (x *SliceXApp) Deploy(cfg ctrl.SliceConfigJSON) error {
+	return x.rest.PostJSON(fmt.Sprintf("/slices?agent=%d", x.agent), cfg, nil)
+}
+
+// Associate assigns a UE to a slice.
+func (x *SliceXApp) Associate(rnti uint16, sliceID uint32) error {
+	return x.rest.PostJSON(fmt.Sprintf("/assoc?agent=%d", x.agent),
+		ctrl.AssocJSON{RNTI: rnti, SliceID: sliceID}, nil)
+}
+
+// Status fetches the current slice status report.
+func (x *SliceXApp) Status() (*sm.SliceStatus, error) {
+	var st sm.SliceStatus
+	if err := x.rest.GetJSON(fmt.Sprintf("/slices?agent=%d", x.agent), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stats fetches the latest MAC report from the controller's internal DB.
+func (x *SliceXApp) Stats() (*sm.MACReport, error) {
+	var rep sm.MACReport
+	if err := x.rest.GetJSON(fmt.Sprintf("/stats?agent=%d", x.agent), &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

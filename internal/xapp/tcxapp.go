@@ -1,0 +1,128 @@
+package xapp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flexric/internal/broker"
+	"flexric/internal/ctrl"
+	"flexric/internal/sm"
+)
+
+// TCXApp is the traffic-control xApp of §6.1.1. It subscribes to RLC
+// statistics through the controller's message broker and, "once the xApp
+// notices that the sojourn time of the packets belonging to the
+// low-latency flow increase beyond a limit, it decides to perform three
+// actions": create a second FIFO queue, install a 5-tuple filter for the
+// low-latency flow, and load the 5G-BDP pacer.
+type TCXApp struct {
+	rest   *RESTClient
+	broker *broker.Client
+	agent  int
+	rnti   uint16
+
+	// SojournLimitMS triggers the remedy (default 50 ms).
+	SojournLimitMS int64
+	// Filter is the low-latency flow's 5-tuple (DstPort+Proto is enough
+	// for the VoIP flow).
+	FilterDstPort uint16
+	FilterProto   uint8
+	// PacerTargetMS is the BDP pacer's DRB delay target (default 4 ms).
+	PacerTargetMS uint32
+
+	applied atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewTCXApp builds the xApp against a TC controller's northbound (REST
+// base URL + broker address).
+func NewTCXApp(restBase, brokerAddr string, agent int, rnti uint16) (*TCXApp, error) {
+	bc, err := broker.Dial(brokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCXApp{
+		rest:           NewRESTClient(restBase),
+		broker:         bc,
+		agent:          agent,
+		rnti:           rnti,
+		SojournLimitMS: 50,
+		PacerTargetMS:  4,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}, nil
+}
+
+// Run watches the RLC stats channel until stopped. It returns after
+// Close.
+func (x *TCXApp) Run() error {
+	defer close(x.done)
+	ch, err := x.broker.Subscribe(fmt.Sprintf("stats.rlc.%d", x.agent), 256)
+	if err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-x.stop:
+			return nil
+		case msg, ok := <-ch:
+			if !ok {
+				return broker.ErrClosed
+			}
+			rep, err := sm.DecodeRLCReport(msg.Payload)
+			if err != nil {
+				continue
+			}
+			for _, u := range rep.UEs {
+				if u.RNTI == x.rnti && u.SojournMS > x.SojournLimitMS {
+					if err := x.applyRemedy(); err == nil {
+						return nil // remedy applied; the xApp's job is done
+					}
+				}
+			}
+		}
+	}
+}
+
+// Close stops the xApp.
+func (x *TCXApp) Close() {
+	select {
+	case <-x.stop:
+	default:
+		close(x.stop)
+	}
+	<-x.done
+	x.broker.Close()
+}
+
+// Applied reports whether the remedy has been installed.
+func (x *TCXApp) Applied() bool { return x.applied.Load() }
+
+// applyRemedy performs the three-action sequence via REST.
+func (x *TCXApp) applyRemedy() error {
+	if x.applied.Load() {
+		return nil
+	}
+	path := fmt.Sprintf("/tc?agent=%d", x.agent)
+	// Action 1: second FIFO queue.
+	var res ctrl.TCCommandResult
+	if err := x.rest.PostJSON(path, ctrl.TCCommandJSON{Op: "addQueue", RNTI: x.rnti}, &res); err != nil {
+		return err
+	}
+	// Action 2: 5-tuple filter segregating the low-latency flow.
+	if err := x.rest.PostJSON(path, ctrl.TCCommandJSON{
+		Op: "addFilter", RNTI: x.rnti, Queue: res.Queue,
+		DstPort: x.FilterDstPort, Proto: x.FilterProto, MatchProto: x.FilterProto != 0,
+	}, nil); err != nil {
+		return err
+	}
+	// Action 3: the 5G-BDP pacer.
+	if err := x.rest.PostJSON(path, ctrl.TCCommandJSON{
+		Op: "setPacer", RNTI: x.rnti, Pacer: "bdp", PacerTargetMS: x.PacerTargetMS,
+	}, nil); err != nil {
+		return err
+	}
+	x.applied.Store(true)
+	return nil
+}

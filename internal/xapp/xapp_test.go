@@ -1,0 +1,199 @@
+package xapp_test
+
+import (
+	"testing"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/broker"
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/ran"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+	"flexric/internal/xapp"
+)
+
+// This test drives the full §6.1.1 story end to end: VoIP + Cubic share
+// a bearer, the TC xApp watches sojourn via the broker, applies its
+// three-action remedy over REST, and the cell's TC state changes.
+func TestTCXAppAppliesRemedy(t *testing.T) {
+	brk, brkAddr, err := broker.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	srv := server.New(server.Config{})
+	e2Addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tcc, err := ctrl.NewTCController(srv, sm.SchemeFB, brkAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcc.Close()
+
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT4G, NumRB: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: 1},
+	})
+	fns := []agent.RANFunction{
+		sm.NewRLCStats(cell, sm.SchemeFB, a),
+		sm.NewTCCtrl(cell, sm.SchemeFB, a),
+	}
+	for _, fn := range fns {
+		if err := a.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Connect(e2Addr); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if _, err := cell.Attach(1, "", "208.95", 28); err != nil {
+		t.Fatal(err)
+	}
+	voip := &ran.CBR{Flow: ran.FiveTuple{DstIP: 1, DstPort: 5060, Proto: ran.ProtoUDP}, Size: 172, IntervalMS: 20, ReturnDelayMS: 10}
+	if err := cell.AddTraffic(1, voip); err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.AddTraffic(1, &ran.CubicFlow{Flow: ran.FiveTuple{DstIP: 1, DstPort: 5001, Proto: ran.ProtoTCP}}); err != nil {
+		t.Fatal(err)
+	}
+
+	x, err := xapp.NewTCXApp("http://"+tcc.Addr(), brkAddr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.FilterDstPort = 5060
+	x.FilterProto = 17
+	runDone := make(chan error, 1)
+	go func() { runDone <- x.Run() }()
+
+	// Drive the slot loop until the remedy lands (bufferbloat builds up
+	// within a few simulated seconds).
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cell.Step(1)
+			sm.TickAll(fns, cell.Now())
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("xapp run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("xApp never applied the remedy")
+	}
+	close(stop)
+	x.Close()
+	if !x.Applied() {
+		t.Fatal("Applied() must report true")
+	}
+	var st ran.TCStats
+	if err := cell.WithUE(1, func(u *ran.UE) error { st = u.TC().Stats(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "active" || len(st.Queues) != 2 || st.Filters != 1 || st.Pacer != ran.PacerBDP {
+		t.Fatalf("remedy not applied: %+v", st)
+	}
+}
+
+func TestSliceXApp(t *testing.T) {
+	srv := server.New(server.Config{})
+	e2Addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sc, err := ctrl.NewSlicingController(srv, sm.SchemeASN, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	cell, err := ran.NewCell(ran.PHYConfig{RAT: ran.RAT5G, NumRB: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeGNB, NodeID: 2},
+	})
+	fns := []agent.RANFunction{
+		sm.NewMACStats(cell, sm.SchemeASN, a),
+		sm.NewSliceCtrl(cell, sm.SchemeASN),
+	}
+	for _, fn := range fns {
+		if err := a.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Connect(e2Addr); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := cell.Attach(1, "", "208.95", 20); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cell.Step(1)
+			sm.TickAll(fns, cell.Now())
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	x := xapp.NewSliceXApp("http://"+sc.Addr(), 0)
+	if err := x.Deploy(ctrl.SliceConfigJSON{
+		Algo: "nvs",
+		Slices: []ctrl.SliceParamJSON{
+			{ID: 1, Kind: "capacity", Capacity: 0.5},
+			{ID: 2, Kind: "capacity", Capacity: 0.5},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Associate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := x.Status(); err == nil && st.Algo == "nvs" && len(st.Slices) == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := x.Status()
+	if err != nil || st.Algo != "nvs" {
+		t.Fatalf("status: %+v %v", st, err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if rep, err := x.Stats(); err == nil && len(rep.UEs) == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no stats via xApp")
+}
