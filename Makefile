@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench verify fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+fmt:
+	gofmt -w .
+
+# Full pre-merge check: formatting, vet, both build modes (telemetry on
+# and compiled out), race-detector test run. See scripts/verify.sh.
+verify:
+	sh scripts/verify.sh

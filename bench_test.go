@@ -17,6 +17,7 @@ import (
 	"flexric/internal/nvs"
 	"flexric/internal/ran"
 	"flexric/internal/sm"
+	"flexric/internal/telemetry"
 	"flexric/internal/transport"
 )
 
@@ -380,6 +381,62 @@ func BenchmarkAblationTransport(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTransportHotPath measures the framed-TCP echo round trip and
+// cross-checks it against the telemetry layer's own view of the same
+// packets: the reported p95_send_us comes from the
+// transport.sctpish.send_latency histogram, so a telemetry-induced
+// regression shows up in both ns/op (run with -tags notelemetry for the
+// baseline) and the histogram's self-measured cost.
+func BenchmarkTransportHotPath(b *testing.B) {
+	telemetry.Reset()
+	lis, err := transport.Listen(transport.KindSCTPish, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := transport.Dial(transport.KindSCTPish, lis.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte{0x5C}, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if telemetry.Enabled {
+		snap := telemetry.TakeSnapshot()
+		h := snap.Histogram("transport.sctpish.send_latency")
+		if h.Count == 0 {
+			b.Fatal("telemetry enabled but no send latency recorded")
+		}
+		b.ReportMetric(float64(h.Percentile(95).Microseconds()), "p95_send_us")
 	}
 }
 

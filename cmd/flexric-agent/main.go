@@ -8,13 +8,16 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"flexric/internal/agent"
 	"flexric/internal/e2ap"
 	"flexric/internal/ran"
 	"flexric/internal/sm"
+	"flexric/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +29,7 @@ func main() {
 	ues := flag.Int("ues", 3, "attached UEs with saturating traffic")
 	mcs := flag.Int("mcs", 28, "modulation and coding scheme")
 	realtime := flag.Bool("realtime", true, "pace the slot loop at 1 TTI per ms")
+	telemetryEvery := flag.Duration("telemetry-every", 0, "dump the telemetry snapshot periodically (0 = off)")
 	flag.Parse()
 
 	e2s, sms := e2ap.SchemeASN, sm.SchemeASN
@@ -68,6 +72,15 @@ func main() {
 	defer a.Close()
 	log.Printf("connected to %s as node %d (%s, %d RB, scheme %s)",
 		*controller, *nodeID, r, *numRB, *scheme)
+
+	if *telemetryEvery > 0 {
+		go func() {
+			for range time.Tick(*telemetryEvery) {
+				fmt.Println("--- telemetry ---")
+				telemetry.Dump(os.Stdout)
+			}
+		}()
+	}
 
 	for i := 1; i <= *ues; i++ {
 		rnti := uint16(i)

@@ -39,6 +39,7 @@ func main() {
 	agents := fs.Int("agents", 10, "dummy agent count")
 	dur := fs.Duration("dur", 5*time.Second, "measurement window")
 	phase := fs.Int("phase", 15000, "per-phase simulated ms (fig13a)")
+	tel := fs.Bool("telemetry", false, "print the telemetry snapshot after each experiment")
 	_ = fs.Parse(os.Args[2:])
 
 	simOr := func(def int) int {
@@ -49,6 +50,9 @@ func main() {
 	}
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *tel {
+			experiments.ResetTelemetry()
+		}
 		start := time.Now()
 		res, err := f()
 		if err != nil {
@@ -57,6 +61,9 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *tel {
+			fmt.Printf("--- telemetry (%s) ---\n%s\n", name, experiments.TelemetryReport())
+		}
 	}
 
 	experimentsByName := map[string]func(){

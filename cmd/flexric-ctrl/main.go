@@ -20,6 +20,7 @@ import (
 	"flexric/internal/e2ap"
 	"flexric/internal/server"
 	"flexric/internal/sm"
+	"flexric/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 	tc := flag.String("tc", "", "REST address for the traffic-control specialization (empty = off)")
 	brokerAddr := flag.String("broker", "", "message broker to publish stats to (empty = start one)")
 	period := flag.Uint("period", 100, "monitoring period in ms")
+	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
+	telemetryEvery := flag.Duration("telemetry-every", 0, "also dump telemetry periodically (0 = off)")
 	flag.Parse()
 
 	e2s := e2ap.SchemeASN
@@ -93,8 +96,21 @@ func main() {
 		}
 	}()
 
+	if *telemetryEvery > 0 {
+		go func() {
+			for range time.Tick(*telemetryEvery) {
+				fmt.Println("--- telemetry ---")
+				telemetry.Dump(os.Stdout)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if *telemetryDump {
+		fmt.Println("--- telemetry ---")
+		telemetry.Dump(os.Stdout)
+	}
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"flexric/internal/agent"
@@ -18,6 +19,7 @@ import (
 	"flexric/internal/ran"
 	"flexric/internal/server"
 	"flexric/internal/sm"
+	"flexric/internal/telemetry"
 )
 
 func main() {
@@ -151,4 +153,10 @@ func main() {
 	}
 	inds, bytes := mon.Counters()
 	fmt.Printf("\n%d indications, %d bytes total\n", inds, bytes)
+
+	// The same run, as the telemetry layer saw it: transport frame
+	// counts, codec latency histograms, per-subscription indication
+	// rates (docs/OBSERVABILITY.md explains every row).
+	fmt.Println("\n--- telemetry ---")
+	telemetry.Dump(os.Stdout)
 }

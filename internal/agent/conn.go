@@ -2,8 +2,10 @@ package agent
 
 import (
 	"sync"
+	"time"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/telemetry"
 	"flexric/internal/transport"
 )
 
@@ -73,8 +75,14 @@ func (c *conn) dispatch(pdu e2ap.PDU) {
 }
 
 func (c *conn) handleSubscription(m *e2ap.SubscriptionRequest) {
+	// Fill latency: request dispatch to response on the wire.
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
+	}
 	fn := c.agent.fn(m.RANFunctionID)
 	if fn == nil {
+		agentTel.subsRejected.Inc()
 		_ = c.send(&e2ap.SubscriptionFailure{
 			RequestID:     m.RequestID,
 			RANFunctionID: m.RANFunctionID,
@@ -82,8 +90,9 @@ func (c *conn) handleSubscription(m *e2ap.SubscriptionRequest) {
 		})
 		return
 	}
-	tx := &indicationSender{conn: c, reqID: m.RequestID, fnID: m.RANFunctionID}
+	tx := &indicationSender{conn: c, reqID: m.RequestID, fnID: m.RANFunctionID, sent: fnIndications(m.RANFunctionID)}
 	if err := fn.OnSubscription(c.id, m, tx); err != nil {
+		agentTel.subsRejected.Inc()
 		_ = c.send(&e2ap.SubscriptionFailure{
 			RequestID:     m.RequestID,
 			RANFunctionID: m.RANFunctionID,
@@ -100,6 +109,10 @@ func (c *conn) handleSubscription(m *e2ap.SubscriptionRequest) {
 		RANFunctionID: m.RANFunctionID,
 		Admitted:      admitted,
 	})
+	if telemetry.Enabled {
+		agentTel.subsAccepted.Inc()
+		agentTel.subFill.Observe(time.Since(t0))
+	}
 }
 
 func (c *conn) handleSubscriptionDelete(m *e2ap.SubscriptionDeleteRequest) {
@@ -136,8 +149,10 @@ func (c *conn) handleControl(m *e2ap.ControlRequest) {
 		})
 		return
 	}
+	agentTel.controls.Inc()
 	outcome, err := fn.OnControl(c.id, m)
 	if err != nil {
+		agentTel.controlFailed.Inc()
 		_ = c.send(&e2ap.ControlFailure{
 			RequestID:     m.RequestID,
 			RANFunctionID: m.RANFunctionID,
@@ -170,6 +185,7 @@ type indicationSender struct {
 	fnID  uint16
 	sn    uint32
 	snMu  sync.Mutex
+	sent  *telemetry.Counter // per-RAN-function indication count
 }
 
 // SendIndication implements IndicationSender.
@@ -178,7 +194,7 @@ func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationC
 	s.sn++
 	sn := s.sn
 	s.snMu.Unlock()
-	return s.conn.send(&e2ap.Indication{
+	err := s.conn.send(&e2ap.Indication{
 		RequestID:     s.reqID,
 		RANFunctionID: s.fnID,
 		ActionID:      actionID,
@@ -187,6 +203,11 @@ func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationC
 		Header:        header,
 		Payload:       payload,
 	})
+	if telemetry.Enabled && err == nil {
+		agentTel.indications.Inc()
+		s.sent.Inc()
+	}
+	return err
 }
 
 // Controller implements IndicationSender.

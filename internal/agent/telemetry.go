@@ -1,0 +1,41 @@
+package agent
+
+import (
+	"fmt"
+
+	"flexric/internal/telemetry"
+)
+
+// Telemetry: the agent side of the paper's quantitative claims — how
+// fast subscriptions are filled (request arrival to response on the
+// wire) and how many indications each service model produces.
+//
+//	agent.indications               total indications sent (counter)
+//	agent.fn<ID>.indications        per-RAN-function indications (counter)
+//	agent.subscription_fill         subscription fill latency (histogram)
+//	agent.subscriptions_accepted    (counter)
+//	agent.subscriptions_rejected    (counter)
+//	agent.controls                  control requests executed (counter)
+//	agent.control_failures          (counter)
+var agentTel = struct {
+	indications   *telemetry.Counter
+	subFill       *telemetry.Histogram
+	subsAccepted  *telemetry.Counter
+	subsRejected  *telemetry.Counter
+	controls      *telemetry.Counter
+	controlFailed *telemetry.Counter
+}{
+	indications:   telemetry.NewCounter("agent.indications"),
+	subFill:       telemetry.NewHistogram("agent.subscription_fill"),
+	subsAccepted:  telemetry.NewCounter("agent.subscriptions_accepted"),
+	subsRejected:  telemetry.NewCounter("agent.subscriptions_rejected"),
+	controls:      telemetry.NewCounter("agent.controls"),
+	controlFailed: telemetry.NewCounter("agent.control_failures"),
+}
+
+// fnIndications returns the per-RAN-function indication counter. Called
+// on the subscription path (cold); the returned pointer rides in the
+// indicationSender so the indication hot path pays one extra atomic add.
+func fnIndications(fnID uint16) *telemetry.Counter {
+	return telemetry.NewCounter(fmt.Sprintf("agent.fn%d.indications", fnID))
+}

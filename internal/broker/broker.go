@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"flexric/internal/telemetry"
 	"flexric/internal/transport"
 )
 
@@ -136,6 +138,11 @@ func (s *Server) serve(c *serverConn) {
 			delete(s.subs[channel], c)
 			s.mu.Unlock()
 		case verbPublish:
+			var t0 time.Time
+			if telemetry.Enabled {
+				t0 = time.Now()
+				brokerTel.published.Inc()
+			}
 			out := encodeFrame(verbMessage, channel, payload)
 			s.mu.Lock()
 			dsts := make([]*serverConn, 0, len(s.subs[channel]))
@@ -145,8 +152,14 @@ func (s *Server) serve(c *serverConn) {
 			s.mu.Unlock()
 			for _, dst := range dsts {
 				dst.sendMu.Lock()
-				_ = dst.tc.Send(out)
+				err := dst.tc.Send(out)
 				dst.sendMu.Unlock()
+				if telemetry.Enabled && err == nil {
+					brokerTel.delivered.Inc()
+				}
+			}
+			if telemetry.Enabled {
+				brokerTel.fanoutLat.Observe(time.Since(t0))
 			}
 		}
 	}
@@ -219,7 +232,9 @@ func (c *Client) recvLoop() {
 		for _, ch := range chans {
 			select {
 			case ch <- msg:
+				brokerTel.clientDeliver.Inc()
 			default: // slow subscriber: drop, like Redis pub/sub
+				brokerTel.clientDropped.Inc()
 			}
 		}
 	}

@@ -1,0 +1,29 @@
+package broker
+
+import (
+	"flexric/internal/telemetry"
+)
+
+// Telemetry: the northbound leg of the pipeline. The paper's TC
+// specialization rides stats from an iApp to the xApp over the broker
+// (Table 3); these instruments make the fan-out cost and loss behaviour
+// of that leg visible.
+//
+//	broker.published          publish frames accepted (counter)
+//	broker.delivered          frames forwarded to subscribers (counter)
+//	broker.fanout_latency     one publish → all subscriber sockets (histogram)
+//	broker.client.delivered   messages handed to local subscribers (counter)
+//	broker.client.dropped     slow-subscriber drops, Redis-style (counter)
+var brokerTel = struct {
+	published     *telemetry.Counter
+	delivered     *telemetry.Counter
+	fanoutLat     *telemetry.Histogram
+	clientDeliver *telemetry.Counter
+	clientDropped *telemetry.Counter
+}{
+	published:     telemetry.NewCounter("broker.published"),
+	delivered:     telemetry.NewCounter("broker.delivered"),
+	fanoutLat:     telemetry.NewHistogram("broker.fanout_latency"),
+	clientDeliver: telemetry.NewCounter("broker.client.delivered"),
+	clientDropped: telemetry.NewCounter("broker.client.dropped"),
+}

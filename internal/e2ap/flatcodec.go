@@ -58,8 +58,7 @@ func unpackReqID(v uint32) RequestID {
 func packCause(c Cause) uint32   { return uint32(c.Type)<<8 | uint32(c.Value) }
 func unpackCause(v uint32) Cause { return Cause{Type: CauseType(v >> 8), Value: uint8(v)} }
 
-// Encode implements Codec.
-func (c *FlatCodec) Encode(pdu PDU) ([]byte, error) {
+func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 	b := &c.b
 	b.Reset()
 
@@ -327,8 +326,7 @@ func (c *FlatCodec) Encode(pdu PDU) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// Envelope implements Codec: O(1) slot reads, no decode pass.
-func (c *FlatCodec) Envelope(wire []byte) (Envelope, error) {
+func (c *FlatCodec) envelope(wire []byte) (Envelope, error) {
 	tab, err := flat.GetRoot(wire)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
@@ -340,9 +338,8 @@ func (c *FlatCodec) Envelope(wire []byte) (Envelope, error) {
 	return &flatEnvelope{tab: tab, typ: MessageType(t)}, nil
 }
 
-// Decode implements Codec.
-func (c *FlatCodec) Decode(wire []byte) (PDU, error) {
-	env, err := c.Envelope(wire)
+func (c *FlatCodec) decode(wire []byte) (PDU, error) {
+	env, err := c.envelope(wire)
 	if err != nil {
 		return nil, err
 	}

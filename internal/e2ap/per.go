@@ -22,8 +22,7 @@ func NewPERCodec() *PERCodec { return &PERCodec{} }
 // Name implements Codec.
 func (*PERCodec) Name() string { return string(SchemeASN) }
 
-// Encode implements Codec.
-func (c *PERCodec) Encode(pdu PDU) ([]byte, error) {
+func (c *PERCodec) encode(pdu PDU) ([]byte, error) {
 	w := &c.w
 	w.Reset()
 	w.WriteBits(uint64(pdu.MsgType()), 8)
@@ -215,8 +214,7 @@ func (c *PERCodec) encodeBody(w *asn1per.Writer, pdu PDU) error {
 	return nil
 }
 
-// Decode implements Codec.
-func (c *PERCodec) Decode(wire []byte) (PDU, error) {
+func (c *PERCodec) decode(wire []byte) (PDU, error) {
 	r := &c.r
 	r.Reset(wire)
 	tv, err := r.ReadBits(8)
@@ -233,10 +231,8 @@ func (c *PERCodec) Decode(wire []byte) (PDU, error) {
 	return pdu, nil
 }
 
-// Envelope implements Codec. PER has no random access: the full decode
-// pass is unavoidable.
-func (c *PERCodec) Envelope(wire []byte) (Envelope, error) {
-	pdu, err := c.Decode(wire)
+func (c *PERCodec) envelope(wire []byte) (Envelope, error) {
+	pdu, err := c.decode(wire)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,22 @@ import (
 	"flexric/internal/ran"
 	"flexric/internal/server"
 	"flexric/internal/sm"
+	"flexric/internal/telemetry"
 )
+
+// ResetTelemetry clears accumulated telemetry so an experiment reads
+// only its own numbers. No-op when compiled with -tags notelemetry.
+func ResetTelemetry() { telemetry.Reset() }
+
+// TelemetryReport renders the telemetry accumulated since the last
+// reset — the same counters and histograms the root benchmarks and the
+// example binaries print (see docs/OBSERVABILITY.md for the row
+// catalogue).
+func TelemetryReport() string {
+	var sb strings.Builder
+	_ = telemetry.Dump(&sb)
+	return sb.String()
+}
 
 // BS bundles a simulated base station with its FlexRIC agent and the SM
 // bundle, driven by an explicit slot loop.

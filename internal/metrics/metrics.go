@@ -2,7 +2,13 @@
 // scenarios. The paper reports normalized CPU usage (CPU time over wall
 // time, normalized by cores) from OS accounting and memory from docker
 // stats; this package provides the equivalents available in-process:
-// getrusage-based CPU time and runtime heap statistics.
+// getrusage-based CPU time and runtime heap statistics. It also carries
+// the latency-sample helpers (interpolated percentiles, figure-style
+// duration formatting) the experiment harness reports with.
+//
+// For live counters and histograms on running SDK components, see
+// internal/telemetry; this package is for offline sample sets collected
+// by the harness itself.
 package metrics
 
 import (
@@ -96,8 +102,9 @@ func FmtDuration(d time.Duration) string {
 	}
 }
 
-// Percentile returns the p-th percentile (0..100) of samples; the slice
-// is sorted in place by the caller beforehand.
+// Percentile returns the p-th percentile (0..100) of samples with linear
+// interpolation between adjacent order statistics; the slice is sorted in
+// place by the caller beforehand.
 func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -108,6 +115,11 @@ func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if p >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
 }

@@ -79,6 +79,32 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileInterpolation pins the linear-interpolation contract on
+// small samples, where rank truncation used to bias results low.
+func TestPercentileInterpolation(t *testing.T) {
+	two := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if p := Percentile(two, 50); p != 15*time.Millisecond {
+		t.Fatalf("p50 of {10,20}ms = %v, want 15ms", p)
+	}
+	if p := Percentile(two, 75); p != 17500*time.Microsecond {
+		t.Fatalf("p75 of {10,20}ms = %v, want 17.5ms", p)
+	}
+	one := []time.Duration{42 * time.Millisecond}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v := Percentile(one, p); v != 42*time.Millisecond {
+			t.Fatalf("p%v of single sample = %v", p, v)
+		}
+	}
+	five := []time.Duration{10, 20, 30, 40, 50}
+	if p := Percentile(five, 25); p != 20 {
+		t.Fatalf("p25 of 10..50 = %v, want 20", p)
+	}
+	if p := Percentile(five, 90); p != 46 {
+		// rank 3.6 → 40 + 0.6*(50-40)
+		t.Fatalf("p90 of 10..50 = %v, want 46", p)
+	}
+}
+
 func TestFmtDuration(t *testing.T) {
 	if s := FmtDuration(250 * time.Microsecond); s != "250µs" {
 		t.Fatal(s)

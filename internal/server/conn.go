@@ -82,6 +82,7 @@ func (s *Server) serveAgent(tc transport.Conn) {
 	}
 	s.agents[c.id] = c
 	hooks := append([]func(AgentInfo){}, s.onConnect...)
+	s.updateAgentStatsLocked()
 	s.mu.Unlock()
 
 	s.randb.addAgent(c.info)
@@ -104,6 +105,7 @@ func (s *Server) serveAgent(tc transport.Conn) {
 	s.mu.Lock()
 	delete(s.agents, c.id)
 	down := append([]func(AgentInfo){}, s.onDisconnect...)
+	s.updateAgentStatsLocked()
 	s.mu.Unlock()
 	s.randb.removeAgent(c.info)
 	s.subs.dropAgent(c.id)
@@ -208,6 +210,7 @@ func (s *Server) handleServiceUpdate(c *agentConn, m *e2ap.ServiceUpdate) {
 	for i, f := range fns {
 		accepted[i] = f.ID
 	}
+	s.updateAgentStatsLocked()
 	s.mu.Unlock()
 	_ = c.send(&e2ap.ServiceUpdateAck{TransactionID: m.TransactionID, Accepted: accepted})
 }

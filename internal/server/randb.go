@@ -90,6 +90,7 @@ func (db *RANDB) addAgent(info AgentInfo) {
 		fire = append(fire, db.completeCB...)
 		snapshot = ent.clone()
 	}
+	db.updateStatsLocked()
 	db.mu.Unlock()
 	for _, f := range fire {
 		f(snapshot)
@@ -100,6 +101,7 @@ func (db *RANDB) removeAgent(info AgentInfo) {
 	key := entityKey{plmn: info.NodeID.PLMN, nodeID: info.NodeID.NodeID}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.updateStatsLocked()
 	ent := db.entities[key]
 	if ent == nil {
 		return

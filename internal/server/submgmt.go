@@ -2,8 +2,10 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/telemetry"
 )
 
 // subManager is the subscription management of §4.2.2: it "(i) keeps
@@ -32,6 +34,9 @@ const (
 
 type subscription struct {
 	cb SubscriptionCallbacks
+	// inds counts indications delivered to this subscription
+	// (server.sub.<...>.indications).
+	inds *telemetry.Counter
 }
 
 func newSubManager() *subManager {
@@ -46,14 +51,18 @@ func (m *subManager) create(agent AgentID, cb SubscriptionCallbacks) e2ap.Reques
 	defer m.mu.Unlock()
 	m.subSeq++
 	req := e2ap.RequestID{Requestor: requestorSub, Instance: m.subSeq}
-	m.subs[SubID{Agent: agent, Req: req}] = &subscription{cb: cb}
+	id := SubID{Agent: agent, Req: req}
+	m.subs[id] = &subscription{cb: cb, inds: subIndications(id)}
+	serverTel.subsActive.Set(int64(len(m.subs)))
 	return req
 }
 
 func (m *subManager) remove(id SubID) {
 	m.mu.Lock()
 	delete(m.subs, id)
+	serverTel.subsActive.Set(int64(len(m.subs)))
 	m.mu.Unlock()
+	dropSubTelemetry(id)
 }
 
 func (m *subManager) createControl(agent AgentID, done func([]byte, error)) e2ap.RequestID {
@@ -76,6 +85,10 @@ func (m *subManager) nextFireAndForget() e2ap.RequestID {
 // This is the server's hottest path (§5.3): one lock, one map lookup,
 // one callback.
 func (m *subManager) dispatchIndication(agent AgentID, env e2ap.Envelope) {
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
+	}
 	id := SubID{Agent: agent, Req: env.RequestID()}
 	m.mu.Lock()
 	sub := m.subs[id]
@@ -84,9 +97,15 @@ func (m *subManager) dispatchIndication(agent AgentID, env e2ap.Envelope) {
 		m.mu.Lock()
 		m.dropped++
 		m.mu.Unlock()
+		serverTel.dropped.Inc()
 		return
 	}
 	sub.cb.OnIndication(IndicationEvent{Agent: agent, Env: env})
+	if telemetry.Enabled {
+		serverTel.indications.Inc()
+		sub.inds.Inc()
+		serverTel.dispatchLat.Observe(time.Since(t0))
+	}
 }
 
 func (m *subManager) handleSubResponse(agent AgentID, resp *e2ap.SubscriptionResponse) {
@@ -103,7 +122,9 @@ func (m *subManager) handleSubFailure(agent AgentID, f *e2ap.SubscriptionFailure
 	m.mu.Lock()
 	sub := m.subs[id]
 	delete(m.subs, id)
+	serverTel.subsActive.Set(int64(len(m.subs)))
 	m.mu.Unlock()
+	dropSubTelemetry(id)
 	if sub != nil && sub.cb.OnFailure != nil {
 		sub.cb.OnFailure(f.Cause)
 	}
@@ -114,7 +135,9 @@ func (m *subManager) handleSubDeleted(agent AgentID, req e2ap.RequestID) {
 	m.mu.Lock()
 	sub := m.subs[id]
 	delete(m.subs, id)
+	serverTel.subsActive.Set(int64(len(m.subs)))
 	m.mu.Unlock()
+	dropSubTelemetry(id)
 	if sub != nil && sub.cb.OnDeleted != nil {
 		sub.cb.OnDeleted()
 	}
@@ -144,8 +167,10 @@ func (m *subManager) dropAgent(agent AgentID) {
 		if id.Agent == agent {
 			deleted = append(deleted, sub)
 			delete(m.subs, id)
+			dropSubTelemetry(id)
 		}
 	}
+	serverTel.subsActive.Set(int64(len(m.subs)))
 	var aborted []func([]byte, error)
 	for id, done := range m.controls {
 		if id.Agent == agent {

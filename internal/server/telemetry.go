@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+
+	"flexric/internal/telemetry"
+)
+
+// Telemetry: the controller-side half of the paper's scalability story
+// (§5.3, Fig. 8) — how fast indications are routed to iApps, per
+// subscription, and what the RAN-management registry holds.
+//
+//	server.dispatch_latency            envelope-to-iApp routing time,
+//	                                   including the iApp callback (the
+//	                                   "controller processing" of §7)
+//	server.indications                 indications dispatched (counter)
+//	server.indications_dropped         no matching subscription (counter)
+//	server.sub.a<A>.r<R>-<I>.indications  per-subscription counts, keyed
+//	                                   by agent / requestor-instance;
+//	                                   unregistered on delete
+//	server.subscriptions_active        (gauge)
+//	server.agents_connected            (gauge)
+//	server.randb.entities              RAN entities known (gauge)
+//	server.randb.entities_complete     fully-assembled entities (gauge)
+//	server.functions                   RAN functions across agents (gauge)
+var serverTel = struct {
+	dispatchLat *telemetry.Histogram
+	indications *telemetry.Counter
+	dropped     *telemetry.Counter
+	subsActive  *telemetry.Gauge
+	agents      *telemetry.Gauge
+	entities    *telemetry.Gauge
+	complete    *telemetry.Gauge
+	functions   *telemetry.Gauge
+}{
+	dispatchLat: telemetry.NewHistogram("server.dispatch_latency"),
+	indications: telemetry.NewCounter("server.indications"),
+	dropped:     telemetry.NewCounter("server.indications_dropped"),
+	subsActive:  telemetry.NewGauge("server.subscriptions_active"),
+	agents:      telemetry.NewGauge("server.agents_connected"),
+	entities:    telemetry.NewGauge("server.randb.entities"),
+	complete:    telemetry.NewGauge("server.randb.entities_complete"),
+	functions:   telemetry.NewGauge("server.functions"),
+}
+
+// subScope names a subscription's telemetry subtree.
+func subScope(id SubID) string {
+	return fmt.Sprintf("server.sub.a%d.r%d-%d", id.Agent, id.Req.Requestor, id.Req.Instance)
+}
+
+// subIndications returns the per-subscription indication counter.
+func subIndications(id SubID) *telemetry.Counter {
+	return telemetry.NewCounter(subScope(id) + ".indications")
+}
+
+// dropSubTelemetry removes a deleted subscription's subtree.
+func dropSubTelemetry(id SubID) {
+	if telemetry.Enabled {
+		telemetry.Unregister(subScope(id))
+	}
+}
+
+// updateStatsLocked refreshes the RAN-database gauges; called with db.mu
+// held by the RANDB mutators.
+func (db *RANDB) updateStatsLocked() {
+	if !telemetry.Enabled {
+		return
+	}
+	complete := 0
+	for _, e := range db.entities {
+		if e.isComplete() {
+			complete++
+		}
+	}
+	serverTel.entities.Set(int64(len(db.entities)))
+	serverTel.complete.Set(int64(complete))
+}
+
+// updateAgentStatsLocked refreshes the connected-agent gauges; called
+// with s.mu held wherever the agent set or its function lists change.
+func (s *Server) updateAgentStatsLocked() {
+	if !telemetry.Enabled {
+		return
+	}
+	fns := 0
+	for _, c := range s.agents {
+		fns += len(c.info.Functions)
+	}
+	serverTel.agents.Set(int64(len(s.agents)))
+	serverTel.functions.Set(int64(fns))
+}

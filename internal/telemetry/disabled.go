@@ -1,0 +1,8 @@
+//go:build notelemetry
+
+package telemetry
+
+// Enabled is false in this build: the telemetry layer is compiled out.
+// Constructors return shared no-op primitives, the registry stays
+// empty, and guarded instrumentation blocks are dead-code-eliminated.
+const Enabled = false

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear (HdrHistogram-style), covering
+// ~1µs to ~1s. Durations are bucketed by their power-of-two octave
+// (2^minOctave ns ≈ 1µs up to 2^maxOctave ns ≈ 1.07s) with
+// subPerOctave linear sub-buckets per octave, giving a worst-case
+// relative error of 1/subPerOctave (25%) on any reconstructed
+// percentile — plenty for the µs-vs-ms distinctions the paper's figures
+// draw. Index 0 is the underflow bucket (<1µs, where the co-located
+// pipe transport and FB envelope reads live); the last index is the
+// overflow bucket (≥ ~1.07s).
+const (
+	minOctave    = 10 // 2^10 ns = 1024 ns ≈ 1µs
+	maxOctave    = 30 // 2^30 ns ≈ 1.07 s
+	subPerOctave = 4
+	// NumBuckets is the fixed bucket count: underflow + the log-linear
+	// grid + overflow.
+	NumBuckets = 2 + (maxOctave-minOctave)*subPerOctave
+)
+
+// bucketIndex maps a non-negative duration in nanoseconds to a bucket.
+// Pure bit arithmetic: no floats, no bounds table, no allocation.
+func bucketIndex(ns int64) int {
+	u := uint64(ns)
+	if u < 1<<minOctave {
+		return 0
+	}
+	exp := bits.Len64(u) - 1 // floor(log2 ns)
+	if exp >= maxOctave {
+		return NumBuckets - 1
+	}
+	sub := (u >> (uint(exp) - 2)) & (subPerOctave - 1)
+	return 1 + (exp-minOctave)*subPerOctave + int(sub)
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range covered by bucket
+// i of the log-linear grid. The underflow bucket is [0, 1µs); the
+// overflow bucket is [2^maxOctave, MaxInt64).
+func bucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 1 << minOctave
+	}
+	if i >= NumBuckets-1 {
+		return 1 << maxOctave, 1<<63 - 1
+	}
+	octave := uint((i-1)/subPerOctave + minOctave)
+	sub := int64((i - 1) % subPerOctave)
+	lo = (int64(subPerOctave) + sub) << (octave - 2)
+	hi = (int64(subPerOctave) + sub + 1) << (octave - 2)
+	return lo, hi
+}
+
+// Histogram records a latency distribution in fixed log-spaced buckets.
+// Observe is wait-free and allocation-free: one bucket increment plus
+// count/sum updates. The zero value is ready to use; NewHistogram also
+// registers the histogram for snapshots.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if !Enabled {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(ns))
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram state for analysis. The copy is not
+// atomic across buckets — concurrent Observes may straddle it — which
+// is harmless for monitoring (the error is bounded by the number of
+// in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	s.Max = time.Duration(h.maxNS.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram. Snapshots
+// merge, so per-connection distributions can be combined into
+// aggregates with identical bucket boundaries.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   uint64
+	Max     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Merge accumulates other into s.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	s.Count += other.Count
+	s.SumNS += other.SumNS
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Percentile reconstructs the p-th percentile (0..100) by locating the
+// bucket holding the rank and interpolating linearly inside it. The
+// overflow bucket reports its lower bound (the distribution's tail is
+// unresolved past ~1s by design).
+func (s HistogramSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// Rank of the target observation, 1-based.
+	rank := p / 100 * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			if i == NumBuckets-1 {
+				return time.Duration(lo)
+			}
+			// Interpolate the rank's position within this bucket.
+			frac := (rank - seen) / float64(n)
+			ns := float64(lo) + frac*float64(hi-lo)
+			if max := float64(s.Max); ns > max && max > 0 {
+				ns = max
+			}
+			return time.Duration(ns)
+		}
+		seen += float64(n)
+	}
+	return s.Max
+}

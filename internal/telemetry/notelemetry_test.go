@@ -1,0 +1,49 @@
+//go:build notelemetry
+
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// With the notelemetry tag the layer must compile to no-ops: constructors
+// hand out shared inert primitives, nothing registers, and Dump reports
+// that telemetry is compiled out.
+func TestCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false under the notelemetry tag")
+	}
+	c := NewCounter("x.c")
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("counter must stay zero when compiled out")
+	}
+	h := NewHistogram("x.h")
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 {
+		t.Error("histogram must stay empty when compiled out")
+	}
+	g := NewGauge("x.g")
+	g.Set(7)
+	if g.Load() != 0 {
+		t.Error("gauge must stay zero when compiled out")
+	}
+	if NewCounter("a") != NewCounter("b") {
+		t.Error("constructors must return the shared no-op instance")
+	}
+	snap := TakeSnapshot()
+	if len(snap.Children) != 0 || len(snap.Counters) != 0 {
+		t.Error("snapshot must be empty when compiled out")
+	}
+	var buf bytes.Buffer
+	if err := Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compiled out") {
+		t.Errorf("dump = %q", buf.String())
+	}
+}

@@ -1,0 +1,371 @@
+// Package telemetry is the SDK's in-band instrumentation layer: the
+// continuous, always-on measurement substrate that turns the paper's
+// bench-harness numbers (§7: sub-µs controller processing, ~1% CPU at
+// 1 ms reporting periods, linear scaling with agents) into quantities
+// the running system reports about itself.
+//
+// Three primitives cover the hot paths:
+//
+//   - Counter: a monotonically increasing atomic uint64 (frames, bytes,
+//     indications, drops).
+//   - Gauge: a settable atomic int64 with lock-free reads (live agents,
+//     active subscriptions, registry sizes).
+//   - Histogram: a fixed-bucket latency histogram, log-spaced from ~1µs
+//     to ~1s, with zero-allocation Observe and p50/p95/p99 extraction
+//     from snapshots. Snapshots are mergeable, so per-connection
+//     histograms aggregate into fleet-wide distributions.
+//
+// All primitives are registered in a process-wide tree keyed by dotted
+// paths ("transport.sctpish.frames_sent"); Snapshot() materializes the
+// tree and Dump() renders it expvar-style. Instrumented packages hold
+// direct pointers to their primitives, so the hot path never touches the
+// registry: an enabled data point costs one or two atomic adds, and a
+// latency point adds two monotonic clock reads.
+//
+// The whole layer compiles to no-ops when the build tag "notelemetry"
+// is set (telemetry.Enabled becomes a false constant and every guarded
+// block is eliminated), preserving the paper's zero-overhead co-located
+// configuration. See docs/OBSERVABILITY.md for the metric catalogue and
+// how each exported quantity maps to a paper figure.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; counters obtained from NewCounter are also registered
+// for snapshots.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if !Enabled {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if !Enabled {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a last-write-wins instantaneous value with lock-free reads.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if !Enabled {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if !Enabled {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named collection of telemetry primitives. Most code uses
+// the process-wide Default registry through the package-level NewCounter
+// / NewGauge / NewHistogram functions.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry used by the instrumented SDK
+// packages.
+var Default = NewRegistry()
+
+// noop instances returned by the constructors when telemetry is compiled
+// out: callers keep valid pointers, every method is a no-op, and the
+// registry stays empty.
+var (
+	noopCounter   Counter
+	noopGauge     Gauge
+	noopHistogram Histogram
+)
+
+// Counter returns the counter registered under name, creating it if
+// needed. Names are dotted paths; the last segment is the leaf label in
+// the snapshot tree.
+func (r *Registry) Counter(name string) *Counter {
+	if !Enabled {
+		return &noopCounter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if !Enabled {
+		return &noopGauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if !Enabled {
+		return &noopHistogram
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Unregister removes every metric whose name equals prefix or starts
+// with prefix+"." — used to drop per-connection subtrees when a
+// connection closes. The primitives themselves stay valid for any
+// holder still incrementing them; they just stop appearing in snapshots.
+func (r *Registry) Unregister(prefix string) {
+	if !Enabled {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dotted := prefix + "."
+	for name := range r.counters {
+		if name == prefix || strings.HasPrefix(name, dotted) {
+			delete(r.counters, name)
+		}
+	}
+	for name := range r.gauges {
+		if name == prefix || strings.HasPrefix(name, dotted) {
+			delete(r.gauges, name)
+		}
+	}
+	for name := range r.hists {
+		if name == prefix || strings.HasPrefix(name, dotted) {
+			delete(r.hists, name)
+		}
+	}
+}
+
+// Reset zeroes and forgets every registered metric. Experiment harnesses
+// call this between runs so each run's snapshot starts from zero.
+func (r *Registry) Reset() {
+	if !Enabled {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.hists = make(map[string]*Histogram)
+}
+
+// Package-level conveniences on the Default registry.
+
+// NewCounter returns Default.Counter(name).
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge returns Default.Gauge(name).
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram returns Default.Histogram(name).
+func NewHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// Unregister removes a subtree from the Default registry.
+func Unregister(prefix string) { Default.Unregister(prefix) }
+
+// Reset clears the Default registry.
+func Reset() { Default.Reset() }
+
+// Snapshot is a point-in-time, immutable view of a registry subtree.
+// Leaves hold the metrics registered directly at this node's path;
+// Children hold deeper paths, keyed by path segment.
+type Snapshot struct {
+	// Name is the path segment of this node ("" for the root).
+	Name string
+	// Counters maps leaf label → value.
+	Counters map[string]uint64
+	// Gauges maps leaf label → value.
+	Gauges map[string]int64
+	// Histograms maps leaf label → distribution snapshot.
+	Histograms map[string]HistogramSnapshot
+	// Children maps path segment → subtree, sorted by Keys().
+	Children map[string]*Snapshot
+}
+
+func newSnapshotNode(name string) *Snapshot {
+	return &Snapshot{
+		Name:       name,
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Children:   make(map[string]*Snapshot),
+	}
+}
+
+// child returns (creating if needed) the subtree for the dotted path
+// above the final segment of name, and the leaf label.
+func (s *Snapshot) place(name string) (*Snapshot, string) {
+	node := s
+	segs := strings.Split(name, ".")
+	for _, seg := range segs[:len(segs)-1] {
+		next := node.Children[seg]
+		if next == nil {
+			next = newSnapshotNode(seg)
+			node.Children[seg] = next
+		}
+		node = next
+	}
+	return node, segs[len(segs)-1]
+}
+
+// Child descends a dotted path ("e2ap.asn"), returning nil if absent.
+func (s *Snapshot) Child(path string) *Snapshot {
+	node := s
+	for _, seg := range strings.Split(path, ".") {
+		node = node.Children[seg]
+		if node == nil {
+			return nil
+		}
+	}
+	return node
+}
+
+// Counter returns the counter at a dotted path below this node (zero if
+// absent).
+func (s *Snapshot) Counter(path string) uint64 {
+	node, leaf := s.find(path)
+	if node == nil {
+		return 0
+	}
+	return node.Counters[leaf]
+}
+
+// Histogram returns the histogram snapshot at a dotted path below this
+// node (zero-valued if absent).
+func (s *Snapshot) Histogram(path string) HistogramSnapshot {
+	node, leaf := s.find(path)
+	if node == nil {
+		return HistogramSnapshot{}
+	}
+	return node.Histograms[leaf]
+}
+
+func (s *Snapshot) find(path string) (*Snapshot, string) {
+	i := strings.LastIndexByte(path, '.')
+	if i < 0 {
+		return s, path
+	}
+	return s.Child(path[:i]), path[i+1:]
+}
+
+// TakeSnapshot materializes the registry as a tree.
+func (r *Registry) TakeSnapshot() *Snapshot {
+	root := newSnapshotNode("")
+	if !Enabled {
+		return root
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		node, leaf := root.place(name)
+		node.Counters[leaf] = c.Load()
+	}
+	for name, g := range r.gauges {
+		node, leaf := root.place(name)
+		node.Gauges[leaf] = g.Load()
+	}
+	for name, h := range r.hists {
+		node, leaf := root.place(name)
+		node.Histograms[leaf] = h.Snapshot()
+	}
+	return root
+}
+
+// TakeSnapshot snapshots the Default registry.
+func TakeSnapshot() *Snapshot { return Default.TakeSnapshot() }
+
+// Dump writes the registry expvar-style: one sorted "name value" line
+// per counter and gauge, and one summary line per histogram.
+func (r *Registry) Dump(w io.Writer) error {
+	if !Enabled {
+		_, err := fmt.Fprintln(w, "# telemetry compiled out (build tag notelemetry)")
+		return err
+	}
+	type line struct{ name, text string }
+	r.mu.Lock()
+	lines := make([]line, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, line{name, fmt.Sprintf("%s %d", name, c.Load())})
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, line{name, fmt.Sprintf("%s %d", name, g.Load())})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		lines = append(lines, line{name, fmt.Sprintf(
+			"%s count=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+			name, s.Count, s.Mean(), s.Percentile(50), s.Percentile(95),
+			s.Percentile(99), s.Max)})
+	}
+	r.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump writes the Default registry to w.
+func Dump(w io.Writer) error { return Default.Dump(w) }

@@ -1,0 +1,257 @@
+//go:build !notelemetry
+
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonicAndBounded(t *testing.T) {
+	prev := 0
+	for ns := int64(1); ns < int64(4*time.Second); ns *= 3 {
+		idx := bucketIndex(ns)
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("ns=%d: index %d out of range", ns, idx)
+		}
+		if idx < prev {
+			t.Fatalf("ns=%d: index %d < previous %d (not monotonic)", ns, idx, prev)
+		}
+		lo, hi := bucketBounds(idx)
+		if ns < lo || ns >= hi {
+			t.Fatalf("ns=%d mapped to bucket %d with bounds [%d,%d)", ns, idx, lo, hi)
+		}
+		prev = idx
+	}
+	if bucketIndex(0) != 0 {
+		t.Fatal("0 must land in the underflow bucket")
+	}
+	if bucketIndex(int64(time.Minute)) != NumBuckets-1 {
+		t.Fatal("1min must land in the overflow bucket")
+	}
+}
+
+func TestBucketBoundsContiguous(t *testing.T) {
+	for i := 0; i < NumBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread uniformly over 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Log-linear buckets bound relative error by 1/subPerOctave.
+	checks := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 500 * time.Microsecond},
+		{95, 950 * time.Microsecond},
+		{99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := s.Percentile(c.p)
+		lo := time.Duration(float64(c.want) * 0.7)
+		hi := time.Duration(float64(c.want) * 1.3)
+		if got < lo || got > hi {
+			t.Errorf("p%g = %v, want within [%v, %v]", c.p, got, lo, hi)
+		}
+	}
+	if s.Percentile(100) > s.Max || s.Percentile(100) == 0 {
+		t.Errorf("p100 = %v, max = %v", s.Percentile(100), s.Max)
+	}
+	if mean := s.Mean(); mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", mean)
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Percentile(99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	p99 := s.Percentile(99)
+	if p99 < 2*time.Millisecond || p99 > 4*time.Millisecond {
+		t.Fatalf("single-sample p99 = %v, want ~3ms", p99)
+	}
+	// A single sample's percentile must be capped by the observed max,
+	// not inflated to its bucket's upper bound.
+	if p99 > s.Max {
+		t.Fatalf("p99 %v exceeds max %v", p99, s.Max)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10 * time.Microsecond)
+		b.Observe(10 * time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 200 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	if merged.Max != sb.Max {
+		t.Fatalf("merged max = %v, want %v", merged.Max, sb.Max)
+	}
+	// Half the mass at 10µs, half at 10ms: p25 in the µs mode, p75 in
+	// the ms mode.
+	if p := merged.Percentile(25); p > time.Millisecond {
+		t.Errorf("p25 = %v, want µs-scale", p)
+	}
+	if p := merged.Percentile(75); p < time.Millisecond {
+		t.Errorf("p75 = %v, want ms-scale", p)
+	}
+	// Merge must equal observing everything in one histogram.
+	var c Histogram
+	for i := 0; i < 100; i++ {
+		c.Observe(10 * time.Microsecond)
+		c.Observe(10 * time.Millisecond)
+	}
+	direct := c.Snapshot()
+	if direct.Buckets != merged.Buckets {
+		t.Error("merged buckets differ from direct observation")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * 100 * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets uint64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestRegistrySnapshotTree(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport.sctpish.frames_sent").Add(7)
+	r.Gauge("server.randb.agents").Set(3)
+	r.Histogram("e2ap.asn.encode.Indication").Observe(5 * time.Microsecond)
+
+	snap := r.TakeSnapshot()
+	if got := snap.Counter("transport.sctpish.frames_sent"); got != 7 {
+		t.Errorf("counter via path = %d, want 7", got)
+	}
+	node := snap.Child("server.randb")
+	if node == nil || node.Gauges["agents"] != 3 {
+		t.Errorf("gauge subtree missing: %+v", node)
+	}
+	h := snap.Histogram("e2ap.asn.encode.Indication")
+	if h.Count != 1 {
+		t.Errorf("histogram count = %d", h.Count)
+	}
+	if snap.Child("no.such.path") != nil {
+		t.Error("absent path must return nil")
+	}
+	if snap.Counter("no.such.counter") != 0 {
+		t.Error("absent counter must read zero")
+	}
+}
+
+func TestRegistryGetOrCreateAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.y.c")
+	b := r.Counter("x.y.c")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	r.Counter("x.z").Inc()
+	r.Unregister("x.y")
+	snap := r.TakeSnapshot()
+	if snap.Counter("x.y.c") != 0 {
+		t.Error("unregistered subtree still visible")
+	}
+	if snap.Counter("x.z") != 1 {
+		t.Error("sibling was dropped by Unregister")
+	}
+	// The held pointer stays usable after unregistration.
+	a.Inc()
+	if a.Load() != 2 {
+		t.Error("unregistered counter pointer broken")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.frames").Add(2)
+	r.Counter("a.frames").Add(1)
+	r.Histogram("c.lat").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a.frames 1") || !strings.HasPrefix(lines[1], "b.frames 2") {
+		t.Errorf("dump not sorted: %q", out)
+	}
+	if !strings.Contains(lines[2], "count=1") || !strings.Contains(lines[2], "p99=") {
+		t.Errorf("histogram line malformed: %q", lines[2])
+	}
+}
+
+func TestResetClearsRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Reset()
+	if got := r.TakeSnapshot().Counter("a"); got != 0 {
+		t.Fatalf("after Reset counter = %d", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

@@ -3,6 +3,9 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"flexric/internal/telemetry"
 )
 
 // The pipe transport exchanges messages over in-process channels. It is
@@ -51,8 +54,17 @@ func pipeDial(name string) (Conn, error) {
 	b2a := make(chan []byte, pipeBufDepth)
 	done := make(chan struct{})
 	once := new(sync.Once) // shared: closing either end closes both exactly once
-	client := &pipeConn{peer: "pipe:" + name, send: a2b, recv: b2a, done: done, once: once}
-	server := &pipeConn{peer: "pipe-client:" + name, send: b2a, recv: a2b, done: done, once: once}
+	client := &pipeConn{peer: "pipe:" + name, send: a2b, recv: b2a, done: done, once: once, stats: newConnStats(KindPipe)}
+	server := &pipeConn{peer: "pipe-client:" + name, send: b2a, recv: a2b, done: done, once: once, stats: newConnStats(KindPipe)}
+	// Closing either end tears down both, so the shared close drops both
+	// per-conn telemetry subtrees.
+	closeBoth := func() {
+		close(done)
+		client.stats.close()
+		server.stats.close()
+	}
+	client.closeFn = closeBoth
+	server.closeFn = closeBoth
 	select {
 	case l.accept <- server:
 		return client, nil
@@ -87,11 +99,13 @@ func (l *pipeListener) Close() error {
 func (l *pipeListener) Addr() string { return l.name }
 
 type pipeConn struct {
-	peer string
-	send chan<- []byte
-	recv <-chan []byte
-	done chan struct{}
-	once *sync.Once
+	peer    string
+	send    chan<- []byte
+	recv    <-chan []byte
+	done    chan struct{}
+	once    *sync.Once
+	closeFn func()
+	stats   connStats
 }
 
 // Send implements Conn. The message is copied, matching the socket
@@ -100,10 +114,25 @@ func (p *pipeConn) Send(b []byte) error {
 	if len(b) > MaxMessageSize {
 		return ErrMessageTooLarge
 	}
+	// A closed conn must refuse sends deterministically: without this
+	// check the select below could still win the (buffered) send case
+	// after Close.
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
+	}
 	msg := make([]byte, len(b))
 	copy(msg, b)
 	select {
 	case p.send <- msg:
+		if telemetry.Enabled {
+			p.stats.sent(len(b), time.Since(t0))
+		}
 		return nil
 	case <-p.done:
 		return ErrClosed
@@ -114,12 +143,16 @@ func (p *pipeConn) Send(b []byte) error {
 func (p *pipeConn) Recv() ([]byte, error) {
 	select {
 	case m := <-p.recv:
+		// elapsed < 0: an in-process handoff has no reassembly work, so
+		// no receive latency is recorded (see telemetry.go).
+		p.stats.received(len(m), -1)
 		return m, nil
 	case <-p.done:
 		// Drain messages that raced with close, as a socket would deliver
 		// buffered data before EOF.
 		select {
 		case m := <-p.recv:
+			p.stats.received(len(m), -1)
 			return m, nil
 		default:
 			return nil, ErrClosed
@@ -129,7 +162,7 @@ func (p *pipeConn) Recv() ([]byte, error) {
 
 // Close implements Conn. Closing either end closes both.
 func (p *pipeConn) Close() error {
-	p.once.Do(func() { close(p.done) })
+	p.once.Do(p.closeFn)
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// Telemetry: every Conn counts frames and bytes in both directions and
+// samples send/receive latency, twice — once under its own subtree
+// (transport.<kind>.conn<N>.*, unregistered when the connection closes)
+// and once into per-kind aggregates (transport.<kind>.*) that survive
+// connection churn. Send latency covers the whole Send call, so lock
+// contention between concurrent senders is visible; receive latency
+// covers frame reassembly only (header-to-payload completion), not the
+// idle wait for the peer, which would otherwise drown the signal in
+// inter-arrival time. The pipe transport has no reassembly work and
+// records no receive latency.
+
+// connSeq numbers connections process-wide for telemetry scopes.
+var connSeq atomic.Uint64
+
+// dirStats is one frames/bytes/latency metric set.
+type dirStats struct {
+	framesSent, framesRecv *telemetry.Counter
+	bytesSent, bytesRecv   *telemetry.Counter
+	sendLat, recvLat       *telemetry.Histogram
+}
+
+func newDirStats(prefix string) dirStats {
+	return dirStats{
+		framesSent: telemetry.NewCounter(prefix + ".frames_sent"),
+		framesRecv: telemetry.NewCounter(prefix + ".frames_recv"),
+		bytesSent:  telemetry.NewCounter(prefix + ".bytes_sent"),
+		bytesRecv:  telemetry.NewCounter(prefix + ".bytes_recv"),
+		sendLat:    telemetry.NewHistogram(prefix + ".send_latency"),
+		recvLat:    telemetry.NewHistogram(prefix + ".recv_latency"),
+	}
+}
+
+// connStats instruments one Conn: its own subtree plus the per-kind
+// aggregate.
+type connStats struct {
+	scope string // registry prefix of the per-conn subtree
+	conn  dirStats
+	kind  dirStats
+}
+
+func newConnStats(kind Kind) connStats {
+	if !telemetry.Enabled {
+		return connStats{}
+	}
+	scope := fmt.Sprintf("transport.%s.conn%d", kind, connSeq.Add(1))
+	return connStats{
+		scope: scope,
+		conn:  newDirStats(scope),
+		kind:  newDirStats("transport." + string(kind)),
+	}
+}
+
+func (s *connStats) sent(n int, elapsed time.Duration) {
+	if !telemetry.Enabled {
+		return
+	}
+	s.conn.framesSent.Inc()
+	s.kind.framesSent.Inc()
+	s.conn.bytesSent.Add(uint64(n))
+	s.kind.bytesSent.Add(uint64(n))
+	s.conn.sendLat.Observe(elapsed)
+	s.kind.sendLat.Observe(elapsed)
+}
+
+func (s *connStats) received(n int, elapsed time.Duration) {
+	if !telemetry.Enabled {
+		return
+	}
+	s.conn.framesRecv.Inc()
+	s.kind.framesRecv.Inc()
+	s.conn.bytesRecv.Add(uint64(n))
+	s.kind.bytesRecv.Add(uint64(n))
+	if elapsed >= 0 {
+		s.conn.recvLat.Observe(elapsed)
+		s.kind.recvLat.Observe(elapsed)
+	}
+}
+
+// close drops the per-conn subtree; the kind aggregates retain the
+// connection's contribution.
+func (s *connStats) close() {
+	if !telemetry.Enabled {
+		return
+	}
+	if s.scope != "" {
+		telemetry.Unregister(s.scope)
+	}
+}

@@ -9,6 +9,11 @@
 // length-prefixed frame header. An in-process pipe transport is provided
 // for tests and for single-process deployments where a controller and its
 // agents are co-located (the zero-overhead configuration).
+//
+// Every connection is instrumented through internal/telemetry: frames
+// and bytes in both directions plus send/receive latency, per connection
+// and aggregated per transport kind (see telemetry.go). The
+// instrumentation compiles out under the notelemetry build tag.
 package transport
 
 import (
@@ -19,6 +24,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"flexric/internal/telemetry"
 )
 
 // Errors returned by transports.
@@ -120,14 +127,22 @@ type streamConn struct {
 
 	closeOnce sync.Once
 	closeErr  error
+
+	stats connStats
 }
 
-func newStreamConn(c net.Conn) *streamConn { return &streamConn{c: c} }
+func newStreamConn(c net.Conn) *streamConn {
+	return &streamConn{c: c, stats: newConnStats(KindSCTPish)}
+}
 
 // Send implements Conn.
 func (s *streamConn) Send(b []byte) error {
 	if len(b) > MaxMessageSize {
 		return ErrMessageTooLarge
+	}
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
@@ -135,8 +150,13 @@ func (s *streamConn) Send(b []byte) error {
 	// Two writes would allow the kernel to emit a tiny header segment;
 	// use a vectored write so header+payload go out together.
 	bufs := net.Buffers{s.hdr[:], b}
-	_, err := bufs.WriteTo(s.c)
-	return err
+	if _, err := bufs.WriteTo(s.c); err != nil {
+		return mapErr(err)
+	}
+	if telemetry.Enabled {
+		s.stats.sent(len(b), time.Since(t0))
+	}
+	return nil
 }
 
 // Recv implements Conn.
@@ -144,7 +164,13 @@ func (s *streamConn) Recv() ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	if _, err := io.ReadFull(s.c, s.recvHdr[:]); err != nil {
-		return nil, recvErr(err)
+		return nil, mapErr(err)
+	}
+	// The frame has started arriving: receive latency is measured from
+	// here (reassembly), not from the call (idle wait for the peer).
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
 	}
 	n := binary.BigEndian.Uint32(s.recvHdr[:])
 	if n > MaxMessageSize {
@@ -152,12 +178,17 @@ func (s *streamConn) Recv() ([]byte, error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(s.c, buf); err != nil {
-		return nil, recvErr(err)
+		return nil, mapErr(err)
+	}
+	if telemetry.Enabled {
+		s.stats.received(len(buf), time.Since(t0))
 	}
 	return buf, nil
 }
 
-func recvErr(err error) error {
+// mapErr normalizes stream errors: peer or local teardown surfaces as
+// ErrClosed on both Send and Recv.
+func mapErr(err error) error {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 		return ErrClosed
 	}
@@ -166,7 +197,10 @@ func recvErr(err error) error {
 
 // Close implements Conn.
 func (s *streamConn) Close() error {
-	s.closeOnce.Do(func() { s.closeErr = s.c.Close() })
+	s.closeOnce.Do(func() {
+		s.closeErr = s.c.Close()
+		s.stats.close()
+	})
 	return s.closeErr
 }
 

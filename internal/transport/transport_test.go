@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -364,5 +366,115 @@ func benchSendRecv(b *testing.B, kind Kind, addr string) {
 		if _, err := c.Recv(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestOversizeFrameHeaderOnRecv drives a malformed frame header (length
+// beyond MaxMessageSize) over a raw TCP socket: the receiving side must
+// reject it before allocating the claimed buffer.
+func TestOversizeFrameHeaderOnRecv(t *testing.T) {
+	l, err := Listen(KindSCTPish, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	c := <-accepted
+	defer c.Close()
+	if _, err := c.Recv(); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("want ErrMessageTooLarge, got %v", err)
+	}
+}
+
+// TestSendRecvAfterClose pins the teardown contract for both transports:
+// once a connection is closed locally, Send and Recv return ErrClosed.
+func TestSendRecvAfterClose(t *testing.T) {
+	for i, k := range kinds() {
+		t.Run(string(k.kind), func(t *testing.T) {
+			addr := startEcho(t, k.kind, k.addr(700+i))
+			c, err := Dial(k.kind, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := c.Send([]byte("after close")); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Send after Close: want ErrClosed, got %v", err)
+			}
+			if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Recv after Close: want ErrClosed, got %v", err)
+			}
+		})
+	}
+}
+
+// TestCloseDuringTraffic closes a connection while senders and a
+// receiver are active; every goroutine must unwind with ErrClosed (or a
+// cleanly delivered message), never deadlock. Exercised under -race by
+// make verify.
+func TestCloseDuringTraffic(t *testing.T) {
+	for i, k := range kinds() {
+		t.Run(string(k.kind), func(t *testing.T) {
+			addr := startEcho(t, k.kind, k.addr(800+i))
+			c, err := Dial(k.kind, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			msg := bytes.Repeat([]byte{0xAB}, 256)
+			for s := 0; s < 4; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if err := c.Send(msg); err != nil {
+							if !errors.Is(err, ErrClosed) {
+								t.Errorf("send: %v", err)
+							}
+							return
+						}
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := c.Recv(); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("recv: %v", err)
+						}
+						return
+					}
+				}
+			}()
+			time.Sleep(20 * time.Millisecond)
+			c.Close()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("goroutines did not unwind after Close")
+			}
+		})
 	}
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# verify.sh - the repository's full pre-merge check, also available as
+# `make verify`. Runs formatting, vet, both build modes (telemetry on and
+# compiled out), and the test suite under the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go build -tags notelemetry"
+go build -tags notelemetry ./...
+
+echo "==> go test (tier-1 suite)"
+go test ./...
+
+echo "==> go test -race -short"
+# -short skips the reduced-scale experiment shape tests: they assert CPU
+# bounds that are meaningless under the race detector's ~10x
+# instrumentation overhead. Concurrency coverage is unaffected.
+go test -race -short ./...
+
+echo "==> go test -tags notelemetry (telemetry compiled out)"
+go test -tags notelemetry ./internal/telemetry/ ./internal/transport/ ./internal/e2ap/
+
+echo "verify: OK"
