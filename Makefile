@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify fmt
+.PHONY: build test bench trace-demo verify fmt
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# End-to-end tracing demo: drives a monitoring control loop per encoding
+# scheme and asserts the linked span tree (agent.indication ->
+# transport.send / server.dispatch -> ctrl.monitor.store) over a live
+# /traces endpoint.
+trace-demo:
+	$(GO) test -run TestTraceDemo -v ./internal/obs/
 
 fmt:
 	gofmt -w .

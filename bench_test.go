@@ -18,6 +18,7 @@ import (
 	"flexric/internal/ran"
 	"flexric/internal/sm"
 	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
 
@@ -437,6 +438,27 @@ func BenchmarkTransportHotPath(b *testing.B) {
 			b.Fatal("telemetry enabled but no send latency recorded")
 		}
 		b.ReportMetric(float64(h.Percentile(95).Microseconds()), "p95_send_us")
+	}
+}
+
+// BenchmarkTraceDisabled exercises the full span choreography of one
+// E2 indication — root, child send, retroactive recv, end — with
+// sampling off (the production default). verify.sh gates on this
+// reporting 0 allocs/op: unsampled tracing must be free on the hot
+// path, matching the notrace build within noise.
+func BenchmarkTraceDisabled(b *testing.B) {
+	if trace.SampleEvery() != 0 {
+		b.Fatal("trace sampling unexpectedly enabled; BenchmarkTraceDisabled measures the off path")
+	}
+	t0 := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := trace.StartRoot("bench.indication")
+		child := trace.StartChild(sp.Context(), "bench.send")
+		child.End()
+		trace.Record(sp.Context(), "bench.recv", t0, time.Microsecond)
+		sp.End()
 	}
 }
 

@@ -11,13 +11,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flexric/internal/agent"
 	"flexric/internal/e2ap"
+	"flexric/internal/obs"
 	"flexric/internal/ran"
 	"flexric/internal/sm"
-	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 )
 
 func main() {
@@ -30,7 +33,14 @@ func main() {
 	mcs := flag.Int("mcs", 28, "modulation and coding scheme")
 	realtime := flag.Bool("realtime", true, "pace the slot loop at 1 TTI per ms")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "dump the telemetry snapshot periodically (0 = off)")
+	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
+	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
+	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
 	flag.Parse()
+
+	if *traceSample > 0 {
+		trace.SetSampleEvery(uint32(*traceSample))
+	}
 
 	e2s, sms := e2ap.SchemeASN, sm.SchemeASN
 	if *scheme == "fb" {
@@ -73,14 +83,15 @@ func main() {
 	log.Printf("connected to %s as node %d (%s, %d RB, scheme %s)",
 		*controller, *nodeID, r, *numRB, *scheme)
 
-	if *telemetryEvery > 0 {
-		go func() {
-			for range time.Tick(*telemetryEvery) {
-				fmt.Println("--- telemetry ---")
-				telemetry.Dump(os.Stdout)
-			}
-		}()
+	if *obsAddr != "" {
+		o, err := obs.NewServer(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer o.Close()
+		log.Printf("observability on http://%s (try /traces?limit=5)", o.Addr())
 	}
+	dumper := obs.NewDumper(os.Stdout, *telemetryEvery, *telemetryDump)
 
 	for i := 1; i <= *ues; i++ {
 		rnti := uint16(i)
@@ -95,17 +106,40 @@ func main() {
 		}
 	}
 
-	if *realtime {
-		t := time.NewTicker(time.Millisecond)
-		defer t.Stop()
-		for range t.C {
-			cell.Step(1)
-			sm.TickAll(fns, cell.Now())
+	// Slot loop in its own goroutine so the main goroutine can block on
+	// signals and shut down cleanly (stopping the dumper with a final
+	// flush instead of abandoning it).
+	stop := make(chan struct{})
+	go func() {
+		var tick <-chan time.Time
+		if *realtime {
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			tick = t.C
 		}
-	} else {
 		for {
+			if tick != nil {
+				select {
+				case <-tick:
+				case <-stop:
+					return
+				}
+			} else {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
 			cell.Step(1)
 			sm.TickAll(fns, cell.Now())
 		}
-	}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	close(stop)
+	dumper.Stop()
 }

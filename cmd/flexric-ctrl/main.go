@@ -18,9 +18,10 @@ import (
 	"flexric/internal/broker"
 	"flexric/internal/ctrl"
 	"flexric/internal/e2ap"
+	"flexric/internal/obs"
 	"flexric/internal/server"
 	"flexric/internal/sm"
-	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 )
 
 func main() {
@@ -32,7 +33,21 @@ func main() {
 	period := flag.Uint("period", 100, "monitoring period in ms")
 	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "also dump telemetry periodically (0 = off)")
+	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
+	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
 	flag.Parse()
+
+	if *traceSample > 0 {
+		trace.SetSampleEvery(uint32(*traceSample))
+	}
+	if *obsAddr != "" {
+		o, err := obs.NewServer(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer o.Close()
+		log.Printf("observability on http://%s (try /traces?limit=5)", o.Addr())
+	}
 
 	e2s := e2ap.SchemeASN
 	sms := sm.SchemeASN
@@ -96,21 +111,11 @@ func main() {
 		}
 	}()
 
-	if *telemetryEvery > 0 {
-		go func() {
-			for range time.Tick(*telemetryEvery) {
-				fmt.Println("--- telemetry ---")
-				telemetry.Dump(os.Stdout)
-			}
-		}()
-	}
+	dumper := obs.NewDumper(os.Stdout, *telemetryEvery, *telemetryDump)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	if *telemetryDump {
-		fmt.Println("--- telemetry ---")
-		telemetry.Dump(os.Stdout)
-	}
+	dumper.Stop()
 }

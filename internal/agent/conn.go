@@ -6,6 +6,7 @@ import (
 
 	"flexric/internal/e2ap"
 	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
 
@@ -31,7 +32,7 @@ func (c *conn) send(pdu e2ap.PDU) error {
 	if err != nil {
 		return err
 	}
-	return c.tc.Send(wire)
+	return transport.TracedSend(c.tc, wire, e2ap.TraceOf(pdu))
 }
 
 // recvLoop dispatches controller messages to RAN functions until the
@@ -80,6 +81,11 @@ func (c *conn) handleSubscription(m *e2ap.SubscriptionRequest) {
 	if telemetry.Enabled {
 		t0 = time.Now()
 	}
+	// Child of the controller's server.subscribe span (the context rode
+	// the wire inside the request). Covers lookup, SM fill, and the
+	// response send on every exit path.
+	sp := trace.StartChild(m.Trace, "agent.sub_fill")
+	defer sp.End()
 	fn := c.agent.fn(m.RANFunctionID)
 	if fn == nil {
 		agentTel.subsRejected.Inc()
@@ -194,6 +200,11 @@ func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationC
 	s.sn++
 	sn := s.sn
 	s.snMu.Unlock()
+	// Root of the per-indication trace: the agent is where an indication
+	// is born. The span covers encode + transport send; downstream
+	// stages (dispatch, callbacks, fan-out) link to it via the context
+	// carried in the PDU.
+	sp := trace.StartRoot("agent.indication")
 	err := s.conn.send(&e2ap.Indication{
 		RequestID:     s.reqID,
 		RANFunctionID: s.fnID,
@@ -202,7 +213,9 @@ func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationC
 		Class:         class,
 		Header:        header,
 		Payload:       payload,
+		Trace:         sp.Context(),
 	})
+	sp.End()
 	if telemetry.Enabled && err == nil {
 		agentTel.indications.Inc()
 		s.sent.Inc()

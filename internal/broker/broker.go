@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
 
@@ -26,7 +27,15 @@ const (
 	verbUnsubscribe = 2
 	verbPublish     = 3
 	verbMessage     = 4 // broker → subscriber delivery
+	// Traced variants carry a 16-byte trace context (TraceID, SpanID,
+	// big-endian) between the channel name and the payload, so a trace
+	// started in the E2 path survives the broker hop to xApps.
+	verbPublishT = 5
+	verbMessageT = 6
 )
+
+// traceCtxSize is the wire size of a trace context on traced frames.
+const traceCtxSize = 16
 
 // encodeFrame builds [verb][u16 channel len][channel][payload].
 func encodeFrame(verb byte, channel string, payload []byte) []byte {
@@ -36,6 +45,32 @@ func encodeFrame(verb byte, channel string, payload []byte) []byte {
 	copy(buf[3:], channel)
 	copy(buf[3+len(channel):], payload)
 	return buf
+}
+
+// encodeTracedFrame is encodeFrame with the trace context spliced in
+// front of the payload.
+func encodeTracedFrame(verb byte, channel string, tc trace.Context, payload []byte) []byte {
+	buf := make([]byte, 3+len(channel)+traceCtxSize+len(payload))
+	buf[0] = verb
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(channel)))
+	copy(buf[3:], channel)
+	off := 3 + len(channel)
+	binary.BigEndian.PutUint64(buf[off:], tc.TraceID)
+	binary.BigEndian.PutUint64(buf[off+8:], tc.SpanID)
+	copy(buf[off+traceCtxSize:], payload)
+	return buf
+}
+
+// splitTraced separates the trace context from a traced frame's payload.
+func splitTraced(payload []byte) (trace.Context, []byte, error) {
+	if len(payload) < traceCtxSize {
+		return trace.Context{}, nil, fmt.Errorf("broker: short traced frame")
+	}
+	tc := trace.Context{
+		TraceID: binary.BigEndian.Uint64(payload),
+		SpanID:  binary.BigEndian.Uint64(payload[8:]),
+	}
+	return tc, payload[traceCtxSize:], nil
 }
 
 func decodeFrame(b []byte) (verb byte, channel string, payload []byte, err error) {
@@ -137,13 +172,27 @@ func (s *Server) serve(c *serverConn) {
 			s.mu.Lock()
 			delete(s.subs[channel], c)
 			s.mu.Unlock()
-		case verbPublish:
+		case verbPublish, verbPublishT:
 			var t0 time.Time
 			if telemetry.Enabled {
 				t0 = time.Now()
 				brokerTel.published.Inc()
 			}
-			out := encodeFrame(verbMessage, channel, payload)
+			var sp trace.Span
+			var out []byte
+			if verb == verbPublishT {
+				tc, rest, err := splitTraced(payload)
+				if err != nil {
+					continue
+				}
+				// Fan-out span, child of the publisher's broker.publish;
+				// its context rides the delivery so subscribers can link
+				// further spans under it.
+				sp = trace.StartChild(tc, "broker.fanout")
+				out = encodeTracedFrame(verbMessageT, channel, sp.Context(), rest)
+			} else {
+				out = encodeFrame(verbMessage, channel, payload)
+			}
 			s.mu.Lock()
 			dsts := make([]*serverConn, 0, len(s.subs[channel]))
 			for dst := range s.subs[channel] {
@@ -158,6 +207,7 @@ func (s *Server) serve(c *serverConn) {
 					brokerTel.delivered.Inc()
 				}
 			}
+			sp.End()
 			if telemetry.Enabled {
 				brokerTel.fanoutLat.Observe(time.Since(t0))
 			}
@@ -169,6 +219,9 @@ func (s *Server) serve(c *serverConn) {
 type Message struct {
 	Channel string
 	Payload []byte
+	// Trace is the broker fan-out context when the publication was
+	// traced (PublishTraced); zero otherwise.
+	Trace trace.Context
 }
 
 // Client is a broker client. Safe for concurrent use.
@@ -222,10 +275,18 @@ func (c *Client) recvLoop() {
 			return
 		}
 		verb, channel, payload, err := decodeFrame(wire)
-		if err != nil || verb != verbMessage {
+		if err != nil {
 			continue
 		}
-		msg := Message{Channel: channel, Payload: append([]byte(nil), payload...)}
+		var tc trace.Context
+		if verb == verbMessageT {
+			if tc, payload, err = splitTraced(payload); err != nil {
+				continue
+			}
+		} else if verb != verbMessage {
+			continue
+		}
+		msg := Message{Channel: channel, Payload: append([]byte(nil), payload...), Trace: tc}
 		c.mu.Lock()
 		chans := append([]chan Message(nil), c.subs[channel]...)
 		c.mu.Unlock()
@@ -245,6 +306,23 @@ func (c *Client) Publish(channel string, payload []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	return c.tc.Send(encodeFrame(verbPublish, channel, payload))
+}
+
+// PublishTraced is Publish linked into a trace: it records a
+// "broker.publish" span under tc and carries the context to the broker,
+// which records its fan-out and forwards the context to subscribers.
+// With an invalid context it degrades to plain Publish, so call sites
+// need no branching.
+func (c *Client) PublishTraced(channel string, payload []byte, tc trace.Context) error {
+	if !trace.Enabled || !tc.Valid() {
+		return c.Publish(channel, payload)
+	}
+	sp := trace.StartChild(tc, "broker.publish")
+	c.sendMu.Lock()
+	err := c.tc.Send(encodeTracedFrame(verbPublishT, channel, sp.Context(), payload))
+	c.sendMu.Unlock()
+	sp.End()
+	return err
 }
 
 // Subscribe registers for a channel, returning a buffered delivery

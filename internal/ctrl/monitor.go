@@ -14,6 +14,7 @@ import (
 	"flexric/internal/e2ap"
 	"flexric/internal/server"
 	"flexric/internal/sm"
+	"flexric/internal/trace"
 )
 
 // MonitorLayers selects which monitoring SMs the controller subscribes
@@ -121,6 +122,10 @@ func (m *Monitor) onAgent(info server.AgentInfo) {
 }
 
 func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
+	// The controller-callback stage of the per-indication trace: SM
+	// decode (when enabled) + database update.
+	sp := trace.StartChild(ev.Trace, "ctrl.monitor.store")
+	defer sp.End()
 	payload := ev.Env.IndicationPayload()
 	m.indications.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))

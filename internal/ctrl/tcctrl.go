@@ -70,7 +70,7 @@ func NewTCController(srv *server.Server, scheme sm.Scheme, brokerAddr, httpAddr 
 				[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport}},
 				server.SubscriptionCallbacks{
 					OnIndication: func(ev server.IndicationEvent) {
-						_ = c.pub.Publish(ch, ev.Env.IndicationPayload())
+						_ = c.pub.PublishTraced(ch, ev.Env.IndicationPayload(), ev.Trace)
 					},
 				})
 		}
@@ -81,7 +81,7 @@ func NewTCController(srv *server.Server, scheme sm.Scheme, brokerAddr, httpAddr 
 				[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport}},
 				server.SubscriptionCallbacks{
 					OnIndication: func(ev server.IndicationEvent) {
-						_ = c.pub.Publish(ch, ev.Env.IndicationPayload())
+						_ = c.pub.PublishTraced(ch, ev.Env.IndicationPayload(), ev.Trace)
 					},
 				})
 		}

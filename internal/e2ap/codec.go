@@ -3,6 +3,8 @@ package e2ap
 import (
 	"errors"
 	"fmt"
+
+	"flexric/internal/trace"
 )
 
 // Codec errors.
@@ -53,6 +55,26 @@ type Envelope interface {
 	IndicationPayload() []byte
 	// IndicationHeader is the header analogue of IndicationPayload.
 	IndicationHeader() []byte
+	// Trace returns the distributed-tracing context carried by the
+	// message (zero when the message was not sampled or the procedure
+	// does not carry one). Like RequestID it must not require a full
+	// decode on zero-copy formats.
+	Trace() trace.Context
+}
+
+// TraceOf extracts the trace context stamped into a PDU at creation;
+// zero for procedures that do not carry one.
+func TraceOf(pdu PDU) trace.Context {
+	switch m := pdu.(type) {
+	case *SubscriptionRequest:
+		return m.Trace
+	case *Indication:
+		return m.Trace
+	case *ControlRequest:
+		return m.Trace
+	default:
+		return trace.Context{}
+	}
 }
 
 // decodedEnvelope wraps an already-materialized PDU (used by codecs with
@@ -136,6 +158,8 @@ func (d decodedEnvelope) IndicationHeader() []byte {
 	}
 	return nil
 }
+
+func (d decodedEnvelope) Trace() trace.Context { return TraceOf(d.pdu) }
 
 // Scheme names the two encoding schemes the SDK ships.
 type Scheme string

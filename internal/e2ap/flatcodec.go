@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexric/internal/encoding/flat"
+	"flexric/internal/trace"
 )
 
 // FlatCodec encodes E2AP messages in the FlatBuffers-style zero-copy
@@ -48,6 +49,10 @@ const (
 	slD
 	slE
 	slF
+	// Trace context slots, shared across traced message types so that
+	// Envelope.Trace is an O(1) slot read without knowing the type.
+	slTraceID
+	slTraceSpan
 	numSlots
 )
 
@@ -205,10 +210,14 @@ func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 			acts[i] = b.EndTable()
 		}
 		addRef(slB, b.CreateRefVector(acts))
-		id, rf := m.RequestID, m.RANFunctionID
+		id, rf, tr := m.RequestID, m.RANFunctionID, m.Trace
 		scalars = func(b *flat.Builder) {
 			b.AddUint32(slReqID, packReqID(id))
 			b.AddUint32(slRANFunc, uint32(rf))
+			if tr.Valid() {
+				b.AddUint64(slTraceID, tr.TraceID)
+				b.AddUint64(slTraceSpan, tr.SpanID)
+			}
 		}
 	case *SubscriptionResponse:
 		if m.Admitted != nil {
@@ -268,6 +277,10 @@ func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 			b.AddUint32(slReqID, packReqID(mm.RequestID))
 			b.AddUint32(slRANFunc, uint32(mm.RANFunctionID))
 			b.AddUint64(slA, uint64(mm.ActionID)<<40|uint64(mm.Class)<<32|uint64(mm.SN))
+			if mm.Trace.Valid() {
+				b.AddUint64(slTraceID, mm.Trace.TraceID)
+				b.AddUint64(slTraceSpan, mm.Trace.SpanID)
+			}
 		}
 	case *ControlRequest:
 		if m.CallProcessID != nil {
@@ -279,11 +292,15 @@ func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 		if m.Payload != nil {
 			addRef(slC, b.CreateByteVector(m.Payload))
 		}
-		id, rf, ack := m.RequestID, m.RANFunctionID, m.AckRequested
+		id, rf, ack, tr := m.RequestID, m.RANFunctionID, m.AckRequested, m.Trace
 		scalars = func(b *flat.Builder) {
 			b.AddUint32(slReqID, packReqID(id))
 			b.AddUint32(slRANFunc, uint32(rf))
 			b.AddBool(slD, ack)
+			if tr.Valid() {
+				b.AddUint64(slTraceID, tr.TraceID)
+				b.AddUint64(slTraceSpan, tr.SpanID)
+			}
 		}
 	case *ControlAck:
 		if m.CallProcessID != nil {
@@ -371,6 +388,10 @@ func (e *flatEnvelope) IndicationHeader() []byte {
 		return nil
 	}
 	return e.tab.Bytes(slB)
+}
+
+func (e *flatEnvelope) Trace() trace.Context {
+	return trace.Context{TraceID: e.tab.Uint64(slTraceID), SpanID: e.tab.Uint64(slTraceSpan)}
 }
 
 func (e *flatEnvelope) PDU() (PDU, error) {
@@ -511,6 +532,7 @@ func flatDecodeBody(tab flat.Table, t MessageType) (PDU, error) {
 			RequestID:     unpackReqID(tab.Uint32(slReqID)),
 			RANFunctionID: uint16(tab.Uint32(slRANFunc)),
 			EventTrigger:  cp(tab.Bytes(slA)),
+			Trace:         flatGetTrace(tab),
 		}
 		n := tab.VectorLen(slB)
 		if n > 0 {
@@ -573,6 +595,7 @@ func flatDecodeBody(tab flat.Table, t MessageType) (PDU, error) {
 			Header:        cp(tab.Bytes(slB)),
 			Payload:       cp(tab.Bytes(slC)),
 			CallProcessID: cp(tab.Bytes(slD)),
+			Trace:         flatGetTrace(tab),
 		}, nil
 	case TypeControlRequest:
 		return &ControlRequest{
@@ -582,6 +605,7 @@ func flatDecodeBody(tab flat.Table, t MessageType) (PDU, error) {
 			Header:        cp(tab.Bytes(slB)),
 			Payload:       cp(tab.Bytes(slC)),
 			AckRequested:  tab.Bool(slD),
+			Trace:         flatGetTrace(tab),
 		}, nil
 	case TypeControlAck:
 		return &ControlAck{
@@ -604,6 +628,12 @@ func flatDecodeBody(tab flat.Table, t MessageType) (PDU, error) {
 }
 
 // --- shared helpers ---
+
+// flatGetTrace reads the trace-context slots; absent slots read as zero,
+// which is exactly the invalid Context.
+func flatGetTrace(tab flat.Table) trace.Context {
+	return trace.Context{TraceID: tab.Uint64(slTraceID), SpanID: tab.Uint64(slTraceSpan)}
+}
 
 func packPLMN(p PLMN) uint32   { return uint32(p.MCC)<<10 | uint32(p.MNC) }
 func unpackPLMN(v uint32) PLMN { return PLMN{MCC: uint16(v >> 10), MNC: uint16(v & 0x3FF)} }

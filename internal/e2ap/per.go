@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexric/internal/encoding/asn1per"
+	"flexric/internal/trace"
 )
 
 // PERCodec encodes E2AP messages in the ASN.1-PER-style bit format.
@@ -144,6 +145,7 @@ func (c *PERCodec) encodeBody(w *asn1per.Writer, pdu PDU) error {
 			}
 			w.WriteOctets(a.Definition)
 		}
+		perPutTrace(w, m.Trace)
 	case *SubscriptionResponse:
 		perPutReqID(w, m.RequestID)
 		w.WriteBits(uint64(m.RANFunctionID), 16)
@@ -181,6 +183,7 @@ func (c *PERCodec) encodeBody(w *asn1per.Writer, pdu PDU) error {
 		if m.CallProcessID != nil {
 			w.WriteOctets(m.CallProcessID)
 		}
+		perPutTrace(w, m.Trace)
 	case *ControlRequest:
 		perPutReqID(w, m.RequestID)
 		w.WriteBits(uint64(m.RANFunctionID), 16)
@@ -191,6 +194,7 @@ func (c *PERCodec) encodeBody(w *asn1per.Writer, pdu PDU) error {
 		w.WriteOctets(m.Header)
 		w.WriteOctets(m.Payload)
 		w.WriteBool(m.AckRequested)
+		perPutTrace(w, m.Trace)
 	case *ControlAck:
 		perPutReqID(w, m.RequestID)
 		w.WriteBits(uint64(m.RANFunctionID), 16)
@@ -544,6 +548,9 @@ func perDecodeBody(r *asn1per.Reader, t MessageType) (PDU, error) {
 				}
 			}
 		}
+		if m.Trace, err = perGetTrace(r); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case TypeSubscriptionResponse:
 		m := &SubscriptionResponse{}
@@ -651,6 +658,9 @@ func perDecodeBody(r *asn1per.Reader, t MessageType) (PDU, error) {
 				return nil, err
 			}
 		}
+		if m.Trace, err = perGetTrace(r); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case TypeControlRequest:
 		m := &ControlRequest{}
@@ -674,6 +684,9 @@ func perDecodeBody(r *asn1per.Reader, t MessageType) (PDU, error) {
 			return nil, err
 		}
 		if m.AckRequested, err = r.ReadBool(); err != nil {
+			return nil, err
+		}
+		if m.Trace, err = perGetTrace(r); err != nil {
 			return nil, err
 		}
 		return m, nil
@@ -938,6 +951,32 @@ func perGetU8(r *asn1per.Reader, dst *uint8) error {
 	}
 	*dst = uint8(v)
 	return nil
+}
+
+// perPutTrace appends the optional trace context: a presence bit, then
+// TraceID and SpanID as two 64-bit fields. It trails the message body so
+// untraced messages cost exactly one bit.
+func perPutTrace(w *asn1per.Writer, tc trace.Context) {
+	w.WriteBool(tc.Valid())
+	if tc.Valid() {
+		w.WriteBits(tc.TraceID, 64)
+		w.WriteBits(tc.SpanID, 64)
+	}
+}
+
+func perGetTrace(r *asn1per.Reader) (trace.Context, error) {
+	has, err := r.ReadBool()
+	if err != nil || !has {
+		return trace.Context{}, err
+	}
+	var tc trace.Context
+	if tc.TraceID, err = r.ReadBits(64); err != nil {
+		return trace.Context{}, err
+	}
+	if tc.SpanID, err = r.ReadBits(64); err != nil {
+		return trace.Context{}, err
+	}
+	return tc, nil
 }
 
 func perGetFailure(r *asn1per.Reader, tid *uint8, cause *Cause, ttw *uint32) error {

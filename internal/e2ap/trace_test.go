@@ -1,0 +1,106 @@
+package e2ap
+
+import (
+	"testing"
+
+	"flexric/internal/trace"
+)
+
+// The trace context must survive the wire in both schemes, be readable
+// from the cheap Envelope view, and cost nothing when absent.
+func TestTraceRoundTrip(t *testing.T) {
+	tc := trace.Context{TraceID: 0xDEADBEEFCAFE0001, SpanID: 0x1234567890ABCDEF}
+	msgs := []PDU{
+		&SubscriptionRequest{
+			RequestID:     RequestID{Requestor: 7, Instance: 9},
+			RANFunctionID: 2,
+			EventTrigger:  []byte{1, 2},
+			Actions:       []Action{{ID: 1, Type: ActionReport, Definition: []byte{3}}},
+			Trace:         tc,
+		},
+		&Indication{
+			RequestID:     RequestID{Requestor: 7, Instance: 9},
+			RANFunctionID: 2,
+			ActionID:      1,
+			SN:            42,
+			Header:        []byte{4, 5},
+			Payload:       []byte{6, 7, 8},
+			Trace:         tc,
+		},
+		&ControlRequest{
+			RequestID:     RequestID{Requestor: 7, Instance: 9},
+			RANFunctionID: 2,
+			Header:        []byte{9},
+			Payload:       []byte{10, 11},
+			AckRequested:  true,
+			Trace:         tc,
+		},
+	}
+	for _, scheme := range []Scheme{SchemeASN, SchemeFB} {
+		c := MustCodec(scheme)
+		for _, pdu := range msgs {
+			wire, err := c.Encode(pdu)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", scheme, pdu.MsgType(), err)
+			}
+			wire = append([]byte(nil), wire...) // codec reuses its buffer
+
+			dec, err := c.Decode(wire)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", scheme, pdu.MsgType(), err)
+			}
+			if got := TraceOf(dec); got != tc {
+				t.Errorf("%s/%s: Decode trace = %+v, want %+v", scheme, pdu.MsgType(), got, tc)
+			}
+
+			env, err := c.Envelope(wire)
+			if err != nil {
+				t.Fatalf("%s/%s: envelope: %v", scheme, pdu.MsgType(), err)
+			}
+			if got := env.Trace(); got != tc {
+				t.Errorf("%s/%s: Envelope trace = %+v, want %+v", scheme, pdu.MsgType(), got, tc)
+			}
+		}
+	}
+}
+
+// Untraced messages must round-trip with a zero context, not a garbage
+// one, and non-traced procedures must report zero from the envelope.
+func TestTraceAbsent(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeASN, SchemeFB} {
+		c := MustCodec(scheme)
+		ind := &Indication{RequestID: RequestID{Requestor: 1}, RANFunctionID: 3, Payload: []byte{1}}
+		wire, err := c.Encode(ind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append([]byte(nil), wire...)
+		dec, err := c.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := TraceOf(dec); got.Valid() {
+			t.Errorf("%s: untraced indication decoded with trace %+v", scheme, got)
+		}
+		env, err := c.Envelope(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Trace().Valid() {
+			t.Errorf("%s: untraced envelope reports trace %+v", scheme, env.Trace())
+		}
+
+		wire2, err := c.Encode(&SetupResponse{TransactionID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire2 = append([]byte(nil), wire2...)
+		env2, err := c.Envelope(wire2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env2.Trace().Valid() {
+			t.Errorf("%s: setup response reports trace %+v", scheme, env2.Trace())
+		}
+	}
+}

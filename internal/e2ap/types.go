@@ -15,7 +15,11 @@
 // procedures (subscription, subscription delete, indication, control).
 package e2ap
 
-import "fmt"
+import (
+	"fmt"
+
+	"flexric/internal/trace"
+)
 
 // MessageType enumerates the E2AP procedures.
 type MessageType uint8
@@ -379,6 +383,9 @@ type SubscriptionRequest struct {
 	RANFunctionID uint16
 	EventTrigger  []byte // SM-encoded event trigger definition
 	Actions       []Action
+	// Trace is the distributed-tracing context stamped at creation and
+	// carried across the wire by both codecs; zero when not sampled.
+	Trace trace.Context
 }
 
 func (*SubscriptionRequest) MsgType() MessageType { return TypeSubscriptionRequest }
@@ -439,6 +446,9 @@ type Indication struct {
 	Header        []byte // SM-encoded indication header
 	Payload       []byte // SM-encoded indication message
 	CallProcessID []byte // optional
+	// Trace is the distributed-tracing context stamped at creation and
+	// carried across the wire by both codecs; zero when not sampled.
+	Trace trace.Context
 }
 
 func (*Indication) MsgType() MessageType { return TypeIndication }
@@ -451,6 +461,9 @@ type ControlRequest struct {
 	Header        []byte // SM-encoded control header
 	Payload       []byte // SM-encoded control message
 	AckRequested  bool
+	// Trace is the distributed-tracing context stamped at creation and
+	// carried across the wire by both codecs; zero when not sampled.
+	Trace trace.Context
 }
 
 func (*ControlRequest) MsgType() MessageType { return TypeControlRequest }

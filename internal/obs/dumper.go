@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// Dumper owns a binary's telemetry dumps: an optional periodic dump
+// (the -telemetry-every flag) and an optional final dump on Stop (the
+// -telemetry flag). It replaces the previous inline ticker goroutines,
+// which were abandoned at exit — Stop joins the goroutine and flushes,
+// so the last measurement interval is never lost.
+type Dumper struct {
+	w       io.Writer
+	every   time.Duration
+	onExit  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	stopped sync.Once
+
+	mu sync.Mutex // serializes dumps from the ticker and Stop
+}
+
+// NewDumper starts a dumper writing to w every `every` (0 = no periodic
+// dump). With onExit, Stop flushes one final dump; a periodic dumper
+// always flushes on Stop so its tail interval is reported.
+func NewDumper(w io.Writer, every time.Duration, onExit bool) *Dumper {
+	d := &Dumper{w: w, every: every, onExit: onExit, done: make(chan struct{})}
+	if every > 0 {
+		d.wg.Add(1)
+		go d.loop()
+	}
+	return d
+}
+
+func (d *Dumper) loop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.dump()
+		case <-d.done:
+			return
+		}
+	}
+}
+
+func (d *Dumper) dump() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fmt.Fprintln(d.w, "--- telemetry ---")
+	_ = telemetry.Dump(d.w)
+}
+
+// Stop halts the periodic goroutine (joining it, so no write can land
+// after Stop returns) and flushes a final dump when configured.
+// Idempotent and safe to call on a dumper with no periodic loop.
+func (d *Dumper) Stop() {
+	d.stopped.Do(func() {
+		close(d.done)
+		d.wg.Wait()
+		if d.onExit || d.every > 0 {
+			d.dump()
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the test can read while the dumper's
+// goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) dumps() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Count(b.buf.String(), "--- telemetry ---")
+}
+
+// The periodic dumper must actually stop on Stop — no writes after it
+// returns — and flush one final dump so the tail interval is reported.
+// This is the shutdown behavior the binaries previously lacked (the
+// ticker goroutine was abandoned on SIGINT).
+func TestDumperStopsAndFlushes(t *testing.T) {
+	var buf syncBuffer
+	d := NewDumper(&buf, 5*time.Millisecond, false)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.dumps() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic dumper never fired twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	d.Stop()
+	after := buf.dumps()
+	if before := after - 1; before < 2 {
+		t.Fatalf("expected final flush on Stop: %d dumps total", after)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := buf.dumps(); got != after {
+		t.Fatalf("dumper wrote after Stop: %d -> %d", after, got)
+	}
+
+	d.Stop() // idempotent
+	if got := buf.dumps(); got != after {
+		t.Fatalf("second Stop dumped again: %d -> %d", after, got)
+	}
+}
+
+// With no period and onExit set (the -telemetry flag), Stop performs
+// exactly one dump.
+func TestDumperOnExitOnly(t *testing.T) {
+	var buf syncBuffer
+	d := NewDumper(&buf, 0, true)
+	time.Sleep(10 * time.Millisecond)
+	if got := buf.dumps(); got != 0 {
+		t.Fatalf("dumped %d times before Stop", got)
+	}
+	d.Stop()
+	if got := buf.dumps(); got != 1 {
+		t.Fatalf("on-exit dump count = %d, want 1", got)
+	}
+}
+
+// With neither flag, the dumper is inert.
+func TestDumperDisabled(t *testing.T) {
+	var buf syncBuffer
+	d := NewDumper(&buf, 0, false)
+	d.Stop()
+	if got := buf.dumps(); got != 0 {
+		t.Fatalf("disabled dumper dumped %d times", got)
+	}
+}

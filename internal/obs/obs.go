@@ -1,0 +1,71 @@
+// Package obs is the SDK's live-introspection surface: a small HTTP
+// server exposing the telemetry registry (text and JSON), the tracing
+// ring as per-trace span trees, and net/http/pprof — mounted in the
+// flexric-ctrl and flexric-agent binaries via the -obs flag. It also
+// provides the Dumper helper that owns the binaries' periodic and
+// on-exit telemetry dumps (so the ticker goroutine is stopped and
+// flushed on shutdown instead of abandoned).
+//
+// Endpoints:
+//
+//	GET /metrics          telemetry text dump (same as the -telemetry flags)
+//	GET /snapshot.json    telemetry snapshot as a JSON tree
+//	GET /traces?limit=N   most recent N traces as JSON span trees
+//	GET /debug/pprof/     standard pprof index (profile, heap, trace, ...)
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// Server is the observability HTTP server.
+type Server struct {
+	lis  net.Listener
+	http *http.Server
+}
+
+// NewServer binds addr (e.g. ":9090", "127.0.0.1:0") and starts serving.
+func NewServer(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/snapshot.json", handleSnapshot)
+	mux.HandleFunc("/traces", handleTraces)
+	// pprof registers on the default mux only; re-mount explicitly so a
+	// custom mux works and nothing else leaks in.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		lis:  lis,
+		http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.http.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. to print a startup banner.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = telemetry.Dump(w)
+}
+
+func handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = telemetry.DumpJSON(w)
+}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
 
@@ -26,7 +28,7 @@ func (c *agentConn) send(pdu e2ap.PDU) error {
 	if err != nil {
 		return err
 	}
-	return c.tc.Send(wire)
+	return transport.TracedSend(c.tc, wire, e2ap.TraceOf(pdu))
 }
 
 // serveAgent performs E2 setup and runs the receive loop for one agent.
@@ -126,6 +128,18 @@ func (c *agentConn) recvLoop() {
 		env, err := c.dec.Envelope(wire)
 		if err != nil {
 			continue
+		}
+		if trace.Enabled {
+			// The reassembly time was measured before the trace context
+			// could be decoded; attach it retroactively. The pipe
+			// transport has no reassembly phase and no RecvTimer.
+			if tc := env.Trace(); tc.Valid() {
+				if rt, ok := c.tc.(transport.RecvTimer); ok {
+					if d := rt.LastRecvDuration(); d > 0 {
+						trace.Record(tc, "transport.recv", time.Now().Add(-d), d)
+					}
+				}
+			}
 		}
 		switch env.Type() {
 		case e2ap.TypeIndication:

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
 
@@ -48,6 +49,10 @@ func (a AgentInfo) HasFunction(id uint16) bool {
 type IndicationEvent struct {
 	Agent AgentID
 	Env   e2ap.Envelope
+	// Trace is the dispatch-stage context: a child of the trace the
+	// agent stamped into the indication. Callbacks parent their own
+	// spans under it; zero when the indication was not sampled.
+	Trace trace.Context
 }
 
 // SubscriptionCallbacks receive the outcome and data of a subscription.
@@ -214,13 +219,19 @@ func (s *Server) Subscribe(agent AgentID, fnID uint16, trigger []byte, actions [
 		return SubID{}, fmt.Errorf("server: no agent %d", agent)
 	}
 	req := s.subs.create(agent, cb)
+	// Root of the subscription trace; the context rides the request so
+	// the agent's fill span links under it.
+	sp := trace.StartRoot("server.subscribe")
 	msg := &e2ap.SubscriptionRequest{
 		RequestID:     req,
 		RANFunctionID: fnID,
 		EventTrigger:  trigger,
 		Actions:       actions,
+		Trace:         sp.Context(),
 	}
-	if err := c.send(msg); err != nil {
+	err := c.send(msg)
+	sp.End()
+	if err != nil {
 		s.subs.remove(SubID{Agent: agent, Req: req})
 		return SubID{}, err
 	}
@@ -251,13 +262,17 @@ func (s *Server) Control(agent AgentID, fnID uint16, header, payload []byte, ack
 	} else {
 		req = s.subs.nextFireAndForget()
 	}
-	return c.send(&e2ap.ControlRequest{
+	sp := trace.StartRoot("server.control")
+	err := c.send(&e2ap.ControlRequest{
 		RequestID:     req,
 		RANFunctionID: fnID,
 		Header:        header,
 		Payload:       payload,
 		AckRequested:  ack,
+		Trace:         sp.Context(),
 	})
+	sp.End()
+	return err
 }
 
 func (s *Server) agent(id AgentID) *agentConn {

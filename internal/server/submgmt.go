@@ -6,6 +6,7 @@ import (
 
 	"flexric/internal/e2ap"
 	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 )
 
 // subManager is the subscription management of §4.2.2: it "(i) keeps
@@ -90,6 +91,15 @@ func (m *subManager) dispatchIndication(agent AgentID, env e2ap.Envelope) {
 		t0 = time.Now()
 	}
 	id := SubID{Agent: agent, Req: env.RequestID()}
+	// Child of the agent's indication span; covers lookup + callback.
+	// With the FB scheme env.Trace() is an O(1) slot read, so the
+	// untraced hot path pays only that plus a branch.
+	var sp trace.Span
+	if trace.Enabled {
+		if tc := env.Trace(); tc.Valid() {
+			sp = trace.StartChild(tc, "server.dispatch")
+		}
+	}
 	m.mu.Lock()
 	sub := m.subs[id]
 	m.mu.Unlock()
@@ -98,9 +108,11 @@ func (m *subManager) dispatchIndication(agent AgentID, env e2ap.Envelope) {
 		m.dropped++
 		m.mu.Unlock()
 		serverTel.dropped.Inc()
+		sp.End()
 		return
 	}
-	sub.cb.OnIndication(IndicationEvent{Agent: agent, Env: env})
+	sub.cb.OnIndication(IndicationEvent{Agent: agent, Env: env, Trace: sp.Context()})
+	sp.End()
 	if telemetry.Enabled {
 		serverTel.indications.Inc()
 		sub.inds.Inc()

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// histogramJSON is the JSON shape of a histogram: a summary rather than
+// the 82 raw buckets, which is what dashboards and the /snapshot.json
+// endpoint want. All durations are nanoseconds.
+type histogramJSON struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P95NS  int64  `json:"p95_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+// snapshotJSON mirrors Snapshot for marshalling. Map-valued fields are
+// what makes the output deterministic: encoding/json sorts map keys, so
+// two snapshots of the same registry state serialize byte-identically
+// (asserted by the golden test).
+type snapshotJSON struct {
+	Counters   map[string]uint64        `json:"counters,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]histogramJSON `json:"histograms,omitempty"`
+	Children   map[string]*Snapshot     `json:"children,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: subtrees nest under "children",
+// histograms serialize as count/mean/percentile summaries.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	out := snapshotJSON{
+		Counters: s.Counters,
+		Gauges:   s.Gauges,
+		Children: s.Children,
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]histogramJSON, len(s.Histograms))
+		for label, h := range s.Histograms {
+			out.Histograms[label] = histogramJSON{
+				Count:  h.Count,
+				MeanNS: int64(h.Mean()),
+				P50NS:  int64(h.Percentile(50)),
+				P95NS:  int64(h.Percentile(95)),
+				P99NS:  int64(h.Percentile(99)),
+				MaxNS:  int64(h.Max),
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// DumpJSON writes the registry's snapshot as a single JSON document.
+// This is the /snapshot.json endpoint's body. When telemetry is
+// compiled out the snapshot is empty and the output is "{}".
+func (r *Registry) DumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.TakeSnapshot())
+}
+
+// DumpJSON writes the default registry's snapshot as JSON.
+func DumpJSON(w io.Writer) error { return Default.DumpJSON(w) }

@@ -1,0 +1,83 @@
+//go:build !notelemetry
+
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// DumpJSON must be deterministic: two dumps of the same registry state
+// are byte-identical (encoding/json sorts map keys), so the output is
+// diffable and safe to golden-test downstream.
+func TestDumpJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport.sctpish.frames_out").Add(3)
+	r.Counter("transport.sctpish.frames_in").Add(2)
+	r.Counter("server.indications").Add(7)
+	r.Gauge("server.agents").Set(1)
+	r.Histogram("transport.sctpish.send_latency").Observe(100 * time.Microsecond)
+	r.Histogram("transport.sctpish.send_latency").Observe(200 * time.Microsecond)
+
+	var a, b bytes.Buffer
+	if err := r.DumpJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("DumpJSON not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Shape: nested children, summarized histograms, sorted keys.
+	var doc struct {
+		Counters map[string]uint64 `json:"counters"`
+		Children map[string]struct {
+			Counters map[string]uint64 `json:"counters"`
+			Gauges   map[string]int64  `json:"gauges"`
+			Children map[string]struct {
+				Counters   map[string]uint64 `json:"counters"`
+				Histograms map[string]struct {
+					Count  uint64 `json:"count"`
+					MeanNS int64  `json:"mean_ns"`
+					P95NS  int64  `json:"p95_ns"`
+					MaxNS  int64  `json:"max_ns"`
+				} `json:"histograms"`
+			} `json:"children"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, a.String())
+	}
+	srv, ok := doc.Children["server"]
+	if !ok {
+		t.Fatalf("no server subtree in %s", a.String())
+	}
+	if srv.Counters["indications"] != 7 || srv.Gauges["agents"] != 1 {
+		t.Errorf("server subtree = %+v", srv)
+	}
+	sctp, ok := doc.Children["transport"].Children["sctpish"]
+	if !ok {
+		t.Fatalf("no transport.sctpish subtree in %s", a.String())
+	}
+	if sctp.Counters["frames_out"] != 3 {
+		t.Errorf("frames_out = %d, want 3", sctp.Counters["frames_out"])
+	}
+	h := sctp.Histograms["send_latency"]
+	if h.Count != 2 || h.MeanNS <= 0 || h.P95NS <= 0 || h.MaxNS <= 0 {
+		t.Errorf("send_latency summary = %+v", h)
+	}
+}
+
+func TestDumpJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{}\n" {
+		t.Errorf("empty registry dump = %q, want {}", got)
+	}
+}

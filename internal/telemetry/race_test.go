@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The transport layer unregisters per-connection subtrees on close
+// while the periodic dumper and /snapshot.json read the registry.
+// This test has no assertions beyond "no panic": its job is to put
+// Unregister, TakeSnapshot, Dump, DumpJSON, and live metric updates in
+// flight together under `go test -race`.
+func TestUnregisterRacesSnapshotAndDump(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				scope := fmt.Sprintf("transport.conn%d_%d", g, i)
+				c := r.Counter(scope + ".frames_out")
+				c.Inc()
+				r.Histogram(scope + ".send_latency").Observe(time.Microsecond)
+				r.Gauge(scope + ".up").Set(1)
+				r.Unregister(scope)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.TakeSnapshot()
+				_ = r.Dump(io.Discard)
+				_ = r.DumpJSON(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := r.TakeSnapshot()
+	if tr := snap.Child("transport"); tr != nil && len(tr.Children) != 0 {
+		t.Errorf("unregistered scopes still present: %d", len(tr.Children))
+	}
+}

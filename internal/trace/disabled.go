@@ -1,0 +1,7 @@
+//go:build notrace
+
+package trace
+
+// Enabled is false under the notrace tag: span operations compile to
+// no-ops and the ring is never written.
+const Enabled = false

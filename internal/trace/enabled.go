@@ -1,0 +1,10 @@
+//go:build !notrace
+
+package trace
+
+// Enabled reports whether the tracing layer is compiled in. Like
+// telemetry.Enabled it is a build-time constant: `-tags notrace` flips
+// it to false and every `if trace.Enabled` block is eliminated by the
+// compiler. Even when compiled in, tracing stays inert until
+// SetSampleEvery selects a rate (the default is 0 = off).
+const Enabled = true

@@ -1,0 +1,40 @@
+//go:build notrace
+
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// With the notrace tag the layer must compile to no-ops: sampling can
+// never be enabled, spans are never valid, and nothing is recorded.
+func TestCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false under the notrace tag")
+	}
+	SetSampleEvery(1)
+	if SampleEvery() != 0 {
+		t.Error("sampling must stay off when compiled out")
+	}
+	sp := StartRoot("r")
+	if sp.Context().Valid() {
+		t.Error("spans must never be valid when compiled out")
+	}
+	child := StartChild(sp.Context(), "c")
+	child.End()
+	Record(sp.Context(), "retro", time.Now(), time.Millisecond)
+	sp.End()
+	if spans := Snapshot(); spans != nil {
+		t.Errorf("snapshot = %v, want nil", spans)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s := StartRoot("r")
+		c := StartChild(s.Context(), "c")
+		c.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled-out path allocates: %.1f allocs/op", allocs)
+	}
+}

@@ -1,0 +1,248 @@
+// Package trace is the SDK's distributed-tracing layer: lock-light span
+// recording for one E2 control-loop iteration, end to end. A trace is
+// born where a message is born (subscription or indication creation),
+// its context rides inside the E2AP PDU across the wire, and every
+// stage along the path — transport send/recv, agent SM fill, server
+// dispatch, broker fan-out, controller callback — records a span linked
+// to it. The result turns the paper's aggregate latency claims (Table 2,
+// Fig. 6/7) into per-message evidence: where inside ONE iteration the
+// time goes.
+//
+// Cost model, mirroring internal/telemetry:
+//
+//   - Enabled is a build-time constant (false under `-tags notrace`),
+//     so guarded blocks vanish from the binary entirely.
+//   - At runtime, sampling defaults to off (SetSampleEvery(0)); the
+//     disabled path of every operation is branch-only and allocates
+//     nothing, so tracing support does not perturb the paper's
+//     CPU-bound experiments (verified by BenchmarkTraceDisabled).
+//   - Sampled spans are value types recorded into a pre-allocated ring
+//     under a mutex: bounded memory, no per-span allocation, and the
+//     mutex is only ever contended by sampled traffic.
+package trace
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context identifies a position in a trace: the trace it belongs to and
+// the span that is the current parent. It is the unit that crosses the
+// wire (16 bytes: TraceID then SpanID, big-endian in both codecs). The
+// zero Context means "not sampled" and makes every operation a no-op.
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a sampled trace.
+func (c Context) Valid() bool { return c.TraceID != 0 }
+
+// Span is an in-progress measurement. It is a value type so the
+// unsampled path costs nothing: a zero Span's End is a single branch.
+type Span struct {
+	ctx    Context
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// SpanData is one finished span as stored in the ring and returned by
+// Snapshot.
+type SpanData struct {
+	TraceID    uint64
+	SpanID     uint64
+	Parent     uint64 // span ID of the parent; 0 for a root
+	Name       string
+	StartNS    int64 // wall-clock start, Unix nanoseconds
+	DurationNS int64
+}
+
+// DefaultCapacity is the ring size at init: bounded memory regardless
+// of how long a traced run lasts (4096 spans ≈ 300 KiB).
+const DefaultCapacity = 4096
+
+var (
+	// sampleEvery is the sampling knob: 0 = off (default), 1 = every
+	// root, N = one root in N.
+	sampleEvery atomic.Uint32
+	rootSeq     atomic.Uint64 // counts StartRoot calls for 1-in-N sampling
+	idSeq       atomic.Uint64 // span/trace ID generator, see init
+)
+
+func init() {
+	// Seed IDs from wall clock and PID so traces from distinct
+	// processes (controller and agent binaries sharing a wire) cannot
+	// collide within a practical run. IDs then increment atomically.
+	idSeq.Store(uint64(time.Now().UnixNano())<<8 ^ uint64(os.Getpid()))
+}
+
+func nextID() uint64 {
+	id := idSeq.Add(1)
+	if id == 0 { // wrap guard: 0 means "invalid"
+		id = idSeq.Add(1)
+	}
+	return id
+}
+
+// collector is the bounded ring of finished spans. A plain mutex, not a
+// lock-free scheme: only sampled spans ever take it, and correctness
+// under the race detector beats shaving nanoseconds off a path that is
+// off by default.
+type collector struct {
+	mu   sync.Mutex
+	buf  []SpanData
+	next int // index of the next write
+	n    int // number of valid entries (≤ len(buf))
+}
+
+var col = collector{buf: make([]SpanData, DefaultCapacity)}
+
+func (c *collector) record(d SpanData) {
+	c.mu.Lock()
+	if len(c.buf) != 0 {
+		c.buf[c.next] = d
+		c.next = (c.next + 1) % len(c.buf)
+		if c.n < len(c.buf) {
+			c.n++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// SetSampleEvery sets the sampling rate: 0 disables tracing (the
+// default), 1 samples every root span, n samples one root in n.
+// Child spans inherit the root's decision via the Context.
+func SetSampleEvery(n uint32) {
+	if !Enabled {
+		return
+	}
+	sampleEvery.Store(n)
+}
+
+// SampleEvery returns the current sampling rate.
+func SampleEvery() uint32 {
+	if !Enabled {
+		return 0
+	}
+	return sampleEvery.Load()
+}
+
+// SetCapacity resizes the span ring, dropping any recorded spans.
+// n ≤ 0 disables recording entirely.
+func SetCapacity(n int) {
+	if !Enabled {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	col.mu.Lock()
+	col.buf = make([]SpanData, n)
+	col.next, col.n = 0, 0
+	col.mu.Unlock()
+}
+
+// Reset drops all recorded spans, keeping the capacity. Tests use it
+// between runs.
+func Reset() {
+	if !Enabled {
+		return
+	}
+	col.mu.Lock()
+	for i := range col.buf {
+		col.buf[i] = SpanData{}
+	}
+	col.next, col.n = 0, 0
+	col.mu.Unlock()
+}
+
+// StartRoot begins a new trace if the sampler elects this call, and
+// returns a zero Span otherwise. The sampling decision is made exactly
+// once, here: everything downstream keys off Context.Valid.
+func StartRoot(name string) Span {
+	if !Enabled {
+		return Span{}
+	}
+	n := sampleEvery.Load()
+	if n == 0 {
+		return Span{}
+	}
+	if n > 1 && rootSeq.Add(1)%uint64(n) != 0 {
+		return Span{}
+	}
+	return Span{
+		ctx:   Context{TraceID: nextID(), SpanID: nextID()},
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// StartChild begins a span under parent. With an invalid parent (the
+// trace was not sampled, or tracing is off) it returns a zero Span.
+func StartChild(parent Context, name string) Span {
+	if !Enabled || !parent.Valid() {
+		return Span{}
+	}
+	return Span{
+		ctx:    Context{TraceID: parent.TraceID, SpanID: nextID()},
+		parent: parent.SpanID,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Context returns the span's context, for stamping into a PDU or
+// parenting further children. Zero for an unsampled span.
+func (s *Span) Context() Context { return s.ctx }
+
+// End finishes the span and records it. No-op for a zero Span.
+func (s *Span) End() {
+	if !Enabled || !s.ctx.Valid() {
+		return
+	}
+	col.record(SpanData{
+		TraceID:    s.ctx.TraceID,
+		SpanID:     s.ctx.SpanID,
+		Parent:     s.parent,
+		Name:       s.name,
+		StartNS:    s.start.UnixNano(),
+		DurationNS: int64(time.Since(s.start)),
+	})
+}
+
+// Record adds a retroactive child span under parent: a stage whose
+// duration was measured out of band (e.g. transport reassembly timed on
+// the receive path before the trace context was decoded).
+func Record(parent Context, name string, start time.Time, d time.Duration) {
+	if !Enabled || !parent.Valid() {
+		return
+	}
+	col.record(SpanData{
+		TraceID:    parent.TraceID,
+		SpanID:     nextID(),
+		Parent:     parent.SpanID,
+		Name:       name,
+		StartNS:    start.UnixNano(),
+		DurationNS: int64(d),
+	})
+}
+
+// Snapshot copies the recorded spans, oldest first.
+func Snapshot() []SpanData {
+	if !Enabled {
+		return nil
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	out := make([]SpanData, 0, col.n)
+	if col.n == len(col.buf) {
+		out = append(out, col.buf[col.next:]...)
+		out = append(out, col.buf[:col.next]...)
+	} else {
+		out = append(out, col.buf[:col.n]...)
+	}
+	return out
+}

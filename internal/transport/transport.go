@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"flexric/internal/telemetry"
+	"flexric/internal/trace"
 )
 
 // Errors returned by transports.
@@ -128,6 +129,12 @@ type streamConn struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// lastRecvNS is the reassembly duration of the most recent Recv,
+	// read by the receive loop via RecvTimer to record a retroactive
+	// transport.recv span. Only the Recv caller touches it (Recv may not
+	// be called concurrently with itself), so a plain field suffices.
+	lastRecvNS int64
+
 	stats connStats
 }
 
@@ -169,7 +176,7 @@ func (s *streamConn) Recv() ([]byte, error) {
 	// The frame has started arriving: receive latency is measured from
 	// here (reassembly), not from the call (idle wait for the peer).
 	var t0 time.Time
-	if telemetry.Enabled {
+	if telemetry.Enabled || trace.Enabled {
 		t0 = time.Now()
 	}
 	n := binary.BigEndian.Uint32(s.recvHdr[:])
@@ -180,10 +187,19 @@ func (s *streamConn) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(s.c, buf); err != nil {
 		return nil, mapErr(err)
 	}
-	if telemetry.Enabled {
-		s.stats.received(len(buf), time.Since(t0))
+	if telemetry.Enabled || trace.Enabled {
+		d := time.Since(t0)
+		s.lastRecvNS = int64(d)
+		if telemetry.Enabled {
+			s.stats.received(len(buf), d)
+		}
 	}
 	return buf, nil
+}
+
+// LastRecvDuration implements RecvTimer.
+func (s *streamConn) LastRecvDuration() time.Duration {
+	return time.Duration(s.lastRecvNS)
 }
 
 // mapErr normalizes stream errors: peer or local teardown surfaces as

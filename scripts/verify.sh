@@ -35,4 +35,25 @@ go test -race -short ./...
 echo "==> go test -tags notelemetry (telemetry compiled out)"
 go test -tags notelemetry ./internal/telemetry/ ./internal/transport/ ./internal/e2ap/
 
+echo "==> go build -tags notrace"
+go build -tags notrace ./...
+
+echo "==> go test -tags notrace (tracing compiled out)"
+go test -tags notrace ./internal/trace/ ./internal/transport/ ./internal/e2ap/
+
+echo "==> hot-path benchmarks (allocation ceiling)"
+# BenchmarkTransportHotPath guards the framed-TCP echo against telemetry
+# regressions; BenchmarkTraceDisabled must report 0 allocs/op — unsampled
+# tracing is required to be free on the hot path.
+bench_out=$(go test -run xxx -bench 'BenchmarkTransportHotPath$|BenchmarkTraceDisabled$' -benchtime 100x . 2>&1)
+echo "$bench_out"
+if ! echo "$bench_out" | grep -q 'BenchmarkTraceDisabled'; then
+    echo "verify: BenchmarkTraceDisabled did not run" >&2
+    exit 1
+fi
+if ! echo "$bench_out" | grep 'BenchmarkTraceDisabled' | grep -q ' 0 allocs/op'; then
+    echo "verify: disabled-trace hot path allocates" >&2
+    exit 1
+fi
+
 echo "verify: OK"
