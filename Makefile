@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench trace-demo verify fmt
+.PHONY: build test bench trace-demo chaos-demo verify fmt
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ bench:
 # /traces endpoint.
 trace-demo:
 	$(GO) test -run TestTraceDemo -v ./internal/obs/
+
+# End-to-end resilience demo: a monitoring loop survives a scripted
+# fault plan (two connection drops, a listener blackout rejecting the
+# first two redials) under both codecs — the agent reconnects with
+# backoff, the server replays the subscription, the indication stream
+# resumes, and the recovery counters appear on /snapshot.json.
+chaos-demo:
+	$(GO) test -run TestChaosDemo -v ./internal/experiments/
 
 fmt:
 	gofmt -w .

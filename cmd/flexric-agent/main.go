@@ -17,8 +17,10 @@ import (
 
 	"flexric/internal/agent"
 	"flexric/internal/e2ap"
+	"flexric/internal/faultinject"
 	"flexric/internal/obs"
 	"flexric/internal/ran"
+	"flexric/internal/resilience"
 	"flexric/internal/sm"
 	"flexric/internal/trace"
 )
@@ -36,6 +38,11 @@ func main() {
 	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
 	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
 	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
+	resOn := flag.Bool("resilience", true, "keepalives, dead-peer detection, and automatic reconnect with backoff")
+	keepalive := flag.Duration("keepalive", 0, "idle period before a keepalive frame (0 = default 1s; needs -resilience)")
+	reconnectMax := flag.Int("reconnect-max", 0, "consecutive failed reconnects before giving up (0 = retry forever)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "connection establishment timeout (0 = default 5s)")
+	faultPlan := flag.String("faultplan", "", "scripted transport fault plan, e.g. 'seed=7,drop@500' (see internal/faultinject)")
 	flag.Parse()
 
 	if *traceSample > 0 {
@@ -55,12 +62,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := agent.New(agent.Config{
+	var resCfg *resilience.Config
+	if *resOn {
+		resCfg = &resilience.Config{KeepaliveInterval: *keepalive, MaxAttempts: *reconnectMax}
+	}
+	plan, err := faultinject.Parse(*faultPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan != nil && !faultinject.Enabled {
+		log.Fatal("faultinject: compiled out (nofaultinject build); -faultplan unavailable")
+	}
+	acfg := agent.Config{
 		NodeID: e2ap.GlobalE2NodeID{
 			PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: *nodeID,
 		},
-		Scheme: e2s,
-	})
+		Scheme:      e2s,
+		Resilience:  resCfg,
+		DialTimeout: *dialTimeout,
+	}
+	if plan != nil {
+		acfg.WrapConn = plan.WrapConn
+	}
+	a := agent.New(acfg)
 	fns := []agent.RANFunction{
 		sm.NewMACStats(cell, sms, a),
 		sm.NewRLCStats(cell, sms, a),

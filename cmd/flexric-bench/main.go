@@ -15,6 +15,7 @@
 //	flexric-bench fig13a [-phase 15000]
 //	flexric-bench fig13b [-sim 60000]
 //	flexric-bench fig15  [-sim 50000]
+//	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench all    (reduced scale)
 package main
 
@@ -24,7 +25,9 @@ import (
 	"os"
 	"time"
 
+	"flexric/internal/e2ap"
 	"flexric/internal/experiments"
+	"flexric/internal/sm"
 )
 
 func main() {
@@ -39,6 +42,9 @@ func main() {
 	agents := fs.Int("agents", 10, "dummy agent count")
 	dur := fs.Duration("dur", 5*time.Second, "measurement window")
 	phase := fs.Int("phase", 15000, "per-phase simulated ms (fig13a)")
+	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos)")
+	connPlan := fs.String("connplan", "", "connection fault plan (chaos; empty = drop@120,drop@120)")
+	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
 	tel := fs.Bool("telemetry", false, "print the telemetry snapshot after each experiment")
 	_ = fs.Parse(os.Args[2:])
 
@@ -110,6 +116,18 @@ func main() {
 		"fig15": func() {
 			run("fig15", func() (fmt.Stringer, error) { return experiments.Fig15(simOr(50000)) })
 		},
+		"chaos": func() {
+			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
+			if *scheme == "fb" {
+				e2s, sms = e2ap.SchemeFB, sm.SchemeFB
+			}
+			run("chaos", func() (fmt.Stringer, error) {
+				return experiments.Chaos(experiments.ChaosOptions{
+					E2Scheme: e2s, SMScheme: sms,
+					ConnPlan: *connPlan, ListenerPlan: *lisPlan,
+				})
+			})
+		},
 	}
 
 	switch cmd {
@@ -159,5 +177,6 @@ experiments:
   fig13a  slicing isolation timeline
   fig13b  static slicing vs NVS sharing
   fig15   recursive slicing: dedicated vs shared infrastructure
+  chaos   resilience under a scripted fault plan (drops + blackout)
   all     everything, reduced scale`)
 }

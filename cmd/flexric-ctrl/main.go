@@ -18,7 +18,9 @@ import (
 	"flexric/internal/broker"
 	"flexric/internal/ctrl"
 	"flexric/internal/e2ap"
+	"flexric/internal/faultinject"
 	"flexric/internal/obs"
+	"flexric/internal/resilience"
 	"flexric/internal/server"
 	"flexric/internal/sm"
 	"flexric/internal/trace"
@@ -35,6 +37,11 @@ func main() {
 	telemetryEvery := flag.Duration("telemetry-every", 0, "also dump telemetry periodically (0 = off)")
 	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
 	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
+	resOn := flag.Bool("resilience", true, "keepalives, dead-peer detection, and subscription retention/replay across agent reconnects")
+	keepalive := flag.Duration("keepalive", 0, "idle period before a keepalive frame (0 = default 1s; needs -resilience)")
+	retain := flag.Duration("retain", 0, "how long to retain a disconnected agent's subscriptions for replay (0 = default 30s)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "E2 setup handshake timeout per accepted connection (0 = default 5s)")
+	faultPlan := flag.String("faultplan", "", "scripted listener fault plan, e.g. 'blackout@1=2' (see internal/faultinject)")
 	flag.Parse()
 
 	if *traceSample > 0 {
@@ -56,7 +63,22 @@ func main() {
 		sms = sm.SchemeFB
 	}
 
-	srv := server.New(server.Config{Scheme: e2s})
+	var resCfg *resilience.Config
+	if *resOn {
+		resCfg = &resilience.Config{KeepaliveInterval: *keepalive, RetainFor: *retain}
+	}
+	plan, err := faultinject.Parse(*faultPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan != nil && !faultinject.Enabled {
+		log.Fatal("faultinject: compiled out (nofaultinject build); -faultplan unavailable")
+	}
+	scfg := server.Config{Scheme: e2s, Resilience: resCfg, DialTimeout: *dialTimeout}
+	if plan != nil {
+		scfg.WrapListener = plan.WrapListener
+	}
+	srv := server.New(scfg)
 	addr, err := srv.Start(*e2Addr)
 	if err != nil {
 		log.Fatal(err)
@@ -70,6 +92,9 @@ func main() {
 	})
 	srv.OnAgentDisconnect(func(info server.AgentInfo) {
 		log.Printf("agent disconnected: %s", info.NodeID)
+	})
+	srv.OnAgentReconnect(func(info server.AgentInfo) {
+		log.Printf("agent reconnected: %s (subscriptions replayed)", info.NodeID)
 	})
 	srv.OnRANComplete(func(e server.RANEntity) {
 		log.Printf("RAN entity complete: %s/%d (%d parts)", e.PLMN, e.NodeID, len(e.Parts))

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/resilience"
 	"flexric/internal/transport"
 )
 
@@ -68,6 +70,19 @@ type Config struct {
 	// Components describes the node's component configuration, sent in
 	// the setup request.
 	Components []e2ap.E2NodeComponentConfig
+	// DialTimeout bounds connection establishment per Connect (and per
+	// reconnect attempt). 0 means transport.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Resilience enables keepalives, dead-peer detection, and the
+	// reconnect supervisor (capped exponential backoff, E2 setup re-run,
+	// transparent transport swap under live indication senders). nil
+	// keeps the fail-fast behavior: a dropped connection ends the
+	// receive loop for good.
+	Resilience *resilience.Config
+	// WrapConn, when non-nil, wraps every dialed transport connection
+	// before the resilience layer and the E2 handshake — the fault
+	// injection hook (internal/faultinject).
+	WrapConn func(transport.Conn) transport.Conn
 }
 
 func (c *Config) defaults() {
@@ -82,6 +97,8 @@ func (c *Config) defaults() {
 // Agent connects a base station to one or more E2 controllers.
 type Agent struct {
 	cfg Config
+	// res is the resolved resilience config; nil when disabled.
+	res *resilience.Config
 
 	mu    sync.Mutex
 	fns   map[uint16]RANFunction
@@ -91,7 +108,9 @@ type Agent struct {
 	ueExposure map[uint16]map[ControllerID]bool
 
 	closed atomic.Bool
-	wg     sync.WaitGroup
+	// closeCh unblocks reconnect supervisors sleeping in backoff.
+	closeCh chan struct{}
+	wg      sync.WaitGroup
 
 	txSeq atomic.Uint32 // transaction IDs
 }
@@ -102,11 +121,17 @@ var ErrClosed = errors.New("agent: closed")
 // New returns an Agent with the given configuration.
 func New(cfg Config) *Agent {
 	cfg.defaults()
-	return &Agent{
+	a := &Agent{
 		cfg:        cfg,
 		fns:        make(map[uint16]RANFunction),
 		ueExposure: make(map[uint16]map[ControllerID]bool),
+		closeCh:    make(chan struct{}),
 	}
+	if cfg.Resilience != nil {
+		r := cfg.Resilience.WithDefaults()
+		a.res = &r
+	}
+	return a
 }
 
 // RegisterFunction adds a RAN function. Functions must be registered
@@ -141,12 +166,13 @@ func (a *Agent) Connect(addr string) (ControllerID, error) {
 	if a.closed.Load() {
 		return 0, ErrClosed
 	}
-	tc, err := transport.Dial(a.cfg.Transport, addr)
+	tc, err := a.dialAndSetup(addr)
 	if err != nil {
 		return 0, err
 	}
 	c := &conn{
 		agent: a,
+		addr:  addr,
 		tc:    tc,
 		enc:   e2ap.MustCodec(a.cfg.Scheme),
 		dec:   e2ap.MustCodec(a.cfg.Scheme),
@@ -157,46 +183,74 @@ func (a *Agent) Connect(addr string) (ControllerID, error) {
 	a.conns = append(a.conns, c)
 	a.mu.Unlock()
 
-	// E2 setup: announce node identity and RAN functions.
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		if a.res != nil {
+			c.supervise()
+		} else {
+			c.recvLoop()
+		}
+	}()
+	return c.id, nil
+}
+
+// dialAndSetup establishes one controller association: dial (bounded by
+// Config.DialTimeout), the optional fault wrap, the optional resilience
+// wrap (so keepalives police the association from the first frame), and
+// the synchronous E2 setup handshake announcing the currently
+// registered RAN functions. The handshake uses a dedicated codec: on a
+// reconnect the conn's codecs may be busy under concurrent senders.
+func (a *Agent) dialAndSetup(addr string) (transport.Conn, error) {
+	tc, err := transport.DialTimeout(a.cfg.Transport, addr, a.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if a.cfg.WrapConn != nil {
+		tc = a.cfg.WrapConn(tc)
+	}
+	if a.res != nil {
+		tc = a.res.WrapConn(tc)
+	}
+	cod := e2ap.MustCodec(a.cfg.Scheme)
 	setup := &e2ap.SetupRequest{
 		TransactionID: uint8(a.txSeq.Add(1)),
 		NodeID:        a.cfg.NodeID,
 		RANFunctions:  a.Functions(),
 		Components:    a.cfg.Components,
 	}
-	if err := c.send(setup); err != nil {
+	wire, err := cod.Encode(setup)
+	if err != nil {
 		tc.Close()
-		return 0, fmt.Errorf("agent: setup send: %w", err)
+		return nil, fmt.Errorf("agent: setup encode: %w", err)
+	}
+	if err := tc.Send(wire); err != nil {
+		tc.Close()
+		return nil, fmt.Errorf("agent: setup send: %w", err)
 	}
 	// Synchronous setup response, as the E2 setup procedure is the
 	// association handshake.
-	wire, err := tc.Recv()
+	reply, err := tc.Recv()
 	if err != nil {
 		tc.Close()
-		return 0, fmt.Errorf("agent: setup recv: %w", err)
+		return nil, fmt.Errorf("agent: setup recv: %w", err)
 	}
-	pdu, err := c.dec.Decode(wire)
+	pdu, err := cod.Decode(reply)
 	if err != nil {
 		tc.Close()
-		return 0, fmt.Errorf("agent: setup decode: %w", err)
+		return nil, fmt.Errorf("agent: setup decode: %w", err)
 	}
 	switch m := pdu.(type) {
 	case *e2ap.SetupResponse:
 		// Accepted.
 	case *e2ap.SetupFailure:
 		tc.Close()
-		return 0, fmt.Errorf("agent: setup rejected: %v", m.Cause)
+		return nil, fmt.Errorf("agent: setup rejected: %v", m.Cause)
 	default:
 		tc.Close()
-		return 0, fmt.Errorf("agent: unexpected setup reply %s", pdu.MsgType())
+		return nil, fmt.Errorf("agent: unexpected setup reply %s", pdu.MsgType())
 	}
-
-	a.wg.Add(1)
-	go func() {
-		defer a.wg.Done()
-		c.recvLoop()
-	}()
-	return c.id, nil
+	return tc, nil
 }
 
 // Close terminates all controller connections.
@@ -204,11 +258,12 @@ func (a *Agent) Close() error {
 	if a.closed.Swap(true) {
 		return nil
 	}
+	close(a.closeCh)
 	a.mu.Lock()
 	conns := append([]*conn(nil), a.conns...)
 	a.mu.Unlock()
 	for _, c := range conns {
-		c.tc.Close()
+		c.closeTransport()
 	}
 	a.wg.Wait()
 	return nil

@@ -14,7 +14,11 @@ import (
 type conn struct {
 	agent *Agent
 	id    ControllerID
-	tc    transport.Conn
+	addr  string
+	// tc is the live transport. The reconnect supervisor swaps it under
+	// sendMu, so IndicationSenders holding this conn stay valid across
+	// reconnects; senders and Close read it under the same lock.
+	tc transport.Conn
 
 	// enc/dec are separate codec instances: enc is used by senders (any
 	// goroutine, under sendMu) and dec only by the receive loop.
@@ -22,6 +26,15 @@ type conn struct {
 	dec e2ap.Codec
 
 	sendMu sync.Mutex
+}
+
+// closeTransport closes the current transport, reading it under the
+// send lock so a concurrent reconnect swap cannot leak a live conn.
+func (c *conn) closeTransport() {
+	c.sendMu.Lock()
+	tc := c.tc
+	c.sendMu.Unlock()
+	tc.Close()
 }
 
 // send encodes and transmits one PDU. Safe for concurrent use.

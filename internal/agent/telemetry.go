@@ -17,20 +17,32 @@ import (
 //	agent.subscriptions_rejected    (counter)
 //	agent.controls                  control requests executed (counter)
 //	agent.control_failures          (counter)
+//	agent.reconnects                successful re-associations (counter)
+//	agent.reconnect_failures        failed redial attempts (counter)
+//	agent.reconnect_giveups         supervisors that hit MaxAttempts
+//	agent.reconnect_backoff         backoff delays slept (histogram)
 var agentTel = struct {
-	indications   *telemetry.Counter
-	subFill       *telemetry.Histogram
-	subsAccepted  *telemetry.Counter
-	subsRejected  *telemetry.Counter
-	controls      *telemetry.Counter
-	controlFailed *telemetry.Counter
+	indications       *telemetry.Counter
+	subFill           *telemetry.Histogram
+	subsAccepted      *telemetry.Counter
+	subsRejected      *telemetry.Counter
+	controls          *telemetry.Counter
+	controlFailed     *telemetry.Counter
+	reconnects        *telemetry.Counter
+	reconnectFailures *telemetry.Counter
+	reconnectGiveups  *telemetry.Counter
+	reconnectBackoff  *telemetry.Histogram
 }{
-	indications:   telemetry.NewCounter("agent.indications"),
-	subFill:       telemetry.NewHistogram("agent.subscription_fill"),
-	subsAccepted:  telemetry.NewCounter("agent.subscriptions_accepted"),
-	subsRejected:  telemetry.NewCounter("agent.subscriptions_rejected"),
-	controls:      telemetry.NewCounter("agent.controls"),
-	controlFailed: telemetry.NewCounter("agent.control_failures"),
+	indications:       telemetry.NewCounter("agent.indications"),
+	subFill:           telemetry.NewHistogram("agent.subscription_fill"),
+	subsAccepted:      telemetry.NewCounter("agent.subscriptions_accepted"),
+	subsRejected:      telemetry.NewCounter("agent.subscriptions_rejected"),
+	controls:          telemetry.NewCounter("agent.controls"),
+	controlFailed:     telemetry.NewCounter("agent.control_failures"),
+	reconnects:        telemetry.NewCounter("agent.reconnects"),
+	reconnectFailures: telemetry.NewCounter("agent.reconnect_failures"),
+	reconnectGiveups:  telemetry.NewCounter("agent.reconnect_giveups"),
+	reconnectBackoff:  telemetry.NewHistogram("agent.reconnect_backoff"),
 }
 
 // fnIndications returns the per-RAN-function indication counter. Called

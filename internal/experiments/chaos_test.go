@@ -1,0 +1,95 @@
+//go:build !nofaultinject
+
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/obs"
+	"flexric/internal/sm"
+	"flexric/internal/telemetry"
+)
+
+// TestChaosDemo is the resilience subsystem's acceptance demo (`make
+// chaos-demo`): a monitoring loop survives a scripted fault plan — two
+// connection drops plus a listener blackout rejecting the first two
+// redials — under both codecs. The agent reconnects with backoff, the
+// server replays the subscription, the indication stream resumes, and
+// no subscription is permanently lost. The reconnect counts surface on
+// the observability endpoint (/snapshot.json).
+func TestChaosDemo(t *testing.T) {
+	schemes := []struct {
+		e2 e2ap.Scheme
+		sm sm.Scheme
+	}{
+		{e2ap.SchemeASN, sm.SchemeASN},
+		{e2ap.SchemeFB, sm.SchemeFB},
+	}
+	for _, sc := range schemes {
+		t.Run(string(sc.e2), func(t *testing.T) {
+			res, err := Chaos(ChaosOptions{E2Scheme: sc.e2, SMScheme: sc.sm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Drops != 2 {
+				t.Errorf("drops fired = %d, want 2", res.Drops)
+			}
+			if res.BlackoutRejects != 2 {
+				t.Errorf("blackout rejects = %d, want 2", res.BlackoutRejects)
+			}
+			if res.Reconnects < 2 {
+				t.Errorf("reconnects = %d, want >= 2", res.Reconnects)
+			}
+			if res.IndsAfter <= res.IndsBefore {
+				t.Errorf("indication stream did not resume: %d -> %d", res.IndsBefore, res.IndsAfter)
+			}
+			if telemetry.Enabled {
+				if res.SubsReplayed < 2 {
+					t.Errorf("subscriptions replayed = %d, want >= 2 (one per reconnect)", res.SubsReplayed)
+				}
+				if res.SubsAfter != res.SubsBefore {
+					t.Errorf("subscriptions lost: %d before, %d after", res.SubsBefore, res.SubsAfter)
+				}
+			}
+			t.Log("\n" + res.String())
+		})
+	}
+
+	if !telemetry.Enabled {
+		return
+	}
+	// The recovery is observable from the outside: reconnect counters
+	// appear in the HTTP snapshot.
+	o, err := obs.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	resp, err := http.Get("http://" + o.Addr() + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Children map[string]struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/snapshot.json not JSON: %v\n%s", err, body)
+	}
+	if n := doc.Children["agent"].Counters["reconnects"]; n == 0 {
+		t.Errorf("agent.reconnects missing from /snapshot.json:\n%s", body)
+	}
+	if n := doc.Children["server"].Counters["agent_reconnects"]; n == 0 {
+		t.Errorf("server.agent_reconnects missing from /snapshot.json:\n%s", body)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build nofaultinject
+
+package faultinject
+
+// Enabled is false in this build: fault injection is compiled out.
+// Plans still parse (so flags remain accepted), but WrapConn and
+// WrapListener return their argument unchanged and no fault counters
+// are registered.
+const Enabled = false

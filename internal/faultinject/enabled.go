@@ -1,0 +1,11 @@
+//go:build !nofaultinject
+
+package faultinject
+
+// Enabled reports whether fault injection is compiled in. It is a
+// build-time constant: the default build carries the wrappers so chaos
+// suites and demos can script faults; building with
+// `-tags nofaultinject` flips it to false, WrapConn/WrapListener become
+// identity functions, and no fault machinery or counters exist in the
+// binary — production deployments pay nothing for the chaos tooling.
+const Enabled = true

@@ -1,0 +1,243 @@
+//go:build !nofaultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/telemetry"
+	"flexric/internal/transport"
+)
+
+// init registers the plan's fault counters. Counters are fetched per
+// plan (not per package) so a registry Reset between experiment runs
+// re-registers them with the next parsed plan.
+func (p *Plan) init() {
+	p.tel = planTel{
+		drops:     telemetry.NewCounter("faultinject.drops_fired"),
+		stalls:    telemetry.NewCounter("faultinject.stalls_fired"),
+		blackouts: telemetry.NewCounter("faultinject.blackout_rejects"),
+		latency:   telemetry.NewCounter("faultinject.latency_injections"),
+	}
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// WrapConn returns c with the plan's connection faults applied. A nil
+// plan returns c unchanged. The wrapper preserves the optional
+// transport interfaces of the inner connection: receive deadlines are
+// forwarded, and RecvTimer is exposed only when the inner connection
+// measures reassembly (so a wrapped pipe conn still reports no
+// reassembly time, matching the unwrapped behavior).
+func (p *Plan) WrapConn(c transport.Conn) transport.Conn {
+	if p == nil || c == nil {
+		return c
+	}
+	fc := &faultConn{p: p, inner: c}
+	if _, ok := c.(transport.RecvTimer); ok {
+		return &faultConnTimer{fc}
+	}
+	return fc
+}
+
+// WrapListener returns l with the plan's blackout windows applied, and
+// every accepted connection wrapped via WrapConn. A nil plan returns l
+// unchanged.
+func (p *Plan) WrapListener(l transport.Listener) transport.Listener {
+	if p == nil || l == nil {
+		return l
+	}
+	return &faultListener{p: p, inner: l}
+}
+
+// fireDrop reports whether the armed drop directive should fire for a
+// connection that has moved frames frames. The directives share one
+// fired-index: exactly one connection fires each directive, and a
+// directive arms only after its predecessors fired — so redial attempts
+// rejected by a blackout never consume a drop budget.
+func (p *Plan) fireDrop(frames uint64) bool {
+	for {
+		idx := p.state.dropsFired.Load()
+		if idx >= uint64(len(p.Drops)) || frames < p.Drops[idx] {
+			return false
+		}
+		if p.state.dropsFired.CompareAndSwap(idx, idx+1) {
+			inc(p.tel.drops)
+			return true
+		}
+	}
+}
+
+// fireStall returns the silent period to impose before delivering the
+// next received frame (recvs frames received so far on this conn), or 0.
+func (p *Plan) fireStall(recvs uint64) time.Duration {
+	for {
+		idx := p.state.stallsFired.Load()
+		if idx >= uint64(len(p.Stalls)) || recvs+1 < p.Stalls[idx].AtRecv {
+			return 0
+		}
+		if p.state.stallsFired.CompareAndSwap(idx, idx+1) {
+			inc(p.tel.stalls)
+			return p.Stalls[idx].Dur
+		}
+	}
+}
+
+// delay returns the jittered injection latency for a configured base
+// (uniform in [0.5x, 1.5x), seeded), or 0 when none is configured.
+func (p *Plan) delay(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	p.state.mu.Lock()
+	f := 0.5 + p.state.rng.Float64()
+	p.state.mu.Unlock()
+	inc(p.tel.latency)
+	return time.Duration(float64(base) * f)
+}
+
+// blackout reports whether accept event ev (1-based) falls inside a
+// blackout window.
+func (p *Plan) blackout(ev uint64) bool {
+	for _, b := range p.Blackouts {
+		if ev > b.After && ev <= b.After+b.Count {
+			return true
+		}
+	}
+	return false
+}
+
+// faultConn applies the plan's per-connection faults: frame-budget
+// drops, scripted receive stalls, and jittered send/receive latency.
+type faultConn struct {
+	p     *Plan
+	inner transport.Conn
+
+	// dropped latches once this connection fires a drop directive: a
+	// dead connection must not consume further directives, or senders
+	// retrying on it would burn through the whole drop budget before the
+	// reconnected transport sees any traffic.
+	dropped atomic.Bool
+
+	// Frame counters are atomics: each is written by exactly one
+	// direction (the transport contract forbids concurrent Send/Send and
+	// Recv/Recv), but the drop budget sums both, so each direction reads
+	// the other's counter.
+	sent  atomic.Uint64
+	recvs atomic.Uint64
+}
+
+// Send implements transport.Conn.
+func (c *faultConn) Send(b []byte) error {
+	if c.dropped.Load() {
+		return transport.ErrClosed
+	}
+	if c.p.fireDrop(c.sent.Load() + c.recvs.Load()) {
+		c.dropped.Store(true)
+		c.inner.Close()
+		return transport.ErrClosed
+	}
+	if d := c.p.delay(c.p.SendLat); d > 0 {
+		time.Sleep(d)
+	}
+	if err := c.inner.Send(b); err != nil {
+		return err
+	}
+	c.sent.Add(1)
+	return nil
+}
+
+// Recv implements transport.Conn. A stall sleeps before the inner Recv,
+// so an absolute receive deadline set on the connection expires during
+// the stall and surfaces as ErrTimeout — exactly how a silent peer
+// looks to the dead-peer detector.
+func (c *faultConn) Recv() ([]byte, error) {
+	if c.dropped.Load() {
+		return nil, transport.ErrClosed
+	}
+	if c.p.fireDrop(c.sent.Load() + c.recvs.Load()) {
+		c.dropped.Store(true)
+		c.inner.Close()
+		return nil, transport.ErrClosed
+	}
+	if d := c.p.fireStall(c.recvs.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if d := c.p.delay(c.p.RecvLat); d > 0 {
+		time.Sleep(d)
+	}
+	b, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.recvs.Add(1)
+	return b, nil
+}
+
+// Close implements transport.Conn.
+func (c *faultConn) Close() error { return c.inner.Close() }
+
+// RemoteAddr implements transport.Conn.
+func (c *faultConn) RemoteAddr() string { return c.inner.RemoteAddr() }
+
+// SetRecvDeadline implements transport.RecvDeadliner by forwarding to
+// the inner connection. Both shipped transports support deadlines; a
+// hypothetical one that does not surfaces as an error here.
+func (c *faultConn) SetRecvDeadline(t time.Time) error {
+	rd, ok := c.inner.(transport.RecvDeadliner)
+	if !ok {
+		return fmt.Errorf("faultinject: %T does not support receive deadlines", c.inner)
+	}
+	return rd.SetRecvDeadline(t)
+}
+
+// faultConnTimer additionally forwards RecvTimer for inner connections
+// that measure frame reassembly (the stream transport).
+type faultConnTimer struct {
+	*faultConn
+}
+
+// LastRecvDuration implements transport.RecvTimer.
+func (c *faultConnTimer) LastRecvDuration() time.Duration {
+	return c.inner.(transport.RecvTimer).LastRecvDuration()
+}
+
+// faultListener rejects accepted connections during blackout windows
+// and fault-wraps the ones it lets through.
+type faultListener struct {
+	p     *Plan
+	inner transport.Listener
+}
+
+// Accept implements transport.Listener. Connections accepted inside a
+// blackout window are closed immediately and never handed to the
+// server: the dialer's connection dies on first use, as if the RIC went
+// dark right after the TCP handshake.
+func (l *faultListener) Accept() (transport.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		ev := l.p.state.acceptEvents.Add(1)
+		if l.p.blackout(ev) {
+			c.Close()
+			l.p.state.blackoutRejects.Add(1)
+			inc(l.p.tel.blackouts)
+			continue
+		}
+		return l.p.WrapConn(c), nil
+	}
+}
+
+// Close implements transport.Listener.
+func (l *faultListener) Close() error { return l.inner.Close() }
+
+// Addr implements transport.Listener.
+func (l *faultListener) Addr() string { return l.inner.Addr() }

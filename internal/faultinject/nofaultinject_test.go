@@ -1,0 +1,45 @@
+//go:build nofaultinject
+
+package faultinject
+
+import (
+	"testing"
+
+	"flexric/internal/transport"
+)
+
+// With the nofaultinject tag, plans still parse (flags stay accepted)
+// but wrapping is the identity: the chaos machinery is compiled out.
+func TestCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false under the nofaultinject tag")
+	}
+	p := MustParse("seed=7,drop@0,blackout@0=1")
+	l, err := transport.Listen(transport.KindPipe, "fi-stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := transport.Dial(transport.KindPipe, "fi-stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if p.WrapConn(c) != c {
+		t.Error("WrapConn must be identity when compiled out")
+	}
+	if p.WrapListener(l) != l {
+		t.Error("WrapListener must be identity when compiled out")
+	}
+	// drop@0 would kill the first send if injection were live.
+	if err := c.Send([]byte("x")); err != nil {
+		t.Errorf("send through stubbed plan: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package faultinject provides deterministic, scripted fault injection
+// for the transport layer. A Plan is parsed from a compact textual
+// grammar and wraps any transport.Conn or transport.Listener; the
+// wrapped endpoints then misbehave on schedule — connections drop after
+// a frame budget, frames arrive late, accepted connections are rejected
+// during a listener blackout, a peer goes silent mid-stream — letting
+// the resilience layer (internal/resilience) be exercised repeatably in
+// tests and demos without a lossy network.
+//
+// Determinism is the point: every randomized quantity (latency jitter)
+// derives from the plan's seed, and every discrete fault fires on an
+// exact frame or accept index, so a chaos run either reproduces
+// bit-for-bit or the regression is real.
+//
+// # Plan grammar
+//
+// A plan is a comma-separated list of directives:
+//
+//	seed=N          seed for latency jitter (default 1)
+//	drop@N          force-close the connection after N frames; the k-th
+//	                drop directive arms only after k-1 drops have fired,
+//	                and the frame count restarts on each new connection
+//	stall@N=DUR     before delivering the N-th received frame, go silent
+//	                for DUR (fires once per directive, in order)
+//	sendlat=DUR     add ~DUR (seeded jitter, 0.5x-1.5x) to every send
+//	recvlat=DUR     add ~DUR (seeded jitter, 0.5x-1.5x) to every receive
+//	blackout@N=M    after the listener's N-th accept, immediately close
+//	                the next M accepted connections
+//
+// Example: "seed=7,drop@40,drop@40,blackout@1=2" drops the connection
+// twice (each after 40 frames) and, after the first successful accept,
+// slams the door on the next two redial attempts.
+//
+// The whole layer compiles out under the nofaultinject build tag:
+// Enabled becomes a false constant, WrapConn/WrapListener return their
+// argument unchanged, and no fault counters are registered.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// StallSpec is a parsed stall@N=DUR directive: before delivering the
+// AtRecv-th received frame (1-based), receive goes silent for Dur.
+type StallSpec struct {
+	AtRecv uint64
+	Dur    time.Duration
+}
+
+// BlackoutSpec is a parsed blackout@N=M directive: after the After-th
+// accept event, the next Count accepted connections are closed
+// immediately instead of being handed to the server.
+type BlackoutSpec struct {
+	After uint64
+	Count uint64
+}
+
+// Plan is a parsed fault schedule. A nil *Plan is valid and injects
+// nothing, so call sites can thread an optional plan without guards.
+// The zero value likewise injects nothing.
+//
+// A Plan carries shared runtime state (which drop has fired, how many
+// accepts the listener has seen), so one Plan instance scripts one
+// fault timeline across every connection it wraps — including
+// reconnects, which is what makes "drop twice, then stay up" scriptable.
+type Plan struct {
+	// Seed drives latency jitter. Parsed from seed=N; defaults to 1.
+	Seed int64
+	// Drops holds drop@N frame budgets in directive order.
+	Drops []uint64
+	// Stalls holds stall@N=DUR directives in directive order.
+	Stalls []StallSpec
+	// SendLat/RecvLat are per-frame added latencies (sendlat=/recvlat=).
+	SendLat time.Duration
+	RecvLat time.Duration
+	// Blackouts holds blackout@N=M windows over the accept-event index.
+	Blackouts []BlackoutSpec
+
+	state planState
+	tel   planTel
+}
+
+// planState is the shared mutable fault timeline.
+type planState struct {
+	dropsFired      atomic.Uint64 // index of the next armed Drops entry
+	stallsFired     atomic.Uint64 // index of the next armed Stalls entry
+	acceptEvents    atomic.Uint64 // listener accept events, 1-based
+	blackoutRejects atomic.Uint64 // connections closed by blackout windows
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// planTel holds the plan's fault counters; populated by init() in the
+// default build, left nil when fault injection is compiled out.
+type planTel struct {
+	drops     *telemetry.Counter
+	stalls    *telemetry.Counter
+	blackouts *telemetry.Counter
+	latency   *telemetry.Counter
+}
+
+// Parse builds a Plan from the grammar above. The empty string (and a
+// string of only separators) parses to a nil plan: no faults.
+func Parse(s string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	any := false
+	for _, dir := range strings.Split(s, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		if err := p.parseDirective(dir); err != nil {
+			return nil, fmt.Errorf("faultinject: directive %q: %w", dir, err)
+		}
+		any = true
+	}
+	if !any {
+		return nil, nil
+	}
+	p.state.rng = rand.New(rand.NewSource(p.Seed))
+	p.init()
+	return p, nil
+}
+
+// MustParse is Parse for test and demo fixtures with known-good plans.
+func MustParse(s string) *Plan {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Plan) parseDirective(dir string) error {
+	key, val, hasVal := strings.Cut(dir, "=")
+	switch {
+	case key == "seed":
+		if !hasVal {
+			return fmt.Errorf("want seed=N")
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		p.Seed = n
+	case key == "sendlat":
+		if !hasVal {
+			return fmt.Errorf("want sendlat=DUR")
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		p.SendLat = d
+	case key == "recvlat":
+		if !hasVal {
+			return fmt.Errorf("want recvlat=DUR")
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		p.RecvLat = d
+	case strings.HasPrefix(key, "drop@"):
+		if hasVal {
+			return fmt.Errorf("drop@N takes no value")
+		}
+		n, err := strconv.ParseUint(key[len("drop@"):], 10, 64)
+		if err != nil {
+			return err
+		}
+		p.Drops = append(p.Drops, n)
+	case strings.HasPrefix(key, "stall@"):
+		if !hasVal {
+			return fmt.Errorf("want stall@N=DUR")
+		}
+		n, err := strconv.ParseUint(key[len("stall@"):], 10, 64)
+		if err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		p.Stalls = append(p.Stalls, StallSpec{AtRecv: n, Dur: d})
+	case strings.HasPrefix(key, "blackout@"):
+		if !hasVal {
+			return fmt.Errorf("want blackout@N=M")
+		}
+		n, err := strconv.ParseUint(key[len("blackout@"):], 10, 64)
+		if err != nil {
+			return err
+		}
+		m, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		if m == 0 {
+			return fmt.Errorf("blackout count must be positive")
+		}
+		p.Blackouts = append(p.Blackouts, BlackoutSpec{After: n, Count: m})
+	default:
+		return fmt.Errorf("unknown directive")
+	}
+	return nil
+}
+
+// String renders the plan back in the grammar (canonical directive
+// order: seed, drops, stalls, latencies, blackouts). A nil plan renders
+// empty.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, n := range p.Drops {
+		parts = append(parts, fmt.Sprintf("drop@%d", n))
+	}
+	for _, s := range p.Stalls {
+		parts = append(parts, fmt.Sprintf("stall@%d=%v", s.AtRecv, s.Dur))
+	}
+	if p.SendLat > 0 {
+		parts = append(parts, fmt.Sprintf("sendlat=%v", p.SendLat))
+	}
+	if p.RecvLat > 0 {
+		parts = append(parts, fmt.Sprintf("recvlat=%v", p.RecvLat))
+	}
+	for _, b := range p.Blackouts {
+		parts = append(parts, fmt.Sprintf("blackout@%d=%d", b.After, b.Count))
+	}
+	return strings.Join(parts, ",")
+}
+
+// DropsFired reports how many drop directives have fired so far.
+func (p *Plan) DropsFired() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.state.dropsFired.Load()
+}
+
+// BlackoutRejects reports how many accepted connections have been closed
+// by blackout windows so far.
+func (p *Plan) BlackoutRejects() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.state.blackoutRejects.Load()
+}

@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	p, err := Parse("seed=7, drop@40,drop@40, stall@10=300ms, sendlat=2ms, recvlat=1ms, blackout@1=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Errorf("Seed = %d, want 7", p.Seed)
+	}
+	if len(p.Drops) != 2 || p.Drops[0] != 40 || p.Drops[1] != 40 {
+		t.Errorf("Drops = %v, want [40 40]", p.Drops)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (StallSpec{AtRecv: 10, Dur: 300 * time.Millisecond}) {
+		t.Errorf("Stalls = %v", p.Stalls)
+	}
+	if p.SendLat != 2*time.Millisecond || p.RecvLat != time.Millisecond {
+		t.Errorf("latencies = %v/%v", p.SendLat, p.RecvLat)
+	}
+	if len(p.Blackouts) != 1 || p.Blackouts[0] != (BlackoutSpec{After: 1, Count: 2}) {
+		t.Errorf("Blackouts = %v", p.Blackouts)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	const in = "seed=7,drop@40,drop@40,stall@10=300ms,sendlat=2ms,recvlat=1ms,blackout@1=2"
+	p := MustParse(in)
+	if got := p.String(); got != in {
+		t.Errorf("String() = %q, want %q", got, in)
+	}
+	// Re-parsing the rendering must yield the same plan spec.
+	q := MustParse(p.String())
+	if q.String() != in {
+		t.Errorf("re-parse renders %q", q.String())
+	}
+}
+
+func TestParseEmptyIsNil(t *testing.T) {
+	for _, s := range []string{"", " ", ",,", " , "} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", s, err)
+		}
+		if p != nil {
+			t.Errorf("Parse(%q) = %+v, want nil plan", s, p)
+		}
+	}
+	// A nil plan renders empty and reports no fired drops.
+	var nilPlan *Plan
+	if nilPlan.String() != "" || nilPlan.DropsFired() != 0 {
+		t.Error("nil plan must be inert")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus",
+		"seed",
+		"seed=x",
+		"drop@",
+		"drop@7=3",
+		"stall@5",
+		"stall@x=1ms",
+		"stall@5=zzz",
+		"sendlat=fast",
+		"blackout@1",
+		"blackout@1=0",
+		"blackout@x=1",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+//go:build nofaultinject
+
+package faultinject
+
+import "flexric/internal/transport"
+
+// WrapConn returns c unchanged: fault injection is compiled out.
+func (p *Plan) WrapConn(c transport.Conn) transport.Conn { return c }
+
+// WrapListener returns l unchanged: fault injection is compiled out.
+func (p *Plan) WrapListener(l transport.Listener) transport.Listener { return l }
+
+func (p *Plan) init() {}

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy describes a capped exponential retry schedule with
+// jitter: attempt k (0-based) waits Base*Multiplier^k, capped at Max,
+// then stretched by a random factor in [1-Jitter, 1+Jitter). Jitter is
+// seeded, so a given policy produces one reproducible schedule — chaos
+// runs replay exactly.
+type BackoffPolicy struct {
+	// Base is the first delay. Default 100ms.
+	Base time.Duration
+	// Max caps every delay (before jitter). Default 5s.
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor. Default 2.
+	Multiplier float64
+	// Jitter is the random stretch fraction in [0, 1). Default 0.2.
+	// Negative disables jitter.
+	Jitter float64
+	// Seed drives the jitter sequence. Default 1.
+	Seed int64
+}
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Backoff walks a BackoffPolicy's schedule. Not safe for concurrent
+// use; each reconnect supervisor owns one.
+type Backoff struct {
+	p       BackoffPolicy
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a schedule walker for p (zero fields defaulted).
+func NewBackoff(p BackoffPolicy) *Backoff {
+	p = p.withDefaults()
+	return &Backoff{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Next returns the delay before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.p.Base)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.p.Multiplier
+		if d >= float64(b.p.Max) {
+			d = float64(b.p.Max)
+			break
+		}
+	}
+	if d > float64(b.p.Max) {
+		d = float64(b.p.Max)
+	}
+	b.attempt++
+	if b.p.Jitter > 0 {
+		d *= 1 - b.p.Jitter + 2*b.p.Jitter*b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds the schedule to the first delay; called after a
+// successful reconnect so the next failure starts cheap again.
+func (b *Backoff) Reset() { b.attempt = 0 }

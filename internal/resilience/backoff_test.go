@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// Without jitter the schedule is exactly capped-exponential.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := NewBackoff(BackoffPolicy{
+		Base:       100 * time.Millisecond,
+		Max:        time.Second,
+		Multiplier: 2,
+		Jitter:     -1, // disabled
+	})
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("attempt %d: %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Errorf("Attempt = %d, want %d", b.Attempt(), len(want))
+	}
+	b.Reset()
+	if got := b.Next(); got != want[0] {
+		t.Errorf("after Reset: %v, want %v", got, want[0])
+	}
+}
+
+// Jitter must stay inside the documented envelope and be reproducible
+// for a given seed.
+func TestBackoffJitterSeeded(t *testing.T) {
+	p := BackoffPolicy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.2, Seed: 42}
+	a, b := NewBackoff(p), NewBackoff(p)
+	base := NewBackoff(BackoffPolicy{Base: p.Base, Max: p.Max, Multiplier: p.Multiplier, Jitter: -1})
+	for i := 0; i < 8; i++ {
+		da, db, raw := a.Next(), b.Next(), base.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		lo := time.Duration(float64(raw) * 0.8)
+		hi := time.Duration(float64(raw) * 1.2)
+		if da < lo || da > hi {
+			t.Errorf("attempt %d: %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+	// A different seed should produce a different schedule.
+	p2 := p
+	p2.Seed = 43
+	c := NewBackoff(p2)
+	same := true
+	d := NewBackoff(p)
+	for i := 0; i < 8; i++ {
+		if c.Next() != d.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// The zero policy must resolve to the documented defaults.
+func TestBackoffDefaults(t *testing.T) {
+	p := BackoffPolicy{}.withDefaults()
+	if p.Base != 100*time.Millisecond || p.Max != 5*time.Second || p.Multiplier != 2 || p.Jitter != 0.2 || p.Seed != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+	c := Config{}.WithDefaults()
+	if c.KeepaliveInterval != DefaultKeepaliveInterval {
+		t.Errorf("KeepaliveInterval = %v", c.KeepaliveInterval)
+	}
+	if c.DeadAfter != 3*DefaultKeepaliveInterval {
+		t.Errorf("DeadAfter = %v", c.DeadAfter)
+	}
+	if c.RetainFor != DefaultRetainFor {
+		t.Errorf("RetainFor = %v", c.RetainFor)
+	}
+	// Negative means disabled and must be preserved.
+	d := Config{KeepaliveInterval: -1, DeadAfter: -1, RetainFor: -1}.WithDefaults()
+	if d.KeepaliveInterval != -1 || d.DeadAfter != -1 || d.RetainFor != -1 {
+		t.Errorf("disabled fields not preserved: %+v", d)
+	}
+}

@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/telemetry"
+	"flexric/internal/transport"
+)
+
+// WrapConn returns c with keepalive emission and dead-peer detection
+// per the config (call WithDefaults first; non-positive
+// KeepaliveInterval and DeadAfter disable the respective behavior, and
+// if both are disabled c is returned unchanged).
+//
+// The wire format is a zero-length frame: no E2AP codec ever emits an
+// empty message, so keepalives cannot collide with protocol traffic,
+// and the wrapper filters them out of Recv before the protocol layer
+// looks. Keepalives are sent only when the connection has been idle for
+// a full interval — a busy indication stream is its own liveness
+// signal. Dead-peer detection re-arms a receive deadline before every
+// blocking read; if nothing arrives within DeadAfter, Recv returns
+// ErrPeerDead and the connection must be abandoned.
+//
+// The wrapper preserves RecvTimer when the inner connection measures
+// reassembly. It does not expose RecvDeadliner: the deadline is owned
+// by the dead-peer detector.
+func (c Config) WrapConn(tc transport.Conn) transport.Conn {
+	if tc == nil || (c.KeepaliveInterval <= 0 && c.DeadAfter <= 0) {
+		return tc
+	}
+	k := &kaConn{
+		inner:     tc,
+		interval:  c.KeepaliveInterval,
+		deadAfter: c.DeadAfter,
+		done:      make(chan struct{}),
+		tel: kaTel{
+			sent:  telemetry.NewCounter("resilience.keepalives_sent"),
+			recvd: telemetry.NewCounter("resilience.keepalives_recv"),
+			dead:  telemetry.NewCounter("resilience.dead_peers"),
+		},
+	}
+	if c.DeadAfter > 0 {
+		// Dead-peer detection needs receive deadlines; a transport
+		// without them degrades to keepalive emission only.
+		k.rd, _ = tc.(transport.RecvDeadliner)
+	}
+	k.lastSendNS.Store(time.Now().UnixNano())
+	if c.KeepaliveInterval > 0 {
+		go k.keepaliveLoop()
+	}
+	if _, ok := tc.(transport.RecvTimer); ok {
+		return &kaConnTimer{k}
+	}
+	return k
+}
+
+type kaTel struct {
+	sent  *telemetry.Counter
+	recvd *telemetry.Counter
+	dead  *telemetry.Counter
+}
+
+// kaConn filters keepalives and polices peer liveness around an inner
+// connection.
+type kaConn struct {
+	inner     transport.Conn
+	rd        transport.RecvDeadliner // nil: no dead-peer detection
+	interval  time.Duration
+	deadAfter time.Duration
+
+	// sendMu serializes application sends with the keepalive loop: the
+	// transport contract forbids concurrent Sends.
+	sendMu     sync.Mutex
+	lastSendNS atomic.Int64
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	tel kaTel
+}
+
+// Send implements transport.Conn. The added cost over the inner Send is
+// one mutex and one atomic store — zero allocations (gated by
+// BenchmarkResilienceSendHotPath).
+func (k *kaConn) Send(b []byte) error {
+	k.sendMu.Lock()
+	err := k.inner.Send(b)
+	k.sendMu.Unlock()
+	if err == nil {
+		k.lastSendNS.Store(time.Now().UnixNano())
+	}
+	return err
+}
+
+// Recv implements transport.Conn. Keepalive frames are consumed
+// silently; a receive deadline armed before every blocking read turns a
+// silent peer into ErrPeerDead.
+func (k *kaConn) Recv() ([]byte, error) {
+	for {
+		if k.rd != nil {
+			if err := k.rd.SetRecvDeadline(time.Now().Add(k.deadAfter)); err != nil {
+				return nil, err
+			}
+		}
+		b, err := k.inner.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				k.tel.dead.Inc()
+				return nil, ErrPeerDead
+			}
+			return nil, err
+		}
+		if len(b) == 0 {
+			k.tel.recvd.Inc()
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Close implements transport.Conn, stopping the keepalive loop.
+func (k *kaConn) Close() error {
+	k.closeOnce.Do(func() { close(k.done) })
+	return k.inner.Close()
+}
+
+// RemoteAddr implements transport.Conn.
+func (k *kaConn) RemoteAddr() string { return k.inner.RemoteAddr() }
+
+// keepaliveLoop emits a zero-length frame whenever a full interval
+// passes without an application send. It exits when the connection
+// closes or a keepalive fails (the peer will be detected dead by its
+// own reader; ours surfaces the error on the next Recv or Send).
+func (k *kaConn) keepaliveLoop() {
+	t := time.NewTicker(k.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-k.done:
+			return
+		case now := <-t.C:
+			idle := now.UnixNano() - k.lastSendNS.Load()
+			if idle < int64(k.interval) {
+				continue
+			}
+			k.sendMu.Lock()
+			err := k.inner.Send(nil)
+			k.sendMu.Unlock()
+			if err != nil {
+				return
+			}
+			k.lastSendNS.Store(time.Now().UnixNano())
+			k.tel.sent.Inc()
+		}
+	}
+}
+
+// kaConnTimer additionally forwards RecvTimer for inner connections
+// that measure frame reassembly (the stream transport).
+type kaConnTimer struct {
+	*kaConn
+}
+
+// LastRecvDuration implements transport.RecvTimer.
+func (k *kaConnTimer) LastRecvDuration() time.Duration {
+	return k.inner.(transport.RecvTimer).LastRecvDuration()
+}

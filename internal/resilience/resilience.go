@@ -1,0 +1,91 @@
+// Package resilience is the connection-lifecycle layer of the SDK: it
+// turns the transport's fail-fast connections into endpoints that
+// notice dead peers, survive drops, and come back. The paper's E2 agent
+// "recovers the connection" to the RIC (§4.3); this package provides
+// the mechanisms that recovery is built from:
+//
+//   - Keepalive + dead-peer detection (WrapConn): zero-length keepalive
+//     frames flow whenever a connection goes idle, and a receive
+//     deadline re-armed on every delivery converts a silent peer into
+//     ErrPeerDead instead of a Recv that blocks forever. Zero-length
+//     frames are free for this purpose — no E2AP codec emits an empty
+//     message — and are filtered out before the application sees them,
+//     so the wrapper is invisible to the protocol layer.
+//
+//   - Backoff: capped exponential retry delays with seeded jitter, the
+//     schedule the agent's reconnect supervisor walks between redial
+//     attempts (see internal/agent).
+//
+// The server-side half of recovery — retaining a disconnected agent's
+// subscriptions and replaying them on reconnect — lives in
+// internal/server and is configured through the same Config.
+//
+// Everything here is always compiled in (it is a production feature,
+// unlike internal/faultinject); the keepalive send path adds zero
+// allocations so the wrapper is safe on the hot path.
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrPeerDead reports a connection whose peer stopped responding: no
+// frame (not even a keepalive) arrived within Config.DeadAfter.
+var ErrPeerDead = errors.New("resilience: peer dead")
+
+// Defaults applied by Config.WithDefaults.
+const (
+	// DefaultKeepaliveInterval is how long a connection may sit idle
+	// before a keepalive frame is emitted.
+	DefaultKeepaliveInterval = 1 * time.Second
+	// DefaultDeadAfter declares a peer dead after three missed
+	// keepalive intervals.
+	DefaultDeadAfter = 3 * DefaultKeepaliveInterval
+	// DefaultRetainFor is how long the server keeps a disconnected
+	// agent's subscriptions for replay before dropping them for good.
+	DefaultRetainFor = 30 * time.Second
+)
+
+// Config selects the resilience behaviors for one endpoint. The zero
+// value (via WithDefaults) enables keepalives, dead-peer detection, the
+// default backoff schedule, and unlimited reconnect attempts.
+type Config struct {
+	// KeepaliveInterval is the idle period after which a keepalive
+	// frame is sent. Negative disables keepalive emission.
+	KeepaliveInterval time.Duration
+	// DeadAfter is the receive deadline re-armed on every delivery: if
+	// nothing arrives for this long the peer is declared dead. Negative
+	// disables dead-peer detection. It should comfortably exceed
+	// KeepaliveInterval (the default is 3x).
+	DeadAfter time.Duration
+	// Backoff shapes the reconnect schedule (agent side).
+	Backoff BackoffPolicy
+	// MaxAttempts bounds consecutive failed reconnect attempts before
+	// the agent's supervisor gives up; 0 means retry forever.
+	MaxAttempts int
+	// RetainFor is how long the server retains a disconnected agent's
+	// subscriptions for replay on reconnect; negative disables
+	// retention (disconnect drops everything immediately, the
+	// pre-resilience behavior).
+	RetainFor time.Duration
+}
+
+// WithDefaults returns c with zero fields replaced by the documented
+// defaults. Negative durations mean "disabled" and are preserved.
+func (c Config) WithDefaults() Config {
+	if c.KeepaliveInterval == 0 {
+		c.KeepaliveInterval = DefaultKeepaliveInterval
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 3 * c.KeepaliveInterval
+		if c.DeadAfter <= 0 {
+			c.DeadAfter = DefaultDeadAfter
+		}
+	}
+	if c.RetainFor == 0 {
+		c.RetainFor = DefaultRetainFor
+	}
+	c.Backoff = c.Backoff.withDefaults()
+	return c
+}

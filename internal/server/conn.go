@@ -40,24 +40,49 @@ func (s *Server) serveAgent(tc transport.Conn) {
 		dec: e2ap.MustCodec(s.cfg.Scheme),
 	}
 
-	// First message must be the setup request.
-	wire, err := tc.Recv()
-	if err != nil {
-		tc.Close()
-		return
+	// Bound the handshake: an accepted connection that never completes
+	// E2 setup must not pin a goroutine forever. Same default as the
+	// dialer's connection-establishment timeout.
+	hsTimeout := s.cfg.DialTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = transport.DefaultDialTimeout
 	}
-	pdu, err := c.dec.Decode(wire)
-	if err != nil {
-		tc.Close()
-		return
+	rd, _ := tc.(transport.RecvDeadliner)
+	if rd != nil {
+		_ = rd.SetRecvDeadline(time.Now().Add(hsTimeout))
 	}
-	setup, ok := pdu.(*e2ap.SetupRequest)
-	if !ok {
-		_ = c.send(&e2ap.SetupFailure{
-			Cause: e2ap.Cause{Type: e2ap.CauseProtocol, Value: 1},
-		})
-		tc.Close()
-		return
+
+	// First message must be the setup request. A resilience-wrapped
+	// peer may slip in a zero-length keepalive first; those are not
+	// protocol messages and are skipped.
+	var setup *e2ap.SetupRequest
+	for {
+		wire, err := tc.Recv()
+		if err != nil {
+			tc.Close()
+			return
+		}
+		if len(wire) == 0 {
+			continue
+		}
+		pdu, err := c.dec.Decode(wire)
+		if err != nil {
+			tc.Close()
+			return
+		}
+		m, ok := pdu.(*e2ap.SetupRequest)
+		if !ok {
+			_ = c.send(&e2ap.SetupFailure{
+				Cause: e2ap.Cause{Type: e2ap.CauseProtocol, Value: 1},
+			})
+			tc.Close()
+			return
+		}
+		setup = m
+		break
+	}
+	if rd != nil {
+		_ = rd.SetRecvDeadline(time.Time{})
 	}
 
 	accepted := make([]uint16, len(setup.RANFunctions))
@@ -73,48 +98,19 @@ func (s *Server) serveAgent(tc transport.Conn) {
 		return
 	}
 
-	s.mu.Lock()
-	c.id = s.nextID
-	s.nextID++
-	c.info = AgentInfo{
-		ID:        c.id,
-		NodeID:    setup.NodeID,
-		Functions: setup.RANFunctions,
-		Addr:      tc.RemoteAddr(),
+	// The association is live: police it with keepalives and dead-peer
+	// detection from here on.
+	if s.res != nil {
+		c.tc = s.res.WrapConn(tc)
 	}
-	s.agents[c.id] = c
-	hooks := append([]func(AgentInfo){}, s.onConnect...)
-	s.updateAgentStatsLocked()
-	s.mu.Unlock()
 
-	s.randb.addAgent(c.info)
-	// Hooks run concurrently with the receive loop: a hook may issue a
-	// control/subscription and wait for the agent's reply, which only
-	// the receive loop can deliver.
-	if len(hooks) > 0 {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for _, h := range hooks {
-				h(c.info)
-			}
-		}()
+	if !s.admitAgent(c, setup) {
+		c.tc.Close()
+		return
 	}
 
 	c.recvLoop()
-
-	// Teardown.
-	s.mu.Lock()
-	delete(s.agents, c.id)
-	down := append([]func(AgentInfo){}, s.onDisconnect...)
-	s.updateAgentStatsLocked()
-	s.mu.Unlock()
-	s.randb.removeAgent(c.info)
-	s.subs.dropAgent(c.id)
-	for _, h := range down {
-		h(c.info)
-	}
-	tc.Close()
+	s.teardownAgent(c)
 }
 
 // recvLoop is the message handler: indications take the envelope fast

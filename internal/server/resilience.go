@@ -1,0 +1,222 @@
+package server
+
+import (
+	"time"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/trace"
+	"flexric/internal/transport"
+)
+
+// Server-side half of the resilience subsystem (Config.Resilience): a
+// disconnected agent is not dropped immediately but suspended — its
+// subscriptions, RAN-database entry, and AgentID are retained for
+// Config.Resilience.RetainFor, keyed by the node's global E2 identity.
+// If the node completes E2 setup again within the window, it is
+// re-admitted under its old AgentID and the server replays every
+// retained subscription with its original request ID, so iApp SubIDs
+// and callbacks keep working without any application involvement. Only
+// pending controls are failed promptly (ErrClosed): their answers can
+// never arrive on the dead connection.
+
+// retainedAgent is one suspended agent awaiting reconnection.
+type retainedAgent struct {
+	id   AgentID
+	info AgentInfo
+	// expire fires dropRetained when retention runs out first.
+	expire *time.Timer
+}
+
+// admitAgent registers a freshly set-up connection, either re-admitting
+// a suspended agent (retention hit on node identity) or as a new agent.
+// It reports false when the server is closed.
+func (s *Server) admitAgent(c *agentConn, setup *e2ap.SetupRequest) bool {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return false
+	}
+
+	// Reconnect detection, by global node identity: either the agent is
+	// suspended (its old connection already died), or it redialed before
+	// the server noticed the old association die (half-open takeover).
+	var oldTC transport.Conn
+	reclaimed := false
+	if s.res != nil {
+		if e, ok := s.retained[setup.NodeID]; ok && e.expire.Stop() {
+			delete(s.retained, setup.NodeID)
+			serverTel.retained.Set(int64(len(s.retained)))
+			c.id = e.id
+			reclaimed = true
+		} else {
+			for _, old := range s.agents {
+				if old.info.NodeID == setup.NodeID {
+					c.id = old.id
+					oldTC = old.tc
+					reclaimed = true
+					break
+				}
+			}
+		}
+	}
+	if reclaimed {
+		// Reuse the old AgentID so SubIDs minted before the drop stay
+		// valid; replacing the map entry makes the predecessor's teardown
+		// a no-op (ownership check in teardownAgent).
+		c.info = AgentInfo{
+			ID:        c.id,
+			NodeID:    setup.NodeID,
+			Functions: setup.RANFunctions,
+			Addr:      c.tc.RemoteAddr(),
+		}
+		s.agents[c.id] = c
+		hooks := append([]func(AgentInfo){}, s.onReconnect...)
+		s.updateAgentStatsLocked()
+		s.mu.Unlock()
+
+		if oldTC != nil {
+			// Takeover: retire the half-open predecessor and fail its
+			// pending controls now — their answers can never arrive.
+			oldTC.Close()
+			s.subs.abortControls(c.id)
+		}
+		serverTel.reconnects.Inc()
+		// Replay before the hooks so applications observing the reconnect
+		// see their subscriptions already re-established.
+		s.replaySubscriptions(c)
+		if len(hooks) > 0 {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for _, h := range hooks {
+					h(c.info)
+				}
+			}()
+		}
+		return true
+	}
+
+	// New agent.
+	c.id = s.nextID
+	s.nextID++
+	c.info = AgentInfo{
+		ID:        c.id,
+		NodeID:    setup.NodeID,
+		Functions: setup.RANFunctions,
+		Addr:      c.tc.RemoteAddr(),
+	}
+	s.agents[c.id] = c
+	hooks := append([]func(AgentInfo){}, s.onConnect...)
+	s.updateAgentStatsLocked()
+	s.mu.Unlock()
+
+	s.randb.addAgent(c.info)
+	// Hooks run concurrently with the receive loop: a hook may issue a
+	// control/subscription and wait for the agent's reply, which only
+	// the receive loop can deliver.
+	if len(hooks) > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, h := range hooks {
+				h(c.info)
+			}
+		}()
+	}
+	return true
+}
+
+// replaySubscriptions re-issues the agent's retained subscriptions on
+// its new connection, preserving the original request IDs. Failures are
+// delivered through the normal path: the agent answers each request
+// with a response or failure, routed to the retained callbacks.
+func (s *Server) replaySubscriptions(c *agentConn) {
+	items := s.subs.replayItems(c.id)
+	if len(items) == 0 {
+		return
+	}
+	sp := trace.StartRoot("server.resub")
+	for _, it := range items {
+		err := c.send(&e2ap.SubscriptionRequest{
+			RequestID:     it.req,
+			RANFunctionID: it.fnID,
+			EventTrigger:  it.trigger,
+			Actions:       it.actions,
+			Trace:         sp.Context(),
+		})
+		if err != nil {
+			// Connection already gone again; the next reconnect replays.
+			break
+		}
+		serverTel.subsReplayed.Inc()
+	}
+	sp.End()
+}
+
+// teardownAgent runs when an agent's receive loop ends. With resilience
+// enabled the agent is suspended: removed from the live set, pending
+// controls aborted, and a retention timer armed; subscriptions and the
+// RAN-database entry stay for replay. Without resilience (or when the
+// server is closing) all state drops immediately, as in the seed.
+func (s *Server) teardownAgent(c *agentConn) {
+	s.mu.Lock()
+	if s.agents[c.id] != c {
+		// A reconnect already replaced this conn (or Close drained it);
+		// nothing to tear down beyond the transport.
+		s.mu.Unlock()
+		c.tc.Close()
+		return
+	}
+	delete(s.agents, c.id)
+
+	if s.res != nil && s.res.RetainFor > 0 && !s.closed.Load() {
+		e := &retainedAgent{id: c.id, info: c.info}
+		e.expire = time.AfterFunc(s.res.RetainFor, func() { s.expireRetained(c.info.NodeID, e) })
+		s.retained[c.info.NodeID] = e
+		s.updateAgentStatsLocked()
+		serverTel.retained.Set(int64(len(s.retained)))
+		s.mu.Unlock()
+		c.tc.Close()
+		s.subs.abortControls(c.id)
+		return
+	}
+
+	down := append([]func(AgentInfo){}, s.onDisconnect...)
+	s.updateAgentStatsLocked()
+	s.mu.Unlock()
+	c.tc.Close()
+	s.randb.removeAgent(c.info)
+	s.subs.dropAgent(c.id)
+	for _, h := range down {
+		h(c.info)
+	}
+}
+
+// expireRetained is the retention timer callback: if the entry is still
+// current (not re-admitted, not drained by Close), the suspension
+// becomes a real disconnect.
+func (s *Server) expireRetained(nodeID e2ap.GlobalE2NodeID, e *retainedAgent) {
+	s.mu.Lock()
+	if s.retained[nodeID] != e {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.retained, nodeID)
+	serverTel.retained.Set(int64(len(s.retained)))
+	s.mu.Unlock()
+	s.dropRetained(e)
+}
+
+// dropRetained finalizes a suspension that did not end in a reconnect:
+// the deferred disconnect semantics — RAN database removal, subscription
+// teardown (OnDeleted fires), and the OnAgentDisconnect hooks.
+func (s *Server) dropRetained(e *retainedAgent) {
+	s.mu.Lock()
+	down := append([]func(AgentInfo){}, s.onDisconnect...)
+	s.mu.Unlock()
+	s.randb.removeAgent(e.info)
+	s.subs.dropAgent(e.id)
+	for _, h := range down {
+		h(e.info)
+	}
+}

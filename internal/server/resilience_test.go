@@ -1,0 +1,363 @@
+package server_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/e2ap"
+	"flexric/internal/resilience"
+	"flexric/internal/server"
+	"flexric/internal/transport"
+)
+
+// connCapture records the most recently dialed raw transport so tests
+// can kill the live connection without closing the agent — a simulated
+// crash of the path, not a graceful shutdown.
+type connCapture struct {
+	mu sync.Mutex
+	c  transport.Conn
+}
+
+func (cc *connCapture) wrap(c transport.Conn) transport.Conn {
+	cc.mu.Lock()
+	cc.c = c
+	cc.mu.Unlock()
+	return c
+}
+
+func (cc *connCapture) kill() {
+	cc.mu.Lock()
+	c := cc.c
+	cc.mu.Unlock()
+	c.Close()
+}
+
+// blockingFunction admits subscriptions and parks control calls until
+// released, keeping a control pending at the server for as long as the
+// test needs.
+type blockingFunction struct {
+	id      uint16
+	release chan struct{}
+	inCtl   atomic.Int32
+}
+
+func (f *blockingFunction) Definition() e2ap.RANFunctionItem {
+	return e2ap.RANFunctionItem{ID: f.id, Revision: 1, OID: "1.3.6.1.4.1.53148.1.9"}
+}
+
+func (f *blockingFunction) OnSubscription(agent.ControllerID, *e2ap.SubscriptionRequest, agent.IndicationSender) error {
+	return nil
+}
+
+func (f *blockingFunction) OnSubscriptionDelete(agent.ControllerID, *e2ap.SubscriptionDeleteRequest) error {
+	return nil
+}
+
+func (f *blockingFunction) OnControl(_ agent.ControllerID, req *e2ap.ControlRequest) ([]byte, error) {
+	f.inCtl.Add(1)
+	<-f.release
+	return req.Payload, nil
+}
+
+// fastResilience is a test config: no keepalives (the tests kill the
+// transport directly), tight backoff so reconnects are quick, and a
+// retention window that outlives the test body.
+func fastResilience() *resilience.Config {
+	return &resilience.Config{
+		KeepaliveInterval: -1,
+		DeadAfter:         -1,
+		Backoff:           resilience.BackoffPolicy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		RetainFor:         30 * time.Second,
+	}
+}
+
+// TestDisconnectAbortsPendingControls covers the seed's disconnect
+// cleanup (no resilience): a control pending when the agent's
+// connection dies completes promptly with ErrClosed, and the
+// subscription's OnDeleted fires exactly once.
+func TestDisconnectAbortsPendingControls(t *testing.T) {
+	s, addr := startServer(t, e2ap.SchemeASN)
+	release := make(chan struct{})
+	fn := &blockingFunction{id: 140, release: release}
+	cap := &connCapture{}
+
+	a := agent.New(agent.Config{
+		NodeID:   nodeID(e2ap.NodeENB, 5),
+		Scheme:   e2ap.SchemeASN,
+		WrapConn: cap.wrap,
+	})
+	if err := a.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { close(release) }) // unblock OnControl before a.Close
+
+	waitFor(t, "agent", func() bool { return len(s.Agents()) == 1 })
+	agentID := s.Agents()[0].ID
+
+	var deletions atomic.Int32
+	if _, err := s.Subscribe(agentID, 140, []byte{1}, nil, server.SubscriptionCallbacks{
+		OnDeleted: func() { deletions.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctlErr := make(chan error, 1)
+	if err := s.Control(agentID, 140, nil, []byte("held"), true, func(_ []byte, err error) {
+		ctlErr <- err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "control held at agent", func() bool { return fn.inCtl.Load() == 1 })
+
+	cap.kill()
+
+	select {
+	case err := <-ctlErr:
+		if !errors.Is(err, server.ErrClosed) {
+			t.Fatalf("pending control error = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending control not aborted on disconnect")
+	}
+	waitFor(t, "OnDeleted", func() bool { return deletions.Load() == 1 })
+	time.Sleep(20 * time.Millisecond)
+	if n := deletions.Load(); n != 1 {
+		t.Fatalf("OnDeleted fired %d times, want exactly 1", n)
+	}
+	if len(s.Agents()) != 0 {
+		t.Fatal("agent still listed after disconnect")
+	}
+}
+
+// TestReconnectReplaysSubscriptions is the heart of the resilience
+// subsystem: kill the transport under a subscribed agent and verify the
+// supervisor re-associates, the server reuses the AgentID, the
+// subscription is replayed under its original SubID, and the
+// indication stream resumes — all without firing OnAgentDisconnect.
+func TestReconnectReplaysSubscriptions(t *testing.T) {
+	for _, scheme := range []e2ap.Scheme{e2ap.SchemeASN, e2ap.SchemeFB} {
+		t.Run(string(scheme), func(t *testing.T) {
+			s := server.New(server.Config{
+				Scheme:     scheme,
+				Transport:  transport.KindSCTPish,
+				Resilience: fastResilience(),
+			})
+			addr, err := s.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+
+			var reconnects, disconnects atomic.Int32
+			s.OnAgentReconnect(func(server.AgentInfo) { reconnects.Add(1) })
+			s.OnAgentDisconnect(func(server.AgentInfo) { disconnects.Add(1) })
+
+			fn := &echoFunction{id: 140}
+			cap := &connCapture{}
+			a := agent.New(agent.Config{
+				NodeID:     nodeID(e2ap.NodeENB, 5),
+				Scheme:     scheme,
+				Transport:  transport.KindSCTPish,
+				Resilience: fastResilience(),
+				WrapConn:   cap.wrap,
+			})
+			if err := a.RegisterFunction(fn); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Connect(addr); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { a.Close() })
+			waitFor(t, "agent", func() bool { return len(s.Agents()) == 1 })
+			agentID := s.Agents()[0].ID
+
+			// Teardown at test end (agent close + retention drain on server
+			// close) legitimately fires OnDeleted; only mid-test firings —
+			// across the reconnect — are a bug.
+			var tearingDown atomic.Bool
+			t.Cleanup(func() { tearingDown.Store(true) })
+
+			inds := make(chan []byte, 16)
+			if _, err := s.Subscribe(agentID, 140, []byte{1}, []e2ap.Action{{ID: 1, Type: e2ap.ActionReport}},
+				server.SubscriptionCallbacks{
+					OnIndication: func(ev server.IndicationEvent) {
+						inds <- append([]byte(nil), ev.Env.IndicationPayload()...)
+					},
+					OnDeleted: func() {
+						if !tearingDown.Load() {
+							t.Error("OnDeleted fired across a reconnect")
+						}
+					},
+				}); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "subscription at agent", func() bool {
+				fn.mu.Lock()
+				defer fn.mu.Unlock()
+				return fn.subs == 1
+			})
+
+			// Prove the stream works, then kill the path.
+			if err := s.Control(agentID, 140, nil, []byte("before"), false, nil); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case p := <-inds:
+				if string(p) != "before" {
+					t.Fatalf("indication %q", p)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("no indication before the drop")
+			}
+
+			cap.kill()
+
+			// Reconnect: setup re-runs and the server replays the
+			// subscription to the agent (second OnSubscription call).
+			waitFor(t, "replayed subscription", func() bool {
+				fn.mu.Lock()
+				defer fn.mu.Unlock()
+				return fn.subs == 2
+			})
+			waitFor(t, "reconnect hook", func() bool { return reconnects.Load() == 1 })
+			if got := s.Agents(); len(got) != 1 || got[0].ID != agentID {
+				t.Fatalf("agents after reconnect: %+v (want id %d)", got, agentID)
+			}
+
+			// Same SubID, same callback: the stream resumes.
+			if err := s.Control(agentID, 140, nil, []byte("after"), false, nil); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.After(5 * time.Second)
+			for {
+				select {
+				case p := <-inds:
+					if string(p) == "after" {
+						goto resumed
+					}
+					// Drained a stale pre-drop indication.
+				case <-deadline:
+					t.Fatal("indication stream did not resume after reconnect")
+				}
+			}
+		resumed:
+			if n := disconnects.Load(); n != 0 {
+				t.Fatalf("OnAgentDisconnect fired %d times across a reconnect", n)
+			}
+		})
+	}
+}
+
+// TestRetentionExpiry: when the agent never returns, the suspension
+// becomes a real disconnect after RetainFor — hooks fire, subscriptions
+// tear down (OnDeleted exactly once), and the RAN database forgets the
+// node.
+func TestRetentionExpiry(t *testing.T) {
+	res := fastResilience()
+	res.RetainFor = 50 * time.Millisecond
+	s := server.New(server.Config{
+		Scheme:     e2ap.SchemeASN,
+		Transport:  transport.KindSCTPish,
+		Resilience: res,
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	var disconnects atomic.Int32
+	s.OnAgentDisconnect(func(server.AgentInfo) { disconnects.Add(1) })
+
+	fn := &echoFunction{id: 140}
+	// No agent-side resilience: Close is a permanent goodbye.
+	a := connectAgent(t, addr, e2ap.SchemeASN, nodeID(e2ap.NodeENB, 6), fn)
+	waitFor(t, "agent", func() bool { return len(s.Agents()) == 1 })
+	agentID := s.Agents()[0].ID
+
+	var deletions atomic.Int32
+	if _, err := s.Subscribe(agentID, 140, []byte{1}, nil, server.SubscriptionCallbacks{
+		OnDeleted: func() { deletions.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "subscription at agent", func() bool {
+		fn.mu.Lock()
+		defer fn.mu.Unlock()
+		return fn.subs == 1
+	})
+
+	a.Close()
+
+	waitFor(t, "deferred disconnect hook", func() bool { return disconnects.Load() == 1 })
+	waitFor(t, "OnDeleted", func() bool { return deletions.Load() == 1 })
+	time.Sleep(20 * time.Millisecond)
+	if n := deletions.Load(); n != 1 {
+		t.Fatalf("OnDeleted fired %d times, want exactly 1", n)
+	}
+	if len(s.RANDB().Entities()) != 0 {
+		t.Fatal("RANDB entity survived retention expiry")
+	}
+}
+
+// TestSuspendAbortsPendingControls: with resilience enabled, a control
+// pending at the moment of the drop still fails promptly with ErrClosed
+// — suspension retains subscriptions, never in-flight controls.
+func TestSuspendAbortsPendingControls(t *testing.T) {
+	s := server.New(server.Config{
+		Scheme:     e2ap.SchemeASN,
+		Transport:  transport.KindSCTPish,
+		Resilience: fastResilience(), // RetainFor 30s >> test timeout
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	release := make(chan struct{})
+	fn := &blockingFunction{id: 140, release: release}
+	cap := &connCapture{}
+	a := agent.New(agent.Config{
+		NodeID:   nodeID(e2ap.NodeENB, 7),
+		Scheme:   e2ap.SchemeASN,
+		WrapConn: cap.wrap,
+	})
+	if err := a.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { close(release) })
+	waitFor(t, "agent", func() bool { return len(s.Agents()) == 1 })
+	agentID := s.Agents()[0].ID
+
+	ctlErr := make(chan error, 1)
+	if err := s.Control(agentID, 140, nil, []byte("held"), true, func(_ []byte, err error) {
+		ctlErr <- err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "control held at agent", func() bool { return fn.inCtl.Load() == 1 })
+
+	cap.kill()
+
+	select {
+	case err := <-ctlErr:
+		if !errors.Is(err, server.ErrClosed) {
+			t.Fatalf("pending control error = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("suspension did not abort the pending control promptly")
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flexric/internal/e2ap"
+	"flexric/internal/resilience"
 	"flexric/internal/trace"
 	"flexric/internal/transport"
 )
@@ -80,6 +82,21 @@ type Config struct {
 	Scheme e2ap.Scheme
 	// Transport selects the wire transport (default KindSCTPish).
 	Transport transport.Kind
+	// DialTimeout bounds connection establishment from the server's
+	// side: an accepted connection must complete the E2 setup handshake
+	// within this window instead of pinning a goroutine forever. 0
+	// means transport.DefaultDialTimeout, the same default the dialing
+	// side uses.
+	DialTimeout time.Duration
+	// Resilience enables keepalives and dead-peer detection on agent
+	// associations, plus retention and replay of a disconnected agent's
+	// subscriptions when it reconnects (see OnAgentReconnect). nil
+	// keeps the seed behavior: a disconnect drops all agent state
+	// immediately.
+	Resilience *resilience.Config
+	// WrapListener, when non-nil, wraps the south-bound listener before
+	// use — the fault injection hook (internal/faultinject).
+	WrapListener func(transport.Listener) transport.Listener
 }
 
 func (c *Config) defaults() {
@@ -94,6 +111,8 @@ func (c *Config) defaults() {
 // Server is a FlexRIC controller core.
 type Server struct {
 	cfg Config
+	// res is the resolved resilience config; nil when disabled.
+	res *resilience.Config
 
 	lis transport.Listener
 
@@ -101,11 +120,15 @@ type Server struct {
 	agents map[AgentID]*agentConn
 	nextID AgentID
 	randb  *RANDB
+	// retained holds disconnected agents whose subscriptions are kept
+	// for replay, keyed by node identity (see resilience.go).
+	retained map[e2ap.GlobalE2NodeID]*retainedAgent
 
 	subs *subManager
 
 	onConnect    []func(AgentInfo)
 	onDisconnect []func(AgentInfo)
+	onReconnect  []func(AgentInfo)
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -119,12 +142,18 @@ var ErrClosed = errors.New("server: closed")
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	return &Server{
-		cfg:    cfg,
-		agents: make(map[AgentID]*agentConn),
-		randb:  newRANDB(),
-		subs:   newSubManager(),
+	s := &Server{
+		cfg:      cfg,
+		agents:   make(map[AgentID]*agentConn),
+		randb:    newRANDB(),
+		retained: make(map[e2ap.GlobalE2NodeID]*retainedAgent),
+		subs:     newSubManager(),
 	}
+	if cfg.Resilience != nil {
+		r := cfg.Resilience.WithDefaults()
+		s.res = &r
+	}
+	return s
 }
 
 // Start binds the south-bound listener and begins accepting agents. It
@@ -133,6 +162,9 @@ func (s *Server) Start(addr string) (string, error) {
 	lis, err := transport.Listen(s.cfg.Transport, addr)
 	if err != nil {
 		return "", err
+	}
+	if s.cfg.WrapListener != nil {
+		lis = s.cfg.WrapListener(lis)
 	}
 	s.lis = lis
 	s.wg.Add(1)
@@ -153,7 +185,8 @@ func (s *Server) Start(addr string) (string, error) {
 	return lis.Addr(), nil
 }
 
-// Close stops the server and disconnects all agents.
+// Close stops the server and disconnects all agents. Retained
+// (suspended) agents are dropped as if their retention expired.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -166,9 +199,21 @@ func (s *Server) Close() error {
 	for _, c := range s.agents {
 		conns = append(conns, c)
 	}
+	// Retention timers whose Stop succeeds are dropped here; a timer
+	// that already fired is completing its own drop concurrently.
+	var expired []*retainedAgent
+	for nodeID, e := range s.retained {
+		if e.expire.Stop() {
+			delete(s.retained, nodeID)
+			expired = append(expired, e)
+		}
+	}
 	s.mu.Unlock()
 	for _, c := range conns {
 		c.tc.Close()
+	}
+	for _, e := range expired {
+		s.dropRetained(e)
 	}
 	s.wg.Wait()
 	return nil
@@ -185,10 +230,23 @@ func (s *Server) OnAgentConnect(f func(AgentInfo)) {
 }
 
 // OnAgentDisconnect registers a hook fired when an agent's connection
-// drops.
+// drops. With resilience enabled the hook is deferred: a disconnected
+// agent is first suspended (subscriptions retained for replay), and the
+// hook fires only if retention expires without a reconnect.
 func (s *Server) OnAgentDisconnect(f func(AgentInfo)) {
 	s.mu.Lock()
 	s.onDisconnect = append(s.onDisconnect, f)
+	s.mu.Unlock()
+}
+
+// OnAgentReconnect registers a hook fired when a suspended agent
+// re-associates. By the time the hook runs, the server has already
+// replayed the agent's retained subscriptions under their original
+// request IDs, so existing SubIDs and callbacks keep working; the hook
+// is for applications that track liveness. Requires Config.Resilience.
+func (s *Server) OnAgentReconnect(f func(AgentInfo)) {
+	s.mu.Lock()
+	s.onReconnect = append(s.onReconnect, f)
 	s.mu.Unlock()
 }
 
@@ -218,7 +276,7 @@ func (s *Server) Subscribe(agent AgentID, fnID uint16, trigger []byte, actions [
 	if c == nil {
 		return SubID{}, fmt.Errorf("server: no agent %d", agent)
 	}
-	req := s.subs.create(agent, cb)
+	req := s.subs.create(agent, fnID, trigger, actions, cb)
 	// Root of the subscription trace; the context rides the request so
 	// the agent's fill span links under it.
 	sp := trace.StartRoot("server.subscribe")

@@ -35,6 +35,11 @@ const (
 
 type subscription struct {
 	cb SubscriptionCallbacks
+	// Replay metadata: enough of the original request to re-issue it
+	// verbatim (same RequestID) when a suspended agent reconnects.
+	fnID    uint16
+	trigger []byte
+	actions []e2ap.Action
 	// inds counts indications delivered to this subscription
 	// (server.sub.<...>.indications).
 	inds *telemetry.Counter
@@ -47,13 +52,19 @@ func newSubManager() *subManager {
 	}
 }
 
-func (m *subManager) create(agent AgentID, cb SubscriptionCallbacks) e2ap.RequestID {
+func (m *subManager) create(agent AgentID, fnID uint16, trigger []byte, actions []e2ap.Action, cb SubscriptionCallbacks) e2ap.RequestID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.subSeq++
 	req := e2ap.RequestID{Requestor: requestorSub, Instance: m.subSeq}
 	id := SubID{Agent: agent, Req: req}
-	m.subs[id] = &subscription{cb: cb, inds: subIndications(id)}
+	m.subs[id] = &subscription{
+		cb:      cb,
+		fnID:    fnID,
+		trigger: trigger,
+		actions: actions,
+		inds:    subIndications(id),
+	}
 	serverTel.subsActive.Set(int64(len(m.subs)))
 	return req
 }
@@ -199,6 +210,53 @@ func (m *subManager) dropAgent(agent AgentID) {
 	for _, done := range aborted {
 		done(nil, ErrClosed)
 	}
+}
+
+// abortControls promptly fails the agent's pending controls with
+// ErrClosed while leaving subscriptions in place — the suspension half
+// of retention: a control answer can never arrive on a dead connection,
+// but subscriptions survive for replay.
+func (m *subManager) abortControls(agent AgentID) {
+	m.mu.Lock()
+	var aborted []func([]byte, error)
+	for id, done := range m.controls {
+		if id.Agent == agent {
+			aborted = append(aborted, done)
+			delete(m.controls, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, done := range aborted {
+		done(nil, ErrClosed)
+	}
+}
+
+// replayItem is one retained subscription to re-establish on reconnect.
+type replayItem struct {
+	req     e2ap.RequestID
+	fnID    uint16
+	trigger []byte
+	actions []e2ap.Action
+}
+
+// replayItems snapshots the agent's subscriptions for re-establishment.
+// The original request IDs are returned so replayed subscriptions keep
+// their SubIDs, callbacks, and telemetry.
+func (m *subManager) replayItems(agent AgentID) []replayItem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var items []replayItem
+	for id, sub := range m.subs {
+		if id.Agent == agent {
+			items = append(items, replayItem{
+				req:     id.Req,
+				fnID:    sub.fnID,
+				trigger: sub.trigger,
+				actions: sub.actions,
+			})
+		}
+	}
+	return items
 }
 
 // DroppedIndications reports indications that arrived without a matching

@@ -23,24 +23,34 @@ import (
 //	server.randb.entities              RAN entities known (gauge)
 //	server.randb.entities_complete     fully-assembled entities (gauge)
 //	server.functions                   RAN functions across agents (gauge)
+//	server.agent_reconnects            suspended agents re-admitted (counter)
+//	server.subs_replayed               subscriptions re-established (counter)
+//	server.agents_retained             suspended agents awaiting reconnect
+//	                                   (gauge)
 var serverTel = struct {
-	dispatchLat *telemetry.Histogram
-	indications *telemetry.Counter
-	dropped     *telemetry.Counter
-	subsActive  *telemetry.Gauge
-	agents      *telemetry.Gauge
-	entities    *telemetry.Gauge
-	complete    *telemetry.Gauge
-	functions   *telemetry.Gauge
+	dispatchLat  *telemetry.Histogram
+	indications  *telemetry.Counter
+	dropped      *telemetry.Counter
+	subsActive   *telemetry.Gauge
+	agents       *telemetry.Gauge
+	entities     *telemetry.Gauge
+	complete     *telemetry.Gauge
+	functions    *telemetry.Gauge
+	reconnects   *telemetry.Counter
+	subsReplayed *telemetry.Counter
+	retained     *telemetry.Gauge
 }{
-	dispatchLat: telemetry.NewHistogram("server.dispatch_latency"),
-	indications: telemetry.NewCounter("server.indications"),
-	dropped:     telemetry.NewCounter("server.indications_dropped"),
-	subsActive:  telemetry.NewGauge("server.subscriptions_active"),
-	agents:      telemetry.NewGauge("server.agents_connected"),
-	entities:    telemetry.NewGauge("server.randb.entities"),
-	complete:    telemetry.NewGauge("server.randb.entities_complete"),
-	functions:   telemetry.NewGauge("server.functions"),
+	dispatchLat:  telemetry.NewHistogram("server.dispatch_latency"),
+	indications:  telemetry.NewCounter("server.indications"),
+	dropped:      telemetry.NewCounter("server.indications_dropped"),
+	subsActive:   telemetry.NewGauge("server.subscriptions_active"),
+	agents:       telemetry.NewGauge("server.agents_connected"),
+	entities:     telemetry.NewGauge("server.randb.entities"),
+	complete:     telemetry.NewGauge("server.randb.entities_complete"),
+	functions:    telemetry.NewGauge("server.functions"),
+	reconnects:   telemetry.NewCounter("server.agent_reconnects"),
+	subsReplayed: telemetry.NewCounter("server.subs_replayed"),
+	retained:     telemetry.NewGauge("server.agents_retained"),
 }
 
 // subScope names a subscription's telemetry subtree.

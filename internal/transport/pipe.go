@@ -106,6 +106,9 @@ type pipeConn struct {
 	once    *sync.Once
 	closeFn func()
 	stats   connStats
+
+	deadlineMu sync.Mutex
+	deadline   time.Time
 }
 
 // Send implements Conn. The message is copied, matching the socket
@@ -139,8 +142,27 @@ func (p *pipeConn) Send(b []byte) error {
 	}
 }
 
+// SetRecvDeadline implements RecvDeadliner.
+func (p *pipeConn) SetRecvDeadline(t time.Time) error {
+	p.deadlineMu.Lock()
+	p.deadline = t
+	p.deadlineMu.Unlock()
+	return nil
+}
+
 // Recv implements Conn.
 func (p *pipeConn) Recv() ([]byte, error) {
+	p.deadlineMu.Lock()
+	deadline := p.deadline
+	p.deadlineMu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		// Messages already queued beat an expired deadline, matching the
+		// socket transport where buffered data is still readable.
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case m := <-p.recv:
 		// elapsed < 0: an in-process handoff has no reassembly work, so
@@ -156,6 +178,14 @@ func (p *pipeConn) Recv() ([]byte, error) {
 			return m, nil
 		default:
 			return nil, ErrClosed
+		}
+	case <-timeout:
+		select {
+		case m := <-p.recv:
+			p.stats.received(len(m), -1)
+			return m, nil
+		default:
+			return nil, ErrTimeout
 		}
 	}
 }

@@ -35,10 +35,19 @@ var (
 	ErrClosed = errors.New("transport: closed")
 	// ErrMessageTooLarge reports a frame exceeding MaxMessageSize.
 	ErrMessageTooLarge = errors.New("transport: message too large")
+	// ErrTimeout reports a Recv that exceeded the receive deadline set
+	// via RecvDeadliner. On the stream transport the frame may have been
+	// partially consumed, so the connection must be closed afterwards —
+	// the deadline exists to unmask dead peers, not to pace reads.
+	ErrTimeout = errors.New("transport: recv timeout")
 )
 
 // MaxMessageSize caps a single E2 message frame (16 MiB).
 const MaxMessageSize = 16 << 20
+
+// DefaultDialTimeout bounds Dial's connection establishment when the
+// caller does not choose a timeout (see DialTimeout).
+const DefaultDialTimeout = 5 * time.Second
 
 // Conn is a reliable, ordered, message-oriented connection. Send and Recv
 // may be used concurrently with each other; neither may be called
@@ -53,6 +62,17 @@ type Conn interface {
 	Close() error
 	// RemoteAddr describes the peer, for logging and the RAN database.
 	RemoteAddr() string
+}
+
+// RecvDeadliner is implemented by connections that support receive
+// deadlines. A Recv in progress (or started) past the deadline fails
+// with ErrTimeout; the zero time clears the deadline. Both shipped
+// transports implement it. Deadlines are the dead-peer primitive of the
+// resilience layer: a silent peer surfaces as ErrTimeout instead of
+// blocking Recv forever.
+type RecvDeadliner interface {
+	// SetRecvDeadline sets the absolute deadline for Recv calls.
+	SetRecvDeadline(t time.Time) error
 }
 
 // Listener accepts incoming connections.
@@ -95,11 +115,23 @@ func Listen(kind Kind, addr string) (Listener, error) {
 	}
 }
 
-// Dial connects to a listener of the given kind.
+// Dial connects to a listener of the given kind with the default dial
+// timeout.
 func Dial(kind Kind, addr string) (Conn, error) {
+	return DialTimeout(kind, addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a listener of the given kind, bounding
+// connection establishment by timeout (0 or negative falls back to
+// DefaultDialTimeout). The pipe transport connects synchronously and
+// ignores the timeout.
+func DialTimeout(kind Kind, addr string, timeout time.Duration) (Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
 	switch kind {
 	case KindSCTPish:
-		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		c, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -202,11 +234,21 @@ func (s *streamConn) LastRecvDuration() time.Duration {
 	return time.Duration(s.lastRecvNS)
 }
 
+// SetRecvDeadline implements RecvDeadliner.
+func (s *streamConn) SetRecvDeadline(t time.Time) error {
+	return s.c.SetReadDeadline(t)
+}
+
 // mapErr normalizes stream errors: peer or local teardown surfaces as
-// ErrClosed on both Send and Recv.
+// ErrClosed on both Send and Recv, and a read-deadline expiry as
+// ErrTimeout.
 func mapErr(err error) error {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 		return ErrClosed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrTimeout
 	}
 	return err
 }

@@ -35,6 +35,15 @@ go test -race -short ./...
 echo "==> go test -tags notelemetry (telemetry compiled out)"
 go test -tags notelemetry ./internal/telemetry/ ./internal/transport/ ./internal/e2ap/
 
+echo "==> go build -tags nofaultinject"
+go build -tags nofaultinject ./...
+
+echo "==> go test -tags nofaultinject (fault injection compiled out)"
+go test -tags nofaultinject ./internal/faultinject/ ./internal/resilience/ ./internal/agent/ ./internal/server/
+
+echo "==> seeded chaos suite (scripted drops + blackout, both codecs)"
+go test -count=1 -run 'TestChaosDemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
 echo "==> go build -tags notrace"
 go build -tags notrace ./...
 
@@ -53,6 +62,20 @@ if ! echo "$bench_out" | grep -q 'BenchmarkTraceDisabled'; then
 fi
 if ! echo "$bench_out" | grep 'BenchmarkTraceDisabled' | grep -q ' 0 allocs/op'; then
     echo "verify: disabled-trace hot path allocates" >&2
+    exit 1
+fi
+
+echo "==> resilience send hot path (0 allocs/op gate)"
+# The keepalive wrapper sits on the indication hot path; its no-fault
+# Send must stay allocation-free.
+res_out=$(go test -run xxx -bench 'BenchmarkResilienceSendHotPath$' -benchtime 100x ./internal/resilience/ 2>&1)
+echo "$res_out"
+if ! echo "$res_out" | grep -q 'BenchmarkResilienceSendHotPath'; then
+    echo "verify: BenchmarkResilienceSendHotPath did not run" >&2
+    exit 1
+fi
+if ! echo "$res_out" | grep 'BenchmarkResilienceSendHotPath' | grep -q ' 0 allocs/op'; then
+    echo "verify: resilience send hot path allocates" >&2
     exit 1
 fi
 
