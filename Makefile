@@ -8,8 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Paper figure suite + hot-path microbenches with -benchmem; writes
+# BENCH_pr4.json (name -> ns/op, B/op, allocs/op). Tunables:
+# FIG_BENCHTIME, HOT_BENCHTIME, MICRO_BENCHTIME, OUT. See
+# scripts/bench.sh and docs/PERFORMANCE.md.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x .
+	sh scripts/bench.sh
 
 # End-to-end tracing demo: drives a monitoring control loop per encoding
 # scheme and asserts the linked span tree (agent.indication ->

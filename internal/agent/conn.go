@@ -26,6 +26,11 @@ type conn struct {
 	dec e2ap.Codec
 
 	sendMu sync.Mutex
+	// Indication fast-path state, valid under sendMu: the PDU struct and
+	// the wire buffer are reused across sends, so a steady indication
+	// stream encodes and transmits without allocating.
+	ind     e2ap.Indication
+	sendBuf []byte
 }
 
 // closeTransport closes the current transport, reading it under the
@@ -46,6 +51,24 @@ func (c *conn) send(pdu e2ap.PDU) error {
 		return err
 	}
 	return transport.TracedSend(c.tc, wire, e2ap.TraceOf(pdu))
+}
+
+// sendIndication is the hot-path equivalent of send for indications:
+// the PDU struct and wire buffer are connection-owned and reused, so
+// nothing is allocated per message. Safe for concurrent use.
+func (c *conn) sendIndication(ind e2ap.Indication) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.ind = ind
+	wire, err := c.enc.EncodeAppend(c.sendBuf[:0], &c.ind)
+	// Drop the references to the caller's buffers either way: the reused
+	// struct must not pin them until the next indication.
+	c.ind.Header, c.ind.Payload = nil, nil
+	if err != nil {
+		return err
+	}
+	c.sendBuf = wire[:0] // keep the grown buffer for the next send
+	return transport.TracedSend(c.tc, wire, ind.Trace)
 }
 
 // recvLoop dispatches controller messages to RAN functions until the
@@ -218,7 +241,7 @@ func (s *indicationSender) SendIndication(actionID uint8, class e2ap.IndicationC
 	// stages (dispatch, callbacks, fan-out) link to it via the context
 	// carried in the PDU.
 	sp := trace.StartRoot("agent.indication")
-	err := s.conn.send(&e2ap.Indication{
+	err := s.conn.sendIndication(e2ap.Indication{
 		RequestID:     s.reqID,
 		RANFunctionID: s.fnID,
 		ActionID:      actionID,

@@ -37,28 +37,49 @@ const (
 // traceCtxSize is the wire size of a trace context on traced frames.
 const traceCtxSize = 16
 
-// encodeFrame builds [verb][u16 channel len][channel][payload].
-func encodeFrame(verb byte, channel string, payload []byte) []byte {
-	buf := make([]byte, 3+len(channel)+len(payload))
-	buf[0] = verb
-	binary.BigEndian.PutUint16(buf[1:], uint16(len(channel)))
-	copy(buf[3:], channel)
-	copy(buf[3+len(channel):], payload)
-	return buf
+// appendFrame appends [verb][u16 channel len][channel][payload] to dst
+// (which may be nil) and returns the extended slice — the append-style
+// builder that lets publish paths reuse one wire buffer per client.
+func appendFrame(dst []byte, verb byte, channel string, payload []byte) []byte {
+	dst = append(dst, verb, byte(len(channel)>>8), byte(len(channel)))
+	dst = append(dst, channel...)
+	return append(dst, payload...)
 }
 
-// encodeTracedFrame is encodeFrame with the trace context spliced in
+// appendTracedFrame is appendFrame with the trace context spliced in
 // front of the payload.
-func encodeTracedFrame(verb byte, channel string, tc trace.Context, payload []byte) []byte {
-	buf := make([]byte, 3+len(channel)+traceCtxSize+len(payload))
-	buf[0] = verb
-	binary.BigEndian.PutUint16(buf[1:], uint16(len(channel)))
-	copy(buf[3:], channel)
-	off := 3 + len(channel)
-	binary.BigEndian.PutUint64(buf[off:], tc.TraceID)
-	binary.BigEndian.PutUint64(buf[off+8:], tc.SpanID)
-	copy(buf[off+traceCtxSize:], payload)
-	return buf
+func appendTracedFrame(dst []byte, verb byte, channel string, tc trace.Context, payload []byte) []byte {
+	dst = append(dst, verb, byte(len(channel)>>8), byte(len(channel)))
+	dst = append(dst, channel...)
+	var ctx [traceCtxSize]byte
+	binary.BigEndian.PutUint64(ctx[:], tc.TraceID)
+	binary.BigEndian.PutUint64(ctx[8:], tc.SpanID)
+	dst = append(dst, ctx[:]...)
+	return append(dst, payload...)
+}
+
+// encodeFrame builds a frame in a fresh buffer.
+func encodeFrame(verb byte, channel string, payload []byte) []byte {
+	return appendFrame(nil, verb, channel, payload)
+}
+
+// appendFrameBytes / appendTracedFrameBytes duplicate the builders for a
+// channel still in wire-view ([]byte) form: the broker's fan-out path
+// would otherwise pay a string conversion allocation per publish.
+func appendFrameBytes(dst []byte, verb byte, channel, payload []byte) []byte {
+	dst = append(dst, verb, byte(len(channel)>>8), byte(len(channel)))
+	dst = append(dst, channel...)
+	return append(dst, payload...)
+}
+
+func appendTracedFrameBytes(dst []byte, verb byte, channel []byte, tc trace.Context, payload []byte) []byte {
+	dst = append(dst, verb, byte(len(channel)>>8), byte(len(channel)))
+	dst = append(dst, channel...)
+	var ctx [traceCtxSize]byte
+	binary.BigEndian.PutUint64(ctx[:], tc.TraceID)
+	binary.BigEndian.PutUint64(ctx[8:], tc.SpanID)
+	dst = append(dst, ctx[:]...)
+	return append(dst, payload...)
 }
 
 // splitTraced separates the trace context from a traced frame's payload.
@@ -73,15 +94,19 @@ func splitTraced(payload []byte) (trace.Context, []byte, error) {
 	return tc, payload[traceCtxSize:], nil
 }
 
-func decodeFrame(b []byte) (verb byte, channel string, payload []byte, err error) {
+// decodeFrame splits a frame into views of b: the channel stays a byte
+// slice so the per-message hot paths never allocate a string — map
+// lookups via m[string(channel)] compile to allocation-free probes, and
+// only a first-time Subscribe materializes the name.
+func decodeFrame(b []byte) (verb byte, channel, payload []byte, err error) {
 	if len(b) < 3 {
-		return 0, "", nil, fmt.Errorf("broker: short frame")
+		return 0, nil, nil, fmt.Errorf("broker: short frame")
 	}
 	n := int(binary.BigEndian.Uint16(b[1:]))
 	if 3+n > len(b) {
-		return 0, "", nil, fmt.Errorf("broker: bad channel length")
+		return 0, nil, nil, fmt.Errorf("broker: bad channel length")
 	}
-	return b[0], string(b[3 : 3+n]), b[3+n:], nil
+	return b[0], b[3 : 3+n], b[3+n:], nil
 }
 
 // Server is the broker process.
@@ -151,11 +176,18 @@ func (s *Server) serve(c *serverConn) {
 		s.mu.Unlock()
 		c.tc.Close()
 	}()
+	// Receive frames through the recycled-buffer path and build delivery
+	// frames in a per-connection scratch: a steady publish stream is
+	// served without allocating. dsts is snapshotted under the lock so
+	// slow subscriber sends don't serialize subscription changes.
+	var buf, out []byte
+	var dsts []*serverConn
 	for {
-		wire, err := c.tc.Recv()
+		wire, err := transport.RecvBuf(c.tc, buf)
 		if err != nil {
 			return
 		}
+		buf = wire
 		verb, channel, payload, err := decodeFrame(wire)
 		if err != nil {
 			continue
@@ -163,14 +195,14 @@ func (s *Server) serve(c *serverConn) {
 		switch verb {
 		case verbSubscribe:
 			s.mu.Lock()
-			if s.subs[channel] == nil {
-				s.subs[channel] = make(map[*serverConn]bool)
+			if s.subs[string(channel)] == nil {
+				s.subs[string(channel)] = make(map[*serverConn]bool)
 			}
-			s.subs[channel][c] = true
+			s.subs[string(channel)][c] = true
 			s.mu.Unlock()
 		case verbUnsubscribe:
 			s.mu.Lock()
-			delete(s.subs[channel], c)
+			delete(s.subs[string(channel)], c)
 			s.mu.Unlock()
 		case verbPublish, verbPublishT:
 			var t0 time.Time
@@ -179,7 +211,6 @@ func (s *Server) serve(c *serverConn) {
 				brokerTel.published.Inc()
 			}
 			var sp trace.Span
-			var out []byte
 			if verb == verbPublishT {
 				tc, rest, err := splitTraced(payload)
 				if err != nil {
@@ -189,13 +220,13 @@ func (s *Server) serve(c *serverConn) {
 				// its context rides the delivery so subscribers can link
 				// further spans under it.
 				sp = trace.StartChild(tc, "broker.fanout")
-				out = encodeTracedFrame(verbMessageT, channel, sp.Context(), rest)
+				out = appendTracedFrameBytes(out[:0], verbMessageT, channel, sp.Context(), rest)
 			} else {
-				out = encodeFrame(verbMessage, channel, payload)
+				out = appendFrameBytes(out[:0], verbMessage, channel, payload)
 			}
 			s.mu.Lock()
-			dsts := make([]*serverConn, 0, len(s.subs[channel]))
-			for dst := range s.subs[channel] {
+			dsts = dsts[:0]
+			for dst := range s.subs[string(channel)] {
 				dsts = append(dsts, dst)
 			}
 			s.mu.Unlock()
@@ -224,13 +255,24 @@ type Message struct {
 	Trace trace.Context
 }
 
+// clientSub is one channel's local subscription state. name is the
+// canonical channel-name string, allocated once at Subscribe time and
+// shared by every delivered Message, so deliveries never re-materialize
+// the name from the wire.
+type clientSub struct {
+	name  string
+	chans []chan Message
+}
+
 // Client is a broker client. Safe for concurrent use.
 type Client struct {
 	tc     transport.Conn
 	sendMu sync.Mutex
+	// pub is the publish frame scratch, reused under sendMu.
+	pub []byte
 
 	mu   sync.Mutex
-	subs map[string][]chan Message
+	subs map[string]*clientSub
 
 	closed bool
 	done   chan struct{}
@@ -242,7 +284,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{tc: tc, subs: make(map[string][]chan Message), done: make(chan struct{})}
+	c := &Client{tc: tc, subs: make(map[string]*clientSub), done: make(chan struct{})}
 	go c.recvLoop()
 	return c, nil
 }
@@ -260,17 +302,23 @@ func (c *Client) Close() error {
 	return c.tc.Close()
 }
 
+// recvLoop delivers broker messages to local subscribers. It reads with
+// plain Recv deliberately: each frame arrives in a buffer the loop owns
+// exclusively and never recycles, so a single subscriber can be handed a
+// view of the wire itself — the copy is paid only when several local
+// subscribers share a channel and must not see each other's payload as
+// aliased mutable state.
 func (c *Client) recvLoop() {
 	for {
 		wire, err := c.tc.Recv()
 		if err != nil {
 			c.mu.Lock()
-			for _, chans := range c.subs {
-				for _, ch := range chans {
+			for _, sub := range c.subs {
+				for _, ch := range sub.chans {
 					close(ch)
 				}
 			}
-			c.subs = make(map[string][]chan Message)
+			c.subs = make(map[string]*clientSub)
 			c.mu.Unlock()
 			return
 		}
@@ -286,11 +334,20 @@ func (c *Client) recvLoop() {
 		} else if verb != verbMessage {
 			continue
 		}
-		msg := Message{Channel: channel, Payload: append([]byte(nil), payload...), Trace: tc}
+		// Deliver under the lock: the channel sends below never block
+		// (select with default), and holding it removes the per-message
+		// snapshot allocation of the subscriber list.
 		c.mu.Lock()
-		chans := append([]chan Message(nil), c.subs[channel]...)
-		c.mu.Unlock()
-		for _, ch := range chans {
+		sub := c.subs[string(channel)]
+		if sub == nil || len(sub.chans) == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		if len(sub.chans) > 1 {
+			payload = append([]byte(nil), payload...)
+		}
+		msg := Message{Channel: sub.name, Payload: payload, Trace: tc}
+		for _, ch := range sub.chans {
 			select {
 			case ch <- msg:
 				brokerTel.clientDeliver.Inc()
@@ -298,14 +355,18 @@ func (c *Client) recvLoop() {
 				brokerTel.clientDropped.Inc()
 			}
 		}
+		c.mu.Unlock()
 	}
 }
 
-// Publish sends payload to every subscriber of channel.
+// Publish sends payload to every subscriber of channel. The wire frame
+// is built in a client-owned scratch buffer: steady publishing does not
+// allocate.
 func (c *Client) Publish(channel string, payload []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.tc.Send(encodeFrame(verbPublish, channel, payload))
+	c.pub = appendFrame(c.pub[:0], verbPublish, channel, payload)
+	return c.tc.Send(c.pub)
 }
 
 // PublishTraced is Publish linked into a trace: it records a
@@ -319,7 +380,8 @@ func (c *Client) PublishTraced(channel string, payload []byte, tc trace.Context)
 	}
 	sp := trace.StartChild(tc, "broker.publish")
 	c.sendMu.Lock()
-	err := c.tc.Send(encodeTracedFrame(verbPublishT, channel, sp.Context(), payload))
+	c.pub = appendTracedFrame(c.pub[:0], verbPublishT, channel, sp.Context(), payload)
+	err := c.tc.Send(c.pub)
 	c.sendMu.Unlock()
 	sp.End()
 	return err
@@ -338,8 +400,13 @@ func (c *Client) Subscribe(channel string, depth int) (<-chan Message, error) {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	first := len(c.subs[channel]) == 0
-	c.subs[channel] = append(c.subs[channel], ch)
+	sub := c.subs[channel]
+	if sub == nil {
+		sub = &clientSub{name: channel}
+		c.subs[channel] = sub
+	}
+	first := len(sub.chans) == 0
+	sub.chans = append(sub.chans, ch)
 	c.mu.Unlock()
 	if first {
 		c.sendMu.Lock()

@@ -1,0 +1,116 @@
+package broker
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A single subscriber's delivered payload aliases the receive buffer
+// (the copy-free fast path). That is only sound because the receive
+// loop never recycles those buffers: a payload handed out must stay
+// intact no matter how much later traffic flows.
+func TestSingleSubscriberPayloadSurvivesLaterTraffic(t *testing.T) {
+	addr := startBroker(t)
+	sub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	ch, err := sub.Subscribe("stats.mac", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		if err := pub.Publish("stats.mac", bytes.Repeat([]byte{byte(i + 1)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Message
+	for i := 0; i < rounds; i++ {
+		select {
+		case m := <-ch:
+			got = append(got, m)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+	// Verify every payload only after all frames have been received: a
+	// recvLoop that reused buffers would have overwritten earlier
+	// deliveries by now.
+	for i, m := range got {
+		want := bytes.Repeat([]byte{byte(i + 1)}, 256)
+		if !bytes.Equal(m.Payload, want) {
+			t.Fatalf("delivery %d corrupted by later traffic: got %x... want %x...",
+				i, m.Payload[:4], want[:4])
+		}
+	}
+}
+
+// With several local subscribers on one channel, each delivery shares a
+// copied payload that must not alias the wire (one subscriber is free
+// to hold its message while more frames arrive).
+func TestMultiSubscriberDelivery(t *testing.T) {
+	addr := startBroker(t)
+	sub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	ch1, err := sub.Subscribe("multi", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := sub.Subscribe("multi", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	for i := 0; i < 8; i++ {
+		if err := pub.Publish("multi", []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var first1, first2 Message
+	for i := 0; i < 8; i++ {
+		select {
+		case m := <-ch1:
+			if i == 0 {
+				first1 = m
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ch1 starved")
+		}
+		select {
+		case m := <-ch2:
+			if i == 0 {
+				first2 = m
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ch2 starved")
+		}
+	}
+	if string(first1.Payload) != "payload-0" || string(first2.Payload) != "payload-0" {
+		t.Fatalf("first deliveries corrupted: %q / %q", first1.Payload, first2.Payload)
+	}
+	if first1.Channel != "multi" || first2.Channel != "multi" {
+		t.Fatalf("channel names: %q / %q", first1.Channel, first2.Channel)
+	}
+}

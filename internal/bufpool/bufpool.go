@@ -1,0 +1,107 @@
+// Package bufpool recycles []byte frame buffers for the indication fast
+// path. Every steady-state allocation between "RAN function produces a
+// report" and "iApp callback returns" is either eliminated by an
+// append-style API or funneled through this pool, which is what lets
+// BenchmarkIndicationFastPath (gated in verify.sh) hold ≤2 allocs/op.
+//
+// # Design
+//
+// Buffers are filed into power-of-two size classes (64 B … 64 KiB),
+// each backed by a fixed-capacity free list implemented as a buffered
+// channel of []byte. A channel — not a sync.Pool — because Put'ing a
+// []byte into a sync.Pool boxes the slice header into an interface{},
+// which is itself one heap allocation per recycle; channel send/receive
+// of a []byte moves the header without boxing, so the steady-state
+// Get/Put cycle performs zero allocations. The price is a bounded pool:
+// when a class's free list is full, Put drops the buffer for the GC to
+// collect, which is the desired backpressure anyway.
+//
+// # Ownership contract
+//
+//   - Get(n) transfers ownership of the returned buffer to the caller.
+//     Its contents are NOT zeroed — callers must overwrite all n bytes.
+//   - Put(b) transfers ownership back. The caller must not read or
+//     write b (or any slice aliasing its array) after Put: the same
+//     array may be handed out by a concurrent Get immediately.
+//   - Put accepts any []byte (including buffers not born from Get);
+//     buffers with useless capacity (< the smallest class) or larger
+//     than the biggest class are dropped.
+//   - Double-Put is a caller bug the pool cannot detect: the same array
+//     would be handed to two Gets. The -race stress test in
+//     bufpool_test.go exists to catch exactly such misuse in the
+//     transports and codecs layered on top.
+package bufpool
+
+const (
+	// minClassBits..maxClassBits give classes 64 B, 128 B, … 64 KiB:
+	// SM reports for 1–64 UEs, E2AP frames and broker frames all land
+	// in this range (MaxMessageSize-sized outliers bypass the pool).
+	minClassBits = 6
+	maxClassBits = 16
+	numClasses   = maxClassBits - minClassBits + 1
+
+	minClassSize = 1 << minClassBits
+	maxClassSize = 1 << maxClassBits
+
+	// perClass bounds each free list. 256 × 64 KiB ≈ 16 MiB worst-case
+	// retention for the top class; real workloads cluster in the small
+	// classes.
+	perClass = 256
+)
+
+// classes[i] holds free buffers with cap == 1<<(minClassBits+i).
+var classes [numClasses]chan []byte
+
+func init() {
+	for i := range classes {
+		classes[i] = make(chan []byte, perClass)
+	}
+}
+
+// classFor returns the smallest class index whose size fits n, or -1
+// when n exceeds the biggest class.
+func classFor(n int) int {
+	if n > maxClassSize {
+		return -1
+	}
+	c := 0
+	for (minClassSize << c) < n {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer of length n. The buffer's capacity is the size
+// of the smallest class fitting n; contents are arbitrary. Requests
+// larger than the biggest class fall through to make.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-classes[c]:
+		return b[:n]
+	default:
+		return make([]byte, n, minClassSize<<c)
+	}
+}
+
+// Put recycles b. Only the capacity matters: the buffer is filed under
+// the largest class not exceeding cap(b), so a Get-grown-by-append
+// buffer still recycles into a (possibly smaller) class it can serve.
+// After Put the caller must not touch b again.
+func Put(b []byte) {
+	c := cap(b)
+	if c < minClassSize || c > maxClassSize {
+		return
+	}
+	idx := 0
+	for (minClassSize << (idx + 1)) <= c {
+		idx++
+	}
+	select {
+	case classes[idx] <- b[:0]:
+	default: // class full: let the GC have it
+	}
+}

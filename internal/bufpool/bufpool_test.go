@@ -1,0 +1,124 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClassCap(t *testing.T) {
+	cases := []struct {
+		n, wantCap int
+	}{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {1500, 2048},
+		{4096, 4096}, {maxClassSize, maxClassSize},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d): len=%d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap=%d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestGetOversizeBypassesPool(t *testing.T) {
+	b := Get(maxClassSize + 1)
+	if len(b) != maxClassSize+1 {
+		t.Fatalf("len=%d", len(b))
+	}
+	Put(b) // must be a no-op, not a panic
+}
+
+func TestPutRejectsTiny(t *testing.T) {
+	Put(make([]byte, 0, minClassSize-1)) // dropped silently
+	Put(nil)
+}
+
+// TestRecycle proves a Put buffer is handed back by Get (same backing
+// array) when the class free list is otherwise empty.
+func TestRecycle(t *testing.T) {
+	// Drain the class so the next Put/Get pair must meet.
+	for {
+		select {
+		case <-classes[classFor(100)]:
+			continue
+		default:
+		}
+		break
+	}
+	b := Get(100)
+	b[0] = 0xAB
+	Put(b)
+	c := Get(100)
+	if &b[0] != &c[0] {
+		t.Fatal("Get did not recycle the Put buffer")
+	}
+	Put(c)
+}
+
+// TestPutFiledByFloorClass proves an append-grown buffer (cap between
+// classes) recycles into the class it can actually serve.
+func TestPutFiledByFloorClass(t *testing.T) {
+	odd := make([]byte, 0, 96) // between the 64 B and 128 B classes
+	Put(odd)
+	// It must never come back from the 128 B class (cap too small).
+	for i := 0; i < perClass+1; i++ {
+		b := Get(128)
+		if cap(b) < 128 {
+			t.Fatalf("Get(128) returned cap %d", cap(b))
+		}
+	}
+}
+
+// TestConcurrentGetPutRace is the -race pool-reuse stress test: many
+// goroutines Get, write a signature, resize by re-slicing, verify, and
+// Put. Any aliasing bug (two owners of one array) trips the race
+// detector via the conflicting signature writes.
+func TestConcurrentGetPutRace(t *testing.T) {
+	const goroutines = 8
+	const rounds = 2000
+	sizes := []int{1, 63, 64, 200, 1500, 5000, 70000}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(sig byte) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := sizes[i%len(sizes)]
+				b := Get(n)
+				if len(b) != n {
+					t.Errorf("len=%d want %d", len(b), n)
+					return
+				}
+				for j := range b {
+					b[j] = sig
+				}
+				// Resize within capacity, as append-style encoders do.
+				b = b[:cap(b)]
+				b = b[:n]
+				for j := range b {
+					if b[j] != sig {
+						t.Errorf("buffer shared while owned: got %x want %x", b[j], sig)
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g + 1))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	// Warm the class so the steady state is measured.
+	Put(Get(1500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1500)
+		Put(buf)
+	}
+}

@@ -26,13 +26,25 @@ type Codec interface {
 	// Encode serializes pdu. The returned slice is valid until the next
 	// Encode call on this codec.
 	Encode(pdu PDU) ([]byte, error)
+	// EncodeAppend serializes pdu and appends the wire bytes to dst
+	// (which may be nil), returning the extended slice. Unlike Encode,
+	// the codec retains nothing: the caller owns the result, which
+	// makes this the allocation-free building block of the indication
+	// fast path when dst comes from internal/bufpool. On error dst's
+	// contents are unspecified and the caller should discard it.
+	EncodeAppend(dst []byte, pdu PDU) ([]byte, error)
 	// Decode fully materializes a PDU from wire bytes.
 	Decode(wire []byte) (PDU, error)
 	// Envelope extracts the routing information (type, request ID, RAN
 	// function ID) needed to dispatch a message. For zero-copy formats
 	// this is O(1) and defers everything else; for formats with an
 	// explicit decode pass it is equivalent to Decode. This asymmetry is
-	// the controller-scalability effect measured in Fig. 8b.
+	// the controller-scalability effect measured in Fig. 8b. The
+	// returned Envelope is a reused view: it (and any PDU or payload
+	// slice obtained through it that aliases wire) is valid only until
+	// the next Envelope call on this codec — receive loops dispatch one
+	// message fully before reading the next, which is what lets them
+	// recycle frame buffers.
 	Envelope(wire []byte) (Envelope, error)
 }
 

@@ -16,6 +16,13 @@ import (
 // directly from raw bytes"). Not safe for concurrent use.
 type FlatCodec struct {
 	b flat.Builder
+	// ab is the append-path builder: it adopts the caller's destination
+	// buffer for the duration of one encodeAppend, keeping b's scratch
+	// (and the Encode contract) untouched.
+	ab flat.Builder
+	// env is the reused dispatch view handed out by envelope(); see the
+	// Codec.Envelope validity contract.
+	env flatEnvelope
 }
 
 // NewFlatCodec returns a FlatBuffers-style codec.
@@ -66,7 +73,29 @@ func unpackCause(v uint32) Cause { return Cause{Type: CauseType(v >> 8), Value: 
 func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 	b := &c.b
 	b.Reset()
+	if err := encodeFlatInto(b, pdu); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
 
+func (c *FlatCodec) encodeAppend(dst []byte, pdu PDU) ([]byte, error) {
+	b := &c.ab
+	b.ResetAppend(dst)
+	err := encodeFlatInto(b, pdu)
+	// Positions inside the message are base-relative, so the appended
+	// bytes are identical to a from-scratch Encode of the same PDU.
+	out := b.BytesWithPrefix()
+	b.Detach() // do not retain the caller's buffer
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// encodeFlatInto builds pdu into b, which the caller has Reset (or
+// ResetAppend'ed).
+func encodeFlatInto(b *flat.Builder, pdu PDU) error {
 	// Out-of-line values must exist before the root table starts, so each
 	// case first creates refs, then fills slots.
 	type ref struct {
@@ -328,7 +357,7 @@ func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 			b.AddUint32(slCause, packCause(cause))
 		}
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknownType, pdu)
+		return fmt.Errorf("%w: %T", ErrUnknownType, pdu)
 	}
 
 	b.StartTable(numSlots)
@@ -340,7 +369,7 @@ func (c *FlatCodec) encode(pdu PDU) ([]byte, error) {
 		scalars(b)
 	}
 	b.Finish(b.EndTable())
-	return b.Bytes(), nil
+	return nil
 }
 
 func (c *FlatCodec) envelope(wire []byte) (Envelope, error) {
@@ -352,7 +381,11 @@ func (c *FlatCodec) envelope(wire []byte) (Envelope, error) {
 	if int(t) >= NumMessageTypes {
 		return nil, fmt.Errorf("%w: type %d", ErrUnknownType, t)
 	}
-	return &flatEnvelope{tab: tab, typ: MessageType(t)}, nil
+	// Reuse the codec-owned view instead of allocating one per message;
+	// clearing the cached PDU is what keeps a stale full decode from
+	// leaking into the next message (see the Codec.Envelope contract).
+	c.env = flatEnvelope{tab: tab, typ: MessageType(t)}
+	return &c.env, nil
 }
 
 func (c *FlatCodec) decode(wire []byte) (PDU, error) {

@@ -14,7 +14,14 @@ import (
 // (Fig. 8b). Not safe for concurrent use.
 type PERCodec struct {
 	w asn1per.Writer
-	r asn1per.Reader
+	// wa is the append-path writer: it adopts the caller's destination
+	// buffer for the duration of one encodeAppend, keeping w's scratch
+	// (and the Encode contract) untouched.
+	wa asn1per.Writer
+	r  asn1per.Reader
+	// denv is the reused dispatch view handed out by envelope(); see
+	// the Codec.Envelope validity contract.
+	denv decodedEnvelope
 }
 
 // NewPERCodec returns a PER-style codec with preallocated scratch space.
@@ -24,8 +31,18 @@ func NewPERCodec() *PERCodec { return &PERCodec{} }
 func (*PERCodec) Name() string { return string(SchemeASN) }
 
 func (c *PERCodec) encode(pdu PDU) ([]byte, error) {
-	w := &c.w
-	w.Reset()
+	c.w.Reset()
+	return c.encodeInto(&c.w, pdu)
+}
+
+func (c *PERCodec) encodeAppend(dst []byte, pdu PDU) ([]byte, error) {
+	c.wa.ResetAppend(dst)
+	out, err := c.encodeInto(&c.wa, pdu)
+	c.wa.ResetAppend(nil) // do not retain the caller's buffer
+	return out, err
+}
+
+func (c *PERCodec) encodeInto(w *asn1per.Writer, pdu PDU) ([]byte, error) {
 	w.WriteBits(uint64(pdu.MsgType()), 8)
 	if err := c.encodeBody(w, pdu); err != nil {
 		return nil, err
@@ -240,7 +257,10 @@ func (c *PERCodec) envelope(wire []byte) (Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodedEnvelope{pdu: pdu}, nil
+	// Reuse the codec-owned view instead of boxing a fresh one per
+	// message (see the Codec.Envelope validity contract).
+	c.denv.pdu = pdu
+	return &c.denv, nil
 }
 
 func perDecodeBody(r *asn1per.Reader, t MessageType) (PDU, error) {

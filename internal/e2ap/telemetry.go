@@ -117,6 +117,22 @@ func (c *PERCodec) Encode(pdu PDU) ([]byte, error) {
 	return wire, nil
 }
 
+// EncodeAppend implements Codec. It shares Encode's histogram: the
+// operation is the same encode pass, only the buffer discipline differs.
+func (c *PERCodec) EncodeAppend(dst []byte, pdu PDU) ([]byte, error) {
+	if !telemetry.Enabled {
+		return c.encodeAppend(dst, pdu)
+	}
+	t0 := time.Now()
+	wire, err := c.encodeAppend(dst, pdu)
+	if err != nil {
+		countCodecError(SchemeASN, "encode")
+		return nil, err
+	}
+	observeCodec(SchemeASN, "encode", pdu.MsgType(), time.Since(t0))
+	return wire, nil
+}
+
 // Decode implements Codec.
 func (c *PERCodec) Decode(wire []byte) (PDU, error) {
 	if !telemetry.Enabled {
@@ -155,6 +171,22 @@ func (c *FlatCodec) Encode(pdu PDU) ([]byte, error) {
 	}
 	t0 := time.Now()
 	wire, err := c.encode(pdu)
+	if err != nil {
+		countCodecError(SchemeFB, "encode")
+		return nil, err
+	}
+	observeCodec(SchemeFB, "encode", pdu.MsgType(), time.Since(t0))
+	return wire, nil
+}
+
+// EncodeAppend implements Codec. It shares Encode's histogram: the
+// operation is the same encode pass, only the buffer discipline differs.
+func (c *FlatCodec) EncodeAppend(dst []byte, pdu PDU) ([]byte, error) {
+	if !telemetry.Enabled {
+		return c.encodeAppend(dst, pdu)
+	}
+	t0 := time.Now()
+	wire, err := c.encodeAppend(dst, pdu)
 	if err != nil {
 		countCodecError(SchemeFB, "encode")
 		return nil, err

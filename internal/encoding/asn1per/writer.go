@@ -49,6 +49,17 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
+// ResetAppend prepares the writer to append a new byte-aligned bit
+// stream after the existing contents of dst (which may be nil). The
+// writer takes ownership of dst until the stream is finished and read
+// via Bytes (which returns dst's contents followed by the encoding);
+// call ResetAppend(nil) afterwards to drop the reference. Existing
+// bytes of dst are never modified — the encoder only appends.
+func (w *Writer) ResetAppend(dst []byte) {
+	w.buf = dst
+	w.nbit = 0
+}
+
 // Bytes returns the encoded bit stream padded to a whole number of bytes.
 // The returned slice aliases the writer's buffer and is valid until the
 // next mutation.

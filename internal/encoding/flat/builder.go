@@ -53,7 +53,12 @@ type slot struct {
 // Builder incrementally constructs a flat buffer. Builders are not safe
 // for concurrent use. A Builder may be reused via Reset.
 type Builder struct {
-	buf     []byte
+	buf []byte
+	// base is the offset of the message being built inside buf: 0 for
+	// the plain Reset path, len(dst) after ResetAppend(dst). All wire
+	// positions are relative to base, so an appended message is
+	// byte-identical to a from-scratch one.
+	base    int
 	slots   []slot
 	inTable bool
 }
@@ -64,15 +69,42 @@ func NewBuilder(capacity int) *Builder {
 	return b
 }
 
-// Reset clears the builder for reuse, keeping its buffer.
+// Reset clears the builder for reuse, keeping its buffer. A buffer
+// adopted via ResetAppend is dropped first — it belongs to the caller.
 func (b *Builder) Reset() {
+	if b.base != 0 {
+		b.buf, b.base = nil, 0
+	}
+	if cap(b.buf) < headerSize {
+		b.buf = make([]byte, headerSize)
+	}
 	b.buf = b.buf[:headerSize]
 	b.buf[0], b.buf[1], b.buf[2], b.buf[3] = 0, 0, 0, 0
 	b.slots = b.slots[:0]
 	b.inTable = false
 }
 
-func (b *Builder) pos() uint32 { return uint32(len(b.buf)) }
+// ResetAppend prepares the builder to construct the next message at the
+// end of dst (which may be nil). The builder takes ownership of dst
+// until the message is finished and read via BytesWithPrefix; call
+// Detach afterwards so the builder does not retain the caller's buffer.
+// Existing bytes of dst are never modified.
+func (b *Builder) ResetAppend(dst []byte) {
+	b.base = len(dst)
+	b.buf = append(dst, 0, 0, 0, 0)
+	b.slots = b.slots[:0]
+	b.inTable = false
+}
+
+// Detach releases the buffer adopted by ResetAppend. The next Reset
+// allocates fresh scratch; callers alternating Reset and ResetAppend
+// should use two Builders.
+func (b *Builder) Detach() {
+	b.buf, b.base = nil, 0
+	b.inTable = false
+}
+
+func (b *Builder) pos() uint32 { return uint32(len(b.buf) - b.base) }
 
 func (b *Builder) putU16(v uint16) {
 	b.buf = binary.LittleEndian.AppendUint16(b.buf, v)
@@ -230,12 +262,19 @@ func (b *Builder) EndTable() uint32 {
 
 // Finish records root as the buffer's root table.
 func (b *Builder) Finish(root uint32) {
-	binary.LittleEndian.PutUint32(b.buf[0:], root)
+	binary.LittleEndian.PutUint32(b.buf[b.base:], root)
 }
 
-// Bytes returns the finished buffer. It aliases the builder's storage and
-// is valid until the next Reset.
-func (b *Builder) Bytes() []byte { return b.buf }
+// Bytes returns the finished message (excluding any prefix adopted via
+// ResetAppend). It aliases the builder's storage and is valid until the
+// next Reset.
+func (b *Builder) Bytes() []byte { return b.buf[b.base:] }
 
-// Len returns the current buffer length in bytes.
-func (b *Builder) Len() int { return len(b.buf) }
+// BytesWithPrefix returns the whole backing slice: the dst passed to
+// ResetAppend followed by the finished message. This is the append-API
+// return value — the caller owns it once the builder is Detached.
+func (b *Builder) BytesWithPrefix() []byte { return b.buf }
+
+// Len returns the current message length in bytes (excluding any
+// append prefix).
+func (b *Builder) Len() int { return len(b.buf) - b.base }

@@ -153,11 +153,41 @@ func (c *faultConn) Send(b []byte) error {
 	return nil
 }
 
+// SendBatch implements transport.BatchSender. The batch counts one
+// frame per message against the drop budget, but the drop check happens
+// once up front: a batch is one wire operation, so it drops (or
+// survives) atomically, exactly like the stream transport's single
+// vectored write.
+func (c *faultConn) SendBatch(msgs [][]byte) error {
+	if c.dropped.Load() {
+		return transport.ErrClosed
+	}
+	if c.p.fireDrop(c.sent.Load() + c.recvs.Load()) {
+		c.dropped.Store(true)
+		c.inner.Close()
+		return transport.ErrClosed
+	}
+	if d := c.p.delay(c.p.SendLat); d > 0 {
+		time.Sleep(d)
+	}
+	if err := transport.SendBatch(c.inner, msgs); err != nil {
+		return err
+	}
+	c.sent.Add(uint64(len(msgs)))
+	return nil
+}
+
 // Recv implements transport.Conn. A stall sleeps before the inner Recv,
 // so an absolute receive deadline set on the connection expires during
 // the stall and surfaces as ErrTimeout — exactly how a silent peer
 // looks to the dead-peer detector.
-func (c *faultConn) Recv() ([]byte, error) {
+func (c *faultConn) Recv() ([]byte, error) { return c.recv(nil) }
+
+// RecvBuf implements transport.BufRecver, forwarding the recycled
+// buffer to the inner connection.
+func (c *faultConn) RecvBuf(dst []byte) ([]byte, error) { return c.recv(dst) }
+
+func (c *faultConn) recv(dst []byte) ([]byte, error) {
 	if c.dropped.Load() {
 		return nil, transport.ErrClosed
 	}
@@ -172,7 +202,7 @@ func (c *faultConn) Recv() ([]byte, error) {
 	if d := c.p.delay(c.p.RecvLat); d > 0 {
 		time.Sleep(d)
 	}
-	b, err := c.inner.Recv()
+	b, err := transport.RecvBuf(c.inner, dst)
 	if err != nil {
 		return nil, err
 	}

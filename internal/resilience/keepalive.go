@@ -95,17 +95,37 @@ func (k *kaConn) Send(b []byte) error {
 	return err
 }
 
+// SendBatch implements transport.BatchSender with the same liveness
+// bookkeeping as Send; the inner batch path (a single vectored write on
+// the stream transport) is preserved through the wrapper, keeping the
+// batch fast path available on resilient connections.
+func (k *kaConn) SendBatch(msgs [][]byte) error {
+	k.sendMu.Lock()
+	err := transport.SendBatch(k.inner, msgs)
+	k.sendMu.Unlock()
+	if err == nil {
+		k.lastSendNS.Store(time.Now().UnixNano())
+	}
+	return err
+}
+
 // Recv implements transport.Conn. Keepalive frames are consumed
 // silently; a receive deadline armed before every blocking read turns a
 // silent peer into ErrPeerDead.
-func (k *kaConn) Recv() ([]byte, error) {
+func (k *kaConn) Recv() ([]byte, error) { return k.recv(nil) }
+
+// RecvBuf implements transport.BufRecver, forwarding the recycled
+// buffer to the inner connection.
+func (k *kaConn) RecvBuf(dst []byte) ([]byte, error) { return k.recv(dst) }
+
+func (k *kaConn) recv(dst []byte) ([]byte, error) {
 	for {
 		if k.rd != nil {
 			if err := k.rd.SetRecvDeadline(time.Now().Add(k.deadAfter)); err != nil {
 				return nil, err
 			}
 		}
-		b, err := k.inner.Recv()
+		b, err := transport.RecvBuf(k.inner, dst)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				k.tel.dead.Inc()
@@ -114,6 +134,10 @@ func (k *kaConn) Recv() ([]byte, error) {
 			return nil, err
 		}
 		if len(b) == 0 {
+			// A consumed keepalive: dst has been handed to the inner
+			// connection already, so the empty frame we got back is the
+			// buffer to recycle on the next read.
+			dst = b
 			k.tel.recvd.Inc()
 			continue
 		}

@@ -115,12 +115,19 @@ func (s *Server) serveAgent(tc transport.Conn) {
 
 // recvLoop is the message handler: indications take the envelope fast
 // path (no full decode with the FB scheme); everything else is decoded.
+// The frame buffer is recycled through the connection via RecvBuf, so a
+// steady indication stream is received without allocating; in exchange,
+// envelope views into the frame are valid only until the next iteration
+// (dispatch is synchronous and decoded PDUs copy their byte fields, so
+// nothing downstream outlives it).
 func (c *agentConn) recvLoop() {
+	var buf []byte
 	for {
-		wire, err := c.tc.Recv()
+		wire, err := transport.RecvBuf(c.tc, buf)
 		if err != nil {
 			return
 		}
+		buf = wire
 		env, err := c.dec.Envelope(wire)
 		if err != nil {
 			continue

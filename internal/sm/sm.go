@@ -96,17 +96,28 @@ type Trigger struct {
 
 // EncodeTrigger serializes a periodic event trigger.
 func EncodeTrigger(s Scheme, t Trigger) []byte {
+	return AppendTrigger(nil, s, t)
+}
+
+// AppendTrigger appends an encoded periodic event trigger to dst
+// (which may be nil) and returns the extended slice. Like all Append*
+// SM encoders it retains nothing: the caller owns the result, which is
+// what makes pooled-buffer reuse safe.
+func AppendTrigger(dst []byte, s Scheme, t Trigger) []byte {
 	switch s {
 	case SchemeFB:
-		b := newFB(16)
+		var b flat.Builder
+		b.ResetAppend(append(dst, byte(SchemeFB)))
 		b.StartTable(1)
 		b.AddUint32(0, t.PeriodMS)
 		b.Finish(b.EndTable())
-		return fbBytes(b)
+		return b.BytesWithPrefix()
 	default:
-		w := newPER(8)
+		var w asn1per.Writer
+		w.ResetAppend(dst)
+		w.WriteBits(uint64(SchemeASN), 8)
 		w.WriteBits(uint64(t.PeriodMS), 32)
-		return append([]byte(nil), w.Bytes()...)
+		return w.Bytes()
 	}
 }
 

@@ -32,9 +32,18 @@ type MACReport struct {
 
 // EncodeMACReport serializes a MAC stats report in the given scheme.
 func EncodeMACReport(s Scheme, r *MACReport) []byte {
+	return AppendMACReport(nil, s, r)
+}
+
+// AppendMACReport appends an encoded MAC stats report to dst (which may
+// be nil) and returns the extended slice. The caller owns the result;
+// nothing is retained — the per-TTI encoder of the indication fast path
+// (see docs/PERFORMANCE.md).
+func AppendMACReport(dst []byte, s Scheme, r *MACReport) []byte {
 	switch s {
 	case SchemeFB:
-		b := newFB(64 + 64*len(r.UEs))
+		var b flat.Builder
+		b.ResetAppend(append(dst, byte(SchemeFB)))
 		refs := make([]uint32, len(r.UEs))
 		for i, u := range r.UEs {
 			b.StartTable(6)
@@ -51,9 +60,11 @@ func EncodeMACReport(s Scheme, r *MACReport) []byte {
 		b.AddInt64(0, r.CellTimeMS)
 		b.AddRef(1, vec)
 		b.Finish(b.EndTable())
-		return fbBytes(b)
+		return b.BytesWithPrefix()
 	default:
-		w := newPER(32 + 40*len(r.UEs))
+		var w asn1per.Writer
+		w.ResetAppend(dst)
+		w.WriteBits(uint64(SchemeASN), 8)
 		w.WriteInt(r.CellTimeMS)
 		w.WriteLength(len(r.UEs))
 		for _, u := range r.UEs {
@@ -64,7 +75,7 @@ func EncodeMACReport(s Scheme, r *MACReport) []byte {
 			w.WriteUint(u.TxBits)
 			w.WriteFloat(u.ThroughputBps)
 		}
-		return append([]byte(nil), w.Bytes()...)
+		return w.Bytes()
 	}
 }
 
@@ -161,9 +172,17 @@ type RLCReport struct {
 
 // EncodeRLCReport serializes an RLC stats report.
 func EncodeRLCReport(s Scheme, r *RLCReport) []byte {
+	return AppendRLCReport(nil, s, r)
+}
+
+// AppendRLCReport appends an encoded RLC stats report to dst (which may
+// be nil) and returns the extended slice. The caller owns the result;
+// nothing is retained.
+func AppendRLCReport(dst []byte, s Scheme, r *RLCReport) []byte {
 	switch s {
 	case SchemeFB:
-		b := newFB(64 + 96*len(r.UEs))
+		var b flat.Builder
+		b.ResetAppend(append(dst, byte(SchemeFB)))
 		refs := make([]uint32, len(r.UEs))
 		for i, u := range r.UEs {
 			b.StartTable(10)
@@ -184,9 +203,11 @@ func EncodeRLCReport(s Scheme, r *RLCReport) []byte {
 		b.AddInt64(0, r.CellTimeMS)
 		b.AddRef(1, vec)
 		b.Finish(b.EndTable())
-		return fbBytes(b)
+		return b.BytesWithPrefix()
 	default:
-		w := newPER(32 + 64*len(r.UEs))
+		var w asn1per.Writer
+		w.ResetAppend(dst)
+		w.WriteBits(uint64(SchemeASN), 8)
 		w.WriteInt(r.CellTimeMS)
 		w.WriteLength(len(r.UEs))
 		for _, u := range r.UEs {
@@ -201,7 +222,7 @@ func EncodeRLCReport(s Scheme, r *RLCReport) []byte {
 			w.WriteUint(u.BufferPkts)
 			w.WriteInt(u.SojournMS)
 		}
-		return append([]byte(nil), w.Bytes()...)
+		return w.Bytes()
 	}
 }
 
@@ -288,9 +309,17 @@ type PDCPReport struct {
 
 // EncodePDCPReport serializes a PDCP stats report.
 func EncodePDCPReport(s Scheme, r *PDCPReport) []byte {
+	return AppendPDCPReport(nil, s, r)
+}
+
+// AppendPDCPReport appends an encoded PDCP stats report to dst (which
+// may be nil) and returns the extended slice. The caller owns the
+// result; nothing is retained.
+func AppendPDCPReport(dst []byte, s Scheme, r *PDCPReport) []byte {
 	switch s {
 	case SchemeFB:
-		b := newFB(64 + 40*len(r.UEs))
+		var b flat.Builder
+		b.ResetAppend(append(dst, byte(SchemeFB)))
 		refs := make([]uint32, len(r.UEs))
 		for i, u := range r.UEs {
 			b.StartTable(3)
@@ -304,9 +333,11 @@ func EncodePDCPReport(s Scheme, r *PDCPReport) []byte {
 		b.AddInt64(0, r.CellTimeMS)
 		b.AddRef(1, vec)
 		b.Finish(b.EndTable())
-		return fbBytes(b)
+		return b.BytesWithPrefix()
 	default:
-		w := newPER(32 + 24*len(r.UEs))
+		var w asn1per.Writer
+		w.ResetAppend(dst)
+		w.WriteBits(uint64(SchemeASN), 8)
 		w.WriteInt(r.CellTimeMS)
 		w.WriteLength(len(r.UEs))
 		for _, u := range r.UEs {
@@ -314,7 +345,7 @@ func EncodePDCPReport(s Scheme, r *PDCPReport) []byte {
 			w.WriteUint(u.TxPackets)
 			w.WriteUint(u.TxBytes)
 		}
-		return append([]byte(nil), w.Bytes()...)
+		return w.Bytes()
 	}
 }
 

@@ -1,0 +1,59 @@
+package transport
+
+// Optional fast-path extensions. Both shipped transports implement them;
+// wrappers (resilience, fault injection) forward them so the capability
+// survives stacking. Callers use the package helpers SendBatch / RecvBuf,
+// which degrade gracefully on connections that only speak the base Conn
+// interface — the optional-interface idiom already used by RecvDeadliner
+// and RecvTimer. See docs/PERFORMANCE.md for the buffer ownership rules.
+
+// BatchSender is implemented by connections that can transmit several
+// messages in one operation. On the stream transport the whole batch —
+// every header and payload — goes out in a single vectored write, so a
+// TTI's worth of indications costs one syscall instead of N. Like Send,
+// SendBatch does not retain any msgs element, and an error may leave the
+// batch partially transmitted (on the stream transport the connection
+// must then be considered broken, as with any short write).
+type BatchSender interface {
+	SendBatch(msgs [][]byte) error
+}
+
+// BufRecver is implemented by connections that can recycle a previously
+// received frame. RecvBuf transfers ownership of dst to the connection:
+// after the call the caller must use only the returned slice, which may
+// or may not alias dst. Passing nil dst is equivalent to Recv. The
+// canonical receive loop is
+//
+//	buf, err = c.RecvBuf(buf)
+//
+// which after warm-up receives every frame into a recycled buffer and
+// allocates nothing.
+type BufRecver interface {
+	RecvBuf(dst []byte) ([]byte, error)
+}
+
+// SendBatch transmits msgs on c, coalescing them into one operation when
+// c implements BatchSender and falling back to sequential Sends
+// otherwise. Message boundaries are preserved either way.
+func SendBatch(c Conn, msgs [][]byte) error {
+	if bs, ok := c.(BatchSender); ok {
+		return bs.SendBatch(msgs)
+	}
+	for _, b := range msgs {
+		if err := c.Send(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvBuf receives the next message on c, recycling dst when c
+// implements BufRecver. On the fallback path dst is simply dropped for
+// the garbage collector; the ownership contract (use only the returned
+// slice) holds either way.
+func RecvBuf(c Conn, dst []byte) ([]byte, error) {
+	if br, ok := c.(BufRecver); ok {
+		return br.RecvBuf(dst)
+	}
+	return c.Recv()
+}

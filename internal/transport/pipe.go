@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"flexric/internal/bufpool"
 	"flexric/internal/telemetry"
 )
 
@@ -111,8 +112,9 @@ type pipeConn struct {
 	deadline   time.Time
 }
 
-// Send implements Conn. The message is copied, matching the socket
-// transport's "does not retain b" contract.
+// Send implements Conn. The message is copied (into a pooled buffer the
+// receive side can recycle via RecvBuf), matching the socket transport's
+// "does not retain b" contract.
 func (p *pipeConn) Send(b []byte) error {
 	if len(b) > MaxMessageSize {
 		return ErrMessageTooLarge
@@ -129,7 +131,7 @@ func (p *pipeConn) Send(b []byte) error {
 	if telemetry.Enabled {
 		t0 = time.Now()
 	}
-	msg := make([]byte, len(b))
+	msg := bufpool.Get(len(b))
 	copy(msg, b)
 	select {
 	case p.send <- msg:
@@ -140,6 +142,45 @@ func (p *pipeConn) Send(b []byte) error {
 	case <-p.done:
 		return ErrClosed
 	}
+}
+
+// SendBatch implements BatchSender. The pipe has no syscall to coalesce,
+// so the win is a single closed-check and timestamp for the whole batch;
+// semantically it is exactly N Sends.
+func (p *pipeConn) SendBatch(msgs [][]byte) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	total := 0
+	for _, b := range msgs {
+		if len(b) > MaxMessageSize {
+			return ErrMessageTooLarge
+		}
+		total += len(b)
+	}
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
+	}
+	for _, b := range msgs {
+		msg := bufpool.Get(len(b))
+		copy(msg, b)
+		select {
+		case p.send <- msg:
+		case <-p.done:
+			bufpool.Put(msg)
+			return ErrClosed
+		}
+	}
+	if telemetry.Enabled {
+		p.stats.sentBatch(len(msgs), total, time.Since(t0))
+	}
+	return nil
 }
 
 // SetRecvDeadline implements RecvDeadliner.
@@ -188,6 +229,17 @@ func (p *pipeConn) Recv() ([]byte, error) {
 			return nil, ErrTimeout
 		}
 	}
+}
+
+// RecvBuf implements BufRecver. Messages cross the pipe as pooled
+// buffers handed over whole, so recycling means returning the previous
+// frame to the pool — where the peer's next Send picks it up — and
+// receiving a fresh handoff. This balances Send's pool Get: a steady
+// two-party exchange circulates a fixed set of buffers and allocates
+// nothing.
+func (p *pipeConn) RecvBuf(dst []byte) ([]byte, error) {
+	bufpool.Put(dst)
+	return p.Recv()
 }
 
 // Close implements Conn. Closing either end closes both.

@@ -72,6 +72,21 @@ func (s *connStats) sent(n int, elapsed time.Duration) {
 	s.kind.sendLat.Observe(elapsed)
 }
 
+// sentBatch records a coalesced SendBatch: frames/bytes count every
+// message, while the latency histogram gets one observation for the
+// whole batch — that is the cost profile batching exists to create.
+func (s *connStats) sentBatch(frames, bytes int, elapsed time.Duration) {
+	if !telemetry.Enabled {
+		return
+	}
+	s.conn.framesSent.Add(uint64(frames))
+	s.kind.framesSent.Add(uint64(frames))
+	s.conn.bytesSent.Add(uint64(bytes))
+	s.kind.bytesSent.Add(uint64(bytes))
+	s.conn.sendLat.Observe(elapsed)
+	s.kind.sendLat.Observe(elapsed)
+}
+
 func (s *connStats) received(n int, elapsed time.Duration) {
 	if !telemetry.Enabled {
 		return

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"flexric/internal/bufpool"
 	"flexric/internal/telemetry"
 	"flexric/internal/trace"
 )
@@ -154,6 +155,10 @@ type streamConn struct {
 
 	sendMu sync.Mutex
 	hdr    [4]byte
+	// SendBatch scratch, reused across calls under sendMu. Entries of
+	// iov are nilled after the write so caller payloads are not retained.
+	batchHdrs [][4]byte
+	batchIov  net.Buffers
 
 	recvMu  sync.Mutex
 	recvHdr [4]byte
@@ -198,8 +203,60 @@ func (s *streamConn) Send(b []byte) error {
 	return nil
 }
 
+// SendBatch implements BatchSender: all headers and payloads leave in a
+// single vectored write under one lock acquisition, so the kernel sees
+// the whole batch at once and a per-TTI burst of indications costs one
+// syscall. The scratch header and iovec slices are retained by the
+// connection; the caller's payloads are not.
+func (s *streamConn) SendBatch(msgs [][]byte) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	total := 0
+	for _, b := range msgs {
+		if len(b) > MaxMessageSize {
+			return ErrMessageTooLarge
+		}
+		total += len(b)
+	}
+	var t0 time.Time
+	if telemetry.Enabled {
+		t0 = time.Now()
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if cap(s.batchHdrs) < len(msgs) {
+		s.batchHdrs = make([][4]byte, len(msgs))
+	}
+	hdrs := s.batchHdrs[:len(msgs)]
+	iov := s.batchIov[:0]
+	for i, b := range msgs {
+		binary.BigEndian.PutUint32(hdrs[i][:], uint32(len(b)))
+		iov = append(iov, hdrs[i][:], b)
+	}
+	s.batchIov = iov           // keep the grown capacity for the next batch
+	_, err := iov.WriteTo(s.c) // consumes iov's local header; batchIov keeps full length
+	for i := range s.batchIov {
+		s.batchIov[i] = nil
+	}
+	if err != nil {
+		return mapErr(err)
+	}
+	if telemetry.Enabled {
+		s.stats.sentBatch(len(msgs), total, time.Since(t0))
+	}
+	return nil
+}
+
 // Recv implements Conn.
-func (s *streamConn) Recv() ([]byte, error) {
+func (s *streamConn) Recv() ([]byte, error) { return s.recvFrame(nil) }
+
+// RecvBuf implements BufRecver: the frame is read into dst when it fits,
+// otherwise dst is recycled through the buffer pool and a pooled
+// replacement is used. Ownership of dst transfers to the connection.
+func (s *streamConn) RecvBuf(dst []byte) ([]byte, error) { return s.recvFrame(dst) }
+
+func (s *streamConn) recvFrame(dst []byte) ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	if _, err := io.ReadFull(s.c, s.recvHdr[:]); err != nil {
@@ -215,7 +272,13 @@ func (s *streamConn) Recv() ([]byte, error) {
 	if n > MaxMessageSize {
 		return nil, ErrMessageTooLarge
 	}
-	buf := make([]byte, n)
+	var buf []byte
+	if int(n) <= cap(dst) {
+		buf = dst[:n]
+	} else {
+		bufpool.Put(dst)
+		buf = bufpool.Get(int(n))
+	}
 	if _, err := io.ReadFull(s.c, buf); err != nil {
 		return nil, mapErr(err)
 	}

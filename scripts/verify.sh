@@ -79,4 +79,44 @@ if ! echo "$res_out" | grep 'BenchmarkResilienceSendHotPath' | grep -q ' 0 alloc
     exit 1
 fi
 
+echo "==> indication fast path (<=2 allocs/op gate, all build modes)"
+# The end-to-end indication pipeline — agent encode-append, pipe
+# transport, server envelope dispatch, subscription callback — must stay
+# (near-)allocation-free with telemetry compiled in and tracing
+# unsampled, and in every stripped build mode. The gate accepts 0, 1 or
+# 2 allocs/op.
+for tags in "" "notelemetry" "notrace"; do
+    if [ -n "$tags" ]; then
+        label="-tags $tags"
+        fp_out=$(go test -tags "$tags" -run xxx -bench 'BenchmarkIndicationFastPath$' -benchtime 500x . 2>&1)
+    else
+        label="default build"
+        fp_out=$(go test -run xxx -bench 'BenchmarkIndicationFastPath$' -benchtime 500x . 2>&1)
+    fi
+    echo "--- $label"
+    echo "$fp_out"
+    if ! echo "$fp_out" | grep -q 'BenchmarkIndicationFastPath'; then
+        echo "verify: BenchmarkIndicationFastPath did not run ($label)" >&2
+        exit 1
+    fi
+    if ! echo "$fp_out" | grep 'BenchmarkIndicationFastPath' | grep -Eq ' [0-2] allocs/op'; then
+        echo "verify: indication fast path exceeds 2 allocs/op ($label)" >&2
+        exit 1
+    fi
+done
+
+echo "==> bench suite smoke run"
+# The full scripts/bench.sh suite at token iteration counts: proves
+# every benchmark still runs and the JSON emitter works, without paying
+# for real measurements. The throwaway output must parse as JSON (guards
+# the awk emitter against bench-output format drift).
+smoke_out=$(mktemp)
+trap 'rm -f "$smoke_out"' EXIT INT TERM
+FIG_BENCHTIME=1x HOT_BENCHTIME=10x MICRO_BENCHTIME=10x OUT="$smoke_out" \
+    sh scripts/bench.sh >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$smoke_out"
+fi
+echo "bench smoke: OK"
+
 echo "verify: OK"
