@@ -23,6 +23,7 @@ import (
 	"flexric/internal/resilience"
 	"flexric/internal/sm"
 	"flexric/internal/trace"
+	"flexric/internal/tsdb"
 )
 
 func main() {
@@ -43,6 +44,9 @@ func main() {
 	reconnectMax := flag.Int("reconnect-max", 0, "consecutive failed reconnects before giving up (0 = retry forever)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "connection establishment timeout (0 = default 5s)")
 	faultPlan := flag.String("faultplan", "", "scripted transport fault plan, e.g. 'seed=7,drop@500' (see internal/faultinject)")
+	tsdbCap := flag.Int("tsdb", 0, "samples retained per series in a local self-monitoring store served at -obs /tsdb (0 = off)")
+	tsdbAge := flag.Duration("tsdb-age", 0, "also drop samples older than this from each series (0 = count-only retention)")
+	tsdbSample := flag.Duration("tsdb-sample", 100*time.Millisecond, "self-monitoring sample period (needs -tsdb)")
 	flag.Parse()
 
 	if *traceSample > 0 {
@@ -107,8 +111,16 @@ func main() {
 	log.Printf("connected to %s as node %d (%s, %d RB, scheme %s)",
 		*controller, *nodeID, r, *numRB, *scheme)
 
+	var store *tsdb.Store
+	if *tsdbCap > 0 {
+		store = tsdb.New(tsdb.Config{Capacity: *tsdbCap, MaxAge: *tsdbAge})
+	}
 	if *obsAddr != "" {
-		o, err := obs.NewServer(*obsAddr)
+		var oo []obs.Option
+		if store != nil {
+			oo = append(oo, obs.WithTSDB(store))
+		}
+		o, err := obs.NewServer(*obsAddr, oo...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,6 +146,46 @@ func main() {
 	// signals and shut down cleanly (stopping the dumper with a final
 	// flush instead of abandoning it).
 	stop := make(chan struct{})
+	if store != nil {
+		// Self-monitoring: sample each UE's live MAC/RLC state into the
+		// local store so the agent's own /tsdb endpoints answer windowed
+		// queries without a controller in the loop.
+		go func() {
+			tick := time.NewTicker(*tsdbSample)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				now := time.Now().UnixNano()
+				for i := 1; i <= *ues; i++ {
+					rnti := uint16(i)
+					_ = cell.WithUE(rnti, func(u *ran.UE) error {
+						ms := u.MACStats()
+						k := tsdb.SeriesKey{Agent: uint32(*nodeID), Fn: sm.IDMACStats, UE: rnti}
+						k.Field = tsdb.FieldCQI
+						store.Append(k, now, float64(ms.CQI))
+						k.Field = tsdb.FieldMCS
+						store.Append(k, now, float64(ms.MCS))
+						k.Field = tsdb.FieldRBsUsed
+						store.Append(k, now, float64(ms.RBsUsed))
+						k.Field = tsdb.FieldTxBits
+						store.Append(k, now, float64(ms.TxBits))
+						k.Field = tsdb.FieldThroughputBps
+						store.Append(k, now, ms.ThroughputBps)
+						k.Fn = sm.IDRLCStats
+						k.Field = tsdb.FieldBufferBytes
+						store.Append(k, now, float64(u.RLC().Backlog()))
+						k.Field = tsdb.FieldSojournMS
+						store.Append(k, now, float64(u.RLC().OldestSojournMS(cell.Now())))
+						return nil
+					})
+				}
+			}
+		}()
+	}
 	go func() {
 		var tick <-chan time.Time
 		if *realtime {

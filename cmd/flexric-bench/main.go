@@ -15,6 +15,7 @@
 //	flexric-bench fig13a [-phase 15000]
 //	flexric-bench fig13b [-sim 60000]
 //	flexric-bench fig15  [-sim 50000]
+//	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench all    (reduced scale)
 package main
@@ -42,6 +43,7 @@ func main() {
 	agents := fs.Int("agents", 10, "dummy agent count")
 	dur := fs.Duration("dur", 5*time.Second, "measurement window")
 	phase := fs.Int("phase", 15000, "per-phase simulated ms (fig13a)")
+	readers := fs.Int("readers", 4, "concurrent query readers (tsdbload)")
 	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos)")
 	connPlan := fs.String("connplan", "", "connection fault plan (chaos; empty = drop@120,drop@120)")
 	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
@@ -116,6 +118,11 @@ func main() {
 		"fig15": func() {
 			run("fig15", func() (fmt.Stringer, error) { return experiments.Fig15(simOr(50000)) })
 		},
+		"tsdbload": func() {
+			run("tsdbload", func() (fmt.Stringer, error) {
+				return experiments.TSDBLoad(*agents, *readers, *dur)
+			})
+		},
 		"chaos": func() {
 			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
 			if *scheme == "fb" {
@@ -150,6 +157,9 @@ func main() {
 		run("fig13a", func() (fmt.Stringer, error) { return experiments.Fig13a(8000) })
 		run("fig13b", func() (fmt.Stringer, error) { return experiments.Fig13b(30000) })
 		run("fig15", func() (fmt.Stringer, error) { return experiments.Fig15(30000) })
+		run("tsdbload", func() (fmt.Stringer, error) {
+			return experiments.TSDBLoad(4, 4, 2*time.Second)
+		})
 	default:
 		f, ok := experimentsByName[cmd]
 		if !ok {
@@ -177,6 +187,7 @@ experiments:
   fig13a  slicing isolation timeline
   fig13b  static slicing vs NVS sharing
   fig15   recursive slicing: dedicated vs shared infrastructure
+  tsdbload  time-series store under windowed queries vs live ingest
   chaos   resilience under a scripted fault plan (drops + blackout)
   all     everything, reduced scale`)
 }

@@ -24,6 +24,7 @@ import (
 	"flexric/internal/server"
 	"flexric/internal/sm"
 	"flexric/internal/trace"
+	"flexric/internal/tsdb"
 )
 
 func main() {
@@ -42,18 +43,28 @@ func main() {
 	retain := flag.Duration("retain", 0, "how long to retain a disconnected agent's subscriptions for replay (0 = default 30s)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "E2 setup handshake timeout per accepted connection (0 = default 5s)")
 	faultPlan := flag.String("faultplan", "", "scripted listener fault plan, e.g. 'blackout@1=2' (see internal/faultinject)")
+	tsdbCap := flag.Int("tsdb", 1024, "samples retained per report series in the time-series store (0 = store off)")
+	tsdbAge := flag.Duration("tsdb-age", 0, "also drop samples older than this from each series (0 = count-only retention)")
 	flag.Parse()
 
 	if *traceSample > 0 {
 		trace.SetSampleEvery(uint32(*traceSample))
 	}
+	var store *tsdb.Store
+	if *tsdbCap > 0 {
+		store = tsdb.New(tsdb.Config{Capacity: *tsdbCap, MaxAge: *tsdbAge})
+	}
 	if *obsAddr != "" {
-		o, err := obs.NewServer(*obsAddr)
+		var oo []obs.Option
+		if store != nil {
+			oo = append(oo, obs.WithTSDB(store))
+		}
+		o, err := obs.NewServer(*obsAddr, oo...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer o.Close()
-		log.Printf("observability on http://%s (try /traces?limit=5)", o.Addr())
+		log.Printf("observability on http://%s (try /traces?limit=5 or /tsdb/series)", o.Addr())
 	}
 
 	e2s := e2ap.SchemeASN
@@ -86,7 +97,7 @@ func main() {
 	defer srv.Close()
 	log.Printf("E2 listening on %s (scheme %s)", addr, *scheme)
 
-	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{Scheme: sms, PeriodMS: uint32(*period), Decode: true})
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{Scheme: sms, PeriodMS: uint32(*period), Decode: true, TSDB: store})
 	srv.OnAgentConnect(func(info server.AgentInfo) {
 		log.Printf("agent connected: %s (%d RAN functions)", info.NodeID, len(info.Functions))
 	})
@@ -101,7 +112,13 @@ func main() {
 	})
 
 	if *slicing != "" {
-		sc, err := ctrl.NewSlicingController(srv, sms, *slicing)
+		// Share the process-wide store (fed by the main monitor) with
+		// the slicing northbound's /stats/agg when it exists.
+		var so []ctrl.SlicingOption
+		if store != nil {
+			so = append(so, ctrl.WithTSDB(store))
+		}
+		sc, err := ctrl.NewSlicingController(srv, sms, *slicing, so...)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,11 +10,13 @@ package ctrl
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flexric/internal/e2ap"
 	"flexric/internal/server"
 	"flexric/internal/sm"
 	"flexric/internal/trace"
+	"flexric/internal/tsdb"
 )
 
 // MonitorLayers selects which monitoring SMs the controller subscribes
@@ -33,10 +35,13 @@ const MonAll = MonMAC | MonRLC | MonPDCP
 
 // Monitor is the statistics controller specialization of §5.3: an iApp
 // that subscribes to the monitoring SMs of every connecting agent and
-// "saves incoming messages to an in-memory data structure". Unlike
-// FlexRAN's RIB there is no history ring and no per-poll copying: only
-// the latest report per agent/layer is retained, and consumers are
-// event-driven.
+// "saves incoming messages to an in-memory data structure". The latest
+// report per agent/layer is retained for event-driven consumers; when a
+// tsdb.Store is attached, every decoded report is additionally broken
+// into per-(agent, function, UE, field) series so control loops can
+// query windowed history instead of a single snapshot, and raw-mode
+// payloads are archived in the store's pooled ring instead of a
+// freshly allocated copy per indication.
 type Monitor struct {
 	srv      *server.Server
 	scheme   sm.Scheme
@@ -46,6 +51,7 @@ type Monitor struct {
 	// report structs (true) or stored as raw SM bytes (false). The raw
 	// mode matches the Fig. 8 setup, where the iApp archives messages.
 	decode bool
+	db     *tsdb.Store
 
 	mu   sync.Mutex
 	mac  map[server.AgentID]*sm.MACReport
@@ -64,6 +70,10 @@ type MonitorConfig struct {
 	Layers   MonitorLayers
 	// Decode materializes reports; false stores raw payload copies.
 	Decode bool
+	// TSDB, when non-nil, receives every decoded report as per-field
+	// time series and every raw-mode payload into its archive ring.
+	// The monitor evicts an agent's series when it disconnects.
+	TSDB *tsdb.Store
 }
 
 // NewMonitor attaches a monitoring iApp to the server. It subscribes to
@@ -81,6 +91,7 @@ func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
 		periodMS: cfg.PeriodMS,
 		layers:   cfg.Layers,
 		decode:   cfg.Decode,
+		db:       cfg.TSDB,
 		mac:      make(map[server.AgentID]*sm.MACReport),
 		rlc:      make(map[server.AgentID]*sm.RLCReport),
 		pdcp:     make(map[server.AgentID]*sm.PDCPReport),
@@ -94,6 +105,9 @@ func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
 		delete(m.pdcp, info.ID)
 		delete(m.raw, info.ID)
 		m.mu.Unlock()
+		if m.db != nil {
+			m.db.EvictAgent(uint32(info.ID))
+		}
 	})
 	return m
 }
@@ -130,6 +144,15 @@ func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
 	m.indications.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))
 	if !m.decode {
+		if m.db != nil {
+			// Archive into the pooled raw ring: the store copies the
+			// payload into a reused slot buffer, so the per-indication
+			// allocation of the map path disappears.
+			asp := trace.StartChild(sp.Context(), "tsdb.append")
+			m.db.AppendRaw(uint32(ev.Agent), fnID, time.Now().UnixNano(), payload)
+			asp.End()
+			return
+		}
 		cp := append([]byte(nil), payload...)
 		m.mu.Lock()
 		per := m.raw[ev.Agent]
@@ -147,19 +170,99 @@ func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
 			m.mu.Lock()
 			m.mac[ev.Agent] = rep
 			m.mu.Unlock()
+			m.ingestMAC(sp.Context(), ev.Agent, rep)
 		}
 	case sm.IDRLCStats:
 		if rep, err := sm.DecodeRLCReport(payload); err == nil {
 			m.mu.Lock()
 			m.rlc[ev.Agent] = rep
 			m.mu.Unlock()
+			m.ingestRLC(sp.Context(), ev.Agent, rep)
 		}
 	case sm.IDPDCPStats:
 		if rep, err := sm.DecodePDCPReport(payload); err == nil {
 			m.mu.Lock()
 			m.pdcp[ev.Agent] = rep
 			m.mu.Unlock()
+			m.ingestPDCP(sp.Context(), ev.Agent, rep)
 		}
+	}
+}
+
+// ingestMAC fans a decoded MAC report into per-UE, per-field series.
+func (m *Monitor) ingestMAC(tc trace.Context, agent server.AgentID, rep *sm.MACReport) {
+	if m.db == nil {
+		return
+	}
+	asp := trace.StartChild(tc, "tsdb.append")
+	defer asp.End()
+	now := time.Now().UnixNano()
+	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDMACStats}
+	for i := range rep.UEs {
+		u := &rep.UEs[i]
+		k.UE = u.RNTI
+		k.Field = tsdb.FieldCQI
+		m.db.Append(k, now, float64(u.CQI))
+		k.Field = tsdb.FieldMCS
+		m.db.Append(k, now, float64(u.MCS))
+		k.Field = tsdb.FieldRBsUsed
+		m.db.Append(k, now, float64(u.RBsUsed))
+		k.Field = tsdb.FieldTxBits
+		m.db.Append(k, now, float64(u.TxBits))
+		k.Field = tsdb.FieldThroughputBps
+		m.db.Append(k, now, u.ThroughputBps)
+	}
+}
+
+// ingestRLC fans a decoded RLC report into per-UE, per-field series.
+func (m *Monitor) ingestRLC(tc trace.Context, agent server.AgentID, rep *sm.RLCReport) {
+	if m.db == nil {
+		return
+	}
+	asp := trace.StartChild(tc, "tsdb.append")
+	defer asp.End()
+	now := time.Now().UnixNano()
+	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDRLCStats}
+	for i := range rep.UEs {
+		u := &rep.UEs[i]
+		k.UE = u.RNTI
+		k.Field = tsdb.FieldTxPackets
+		m.db.Append(k, now, float64(u.TxPackets))
+		k.Field = tsdb.FieldTxBytes
+		m.db.Append(k, now, float64(u.TxBytes))
+		k.Field = tsdb.FieldRxPackets
+		m.db.Append(k, now, float64(u.RxPackets))
+		k.Field = tsdb.FieldRxBytes
+		m.db.Append(k, now, float64(u.RxBytes))
+		k.Field = tsdb.FieldDropPackets
+		m.db.Append(k, now, float64(u.DropPackets))
+		k.Field = tsdb.FieldDropBytes
+		m.db.Append(k, now, float64(u.DropBytes))
+		k.Field = tsdb.FieldBufferBytes
+		m.db.Append(k, now, float64(u.BufferBytes))
+		k.Field = tsdb.FieldBufferPkts
+		m.db.Append(k, now, float64(u.BufferPkts))
+		k.Field = tsdb.FieldSojournMS
+		m.db.Append(k, now, float64(u.SojournMS))
+	}
+}
+
+// ingestPDCP fans a decoded PDCP report into per-UE, per-field series.
+func (m *Monitor) ingestPDCP(tc trace.Context, agent server.AgentID, rep *sm.PDCPReport) {
+	if m.db == nil {
+		return
+	}
+	asp := trace.StartChild(tc, "tsdb.append")
+	defer asp.End()
+	now := time.Now().UnixNano()
+	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDPDCPStats}
+	for i := range rep.UEs {
+		u := &rep.UEs[i]
+		k.UE = u.RNTI
+		k.Field = tsdb.FieldTxPackets
+		m.db.Append(k, now, float64(u.TxPackets))
+		k.Field = tsdb.FieldTxBytes
+		m.db.Append(k, now, float64(u.TxBytes))
 	}
 }
 
@@ -185,7 +288,17 @@ func (m *Monitor) PDCP(id server.AgentID) *sm.PDCPReport {
 }
 
 // Raw returns the latest raw payload for (agent, function) in raw mode.
+// With an attached tsdb.Store the archive ring is authoritative and the
+// returned slice is the caller's copy; without one it aliases the
+// monitor's latest-payload map as before.
 func (m *Monitor) Raw(id server.AgentID, fnID uint16) []byte {
+	if m.db != nil {
+		payload, _, ok := m.db.LastRaw(uint32(id), fnID, nil)
+		if !ok {
+			return nil
+		}
+		return payload
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if per := m.raw[id]; per != nil {
@@ -193,6 +306,9 @@ func (m *Monitor) Raw(id server.AgentID, fnID uint16) []byte {
 	}
 	return nil
 }
+
+// TSDB returns the attached time-series store, or nil.
+func (m *Monitor) TSDB() *tsdb.Store { return m.db }
 
 // Counters reports total indications and payload bytes received.
 func (m *Monitor) Counters() (indications, bytes uint64) {

@@ -12,6 +12,7 @@ import (
 
 	"flexric/internal/server"
 	"flexric/internal/sm"
+	"flexric/internal/tsdb"
 )
 
 // SlicingController is the RAT-unaware slicing specialization of §6.1.2
@@ -23,6 +24,9 @@ import (
 //
 //	GET  /agents          → connected agents
 //	GET  /stats?agent=N   → latest MAC report (internal DB)
+//	GET  /stats/agg?agent=N&ue=R&field=F&window_ms=W
+//	                      → windowed aggregate over the last W ms of the
+//	                        UE's MAC series (tsdb.Agg JSON)
 //	GET  /slices?agent=N  → latest SC SM status report
 //	POST /slices?agent=N  → body SliceConfigJSON: configure slices
 //	POST /assoc?agent=N   → body AssocJSON: associate UE to slice
@@ -32,9 +36,25 @@ type SlicingController struct {
 	scheme sm.Scheme
 	http   *http.Server
 	lis    net.Listener
+	store  *tsdb.Store
 
 	mu     sync.Mutex
 	status map[server.AgentID]*sm.SliceStatus
+}
+
+// SlicingOption configures a SlicingController.
+type SlicingOption func(*slicingOptions)
+
+type slicingOptions struct {
+	store *tsdb.Store
+}
+
+// WithTSDB serves /stats/agg from an externally owned store (fed by the
+// caller's Monitor) instead of a private one fed by the controller's
+// internal MAC monitor. Use it when one process-wide store backs both
+// the observability endpoints and the slicing northbound.
+func WithTSDB(st *tsdb.Store) SlicingOption {
+	return func(o *slicingOptions) { o.store = st }
 }
 
 // SliceConfigJSON is the REST body for POST /slices.
@@ -62,14 +82,36 @@ type AssocJSON struct {
 
 // NewSlicingController attaches the slicing specialization to a server
 // and serves its REST northbound on httpAddr (":0" picks a port).
-func NewSlicingController(srv *server.Server, scheme sm.Scheme, httpAddr string) (*SlicingController, error) {
+func NewSlicingController(srv *server.Server, scheme sm.Scheme, httpAddr string, opts ...SlicingOption) (*SlicingController, error) {
+	var o slicingOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	c := &SlicingController{
 		srv:    srv,
 		scheme: scheme,
 		status: make(map[server.AgentID]*sm.SliceStatus),
 	}
-	// Internal DB for RAN stats, as in Table 4.
-	c.mon = NewMonitor(srv, MonitorConfig{Scheme: scheme, PeriodMS: 10, Layers: MonMAC, Decode: true})
+	// Internal DB for RAN stats, as in Table 4. Without WithTSDB the
+	// controller owns its store and its monitor feeds it; with it, the
+	// external store is already fed by the caller's monitor and the
+	// internal one only keeps the latest-report map for /stats.
+	monCfg := MonitorConfig{Scheme: scheme, PeriodMS: 10, Layers: MonMAC, Decode: true}
+	if o.store != nil {
+		c.store = o.store
+	} else {
+		c.store = tsdb.New(tsdb.Config{})
+		monCfg.TSDB = c.store
+	}
+	c.mon = NewMonitor(srv, monCfg)
+	// Evict the per-agent slice status when an agent leaves; without
+	// this the map grows forever under agent churn (the monitor maps
+	// and tsdb series are evicted by the Monitor's own hook).
+	srv.OnAgentDisconnect(func(info server.AgentInfo) {
+		c.mu.Lock()
+		delete(c.status, info.ID)
+		c.mu.Unlock()
+	})
 	// Track SC SM status reports.
 	srv.OnAgentConnect(func(info server.AgentInfo) {
 		if !info.HasFunction(sm.IDSliceCtrl) {
@@ -92,6 +134,7 @@ func NewSlicingController(srv *server.Server, scheme sm.Scheme, httpAddr string)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/agents", c.handleAgents)
 	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/stats/agg", c.handleStatsAgg)
 	mux.HandleFunc("/slices", c.handleSlices)
 	mux.HandleFunc("/assoc", c.handleAssoc)
 	lis, err := net.Listen("tcp", httpAddr)
@@ -112,6 +155,9 @@ func (c *SlicingController) Close() error { return c.http.Close() }
 
 // Monitor exposes the internal stats DB.
 func (c *SlicingController) Monitor() *Monitor { return c.mon }
+
+// TSDB exposes the time-series store behind /stats/agg.
+func (c *SlicingController) TSDB() *tsdb.Store { return c.store }
 
 func agentParam(r *http.Request) (server.AgentID, error) {
 	v := r.URL.Query().Get("agent")
@@ -160,6 +206,43 @@ func (c *SlicingController) handleStats(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// handleStatsAgg serves windowed aggregates over a UE's MAC series: the
+// decision input for slicing policies that want a stable signal instead
+// of the single latest report.
+func (c *SlicingController) handleStatsAgg(w http.ResponseWriter, r *http.Request) {
+	id, err := agentParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	ue, err := strconv.Atoi(q.Get("ue"))
+	if err != nil || ue < 0 || ue > 0xFFFF {
+		http.Error(w, "bad ue parameter", http.StatusBadRequest)
+		return
+	}
+	field, ok := tsdb.ParseField(q.Get("field"))
+	if !ok {
+		http.Error(w, "unknown field", http.StatusBadRequest)
+		return
+	}
+	windowMS := int64(1000)
+	if v := q.Get("window_ms"); v != "" {
+		if windowMS, err = strconv.ParseInt(v, 10, 64); err != nil || windowMS <= 0 {
+			http.Error(w, "bad window_ms parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	now := time.Now().UnixNano()
+	k := tsdb.SeriesKey{Agent: uint32(id), Fn: sm.IDMACStats, UE: uint16(ue), Field: field}
+	agg, ok := c.store.Aggregate(k, now-windowMS*int64(time.Millisecond), now)
+	if !ok {
+		http.Error(w, "no samples in window", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, agg)
 }
 
 func (c *SlicingController) handleSlices(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/obs"
+	"flexric/internal/sm"
+	"flexric/internal/tsdb"
+)
+
+// TSDBLoadResult is the query-load dataset: windowed /tsdb/query reads
+// racing live indication ingest on one store.
+type TSDBLoadResult struct {
+	Agents   int
+	UEs      int
+	Readers  int
+	Duration time.Duration
+
+	Series      int    // distinct series after the run
+	Indications uint64 // reports ingested during the run
+	Queries     uint64 // HTTP queries answered 200
+	Misses      uint64 // 404s (window raced retention / series not yet born)
+	Errors      uint64 // transport or non-2xx/404 responses
+	QPS         float64
+	Latency     RTTStats // per-query HTTP round trip
+}
+
+// TSDBLoad measures the time-series store under combined load: dummy
+// agents stream MAC reports at 1 ms into a monitor that appends every
+// UE field to the store, while `readers` concurrent HTTP clients issue
+// windowed queries against the observability /tsdb endpoints for d.
+// This is the flexric-bench `tsdbload` subcommand.
+func TSDBLoad(agents, readers int, d time.Duration) (*TSDBLoadResult, error) {
+	const ues = 8
+	res := &TSDBLoadResult{Agents: agents, UEs: ues, Readers: readers, Duration: d}
+
+	store := tsdb.New(tsdb.Config{Capacity: 2048})
+	srv, addr, err := StartServer(e2ap.SchemeFB)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{
+		Scheme: sm.SchemeFB, PeriodMS: 1, Layers: ctrl.MonMAC, Decode: true, TSDB: store,
+	})
+	o, err := obs.NewServer("127.0.0.1:0", obs.WithTSDB(store))
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+
+	var dummies []*DummyAgent
+	defer func() {
+		for _, da := range dummies {
+			da.Close()
+		}
+	}()
+	for i := 0; i < agents; i++ {
+		da, err := StartDummyAgent(uint64(i+1), addr, e2ap.SchemeFB, sm.SchemeFB, ues, time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		dummies = append(dummies, da)
+	}
+	if !WaitUntil(waitShort, func() bool {
+		n, _ := mon.Counters()
+		return n > uint64(agents*10) && store.NumSeries() > 0
+	}) {
+		return nil, fmt.Errorf("indications not reaching the store")
+	}
+	indBase, _ := mon.Counters()
+	// Query by the server-assigned agent IDs (0-based), not node IDs.
+	var ids []int
+	for _, ai := range srv.Agents() {
+		ids = append(ids, int(ai.ID))
+	}
+
+	// Rotate query shapes so every endpoint mode is exercised: raw
+	// last-K, trailing-window aggregate, and bucketed range.
+	shapes := []string{
+		"last=16",
+		"window_ms=500",
+		"window_ms=1000&step_ms=100",
+	}
+	fields := []string{"cqi", "mcs", "tx_bits", "throughput_bps"}
+	base := "http://" + o.Addr()
+	var hits, misses, errs uint64
+	lat := make([][]time.Duration, readers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 5 * time.Second}
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Walk agents, UEs, fields, and shapes on coprime-ish
+				// strides so readers don't hammer one series in lockstep.
+				url := fmt.Sprintf("%s/tsdb/query?agent=%d&fn=mac&ue=%d&field=%s&%s",
+					base, ids[i%len(ids)], i%ues+1, fields[i%len(fields)], shapes[i%len(shapes)])
+				t0 := time.Now()
+				resp, err := cl.Get(url)
+				if err != nil {
+					atomic.AddUint64(&errs, 1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					atomic.AddUint64(&hits, 1)
+					lat[r] = append(lat[r], time.Since(t0))
+				case resp.StatusCode == http.StatusNotFound:
+					atomic.AddUint64(&misses, 1)
+				default:
+					atomic.AddUint64(&errs, 1)
+				}
+			}
+		}(r)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+
+	indNow, _ := mon.Counters()
+	res.Indications = indNow - indBase
+	res.Series = store.NumSeries()
+	res.Queries = atomic.LoadUint64(&hits)
+	res.Misses = atomic.LoadUint64(&misses)
+	res.Errors = atomic.LoadUint64(&errs)
+	res.QPS = float64(res.Queries) / d.Seconds()
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	res.Latency = summarize(all)
+	if res.Queries == 0 {
+		return nil, fmt.Errorf("no query succeeded (misses=%d errors=%d)", res.Misses, res.Errors)
+	}
+	return res, nil
+}
+
+// String renders the query-load table.
+func (r *TSDBLoadResult) String() string {
+	rows := [][]string{{
+		fmt.Sprintf("%d", r.Agents),
+		fmt.Sprintf("%d", r.Readers),
+		fmt.Sprintf("%d", r.Series),
+		fmt.Sprintf("%d", r.Indications),
+		fmt.Sprintf("%.0f", r.QPS),
+		fmt.Sprintf("%d", r.Latency.Mean.Microseconds()),
+		fmt.Sprintf("%d", r.Latency.P50.Microseconds()),
+		fmt.Sprintf("%d", r.Latency.P95.Microseconds()),
+		fmt.Sprintf("%d", r.Misses),
+		fmt.Sprintf("%d", r.Errors),
+	}}
+	return fmt.Sprintf("tsdbload — windowed queries vs live ingest, %d agents x %d UEs @1ms, %v\n",
+		r.Agents, r.UEs, r.Duration) +
+		Table([]string{"agents", "readers", "series", "ingested", "qps",
+			"mean µs", "p50 µs", "p95 µs", "404s", "errs"}, rows)
+}

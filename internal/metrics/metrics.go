@@ -102,6 +102,29 @@ func FmtDuration(d time.Duration) string {
 	}
 }
 
+// PercentileFloats returns the p-th percentile (0..100) of a sorted
+// float64 sample set with linear interpolation between adjacent order
+// statistics — the same estimator as Percentile, for the scalar series
+// internal/tsdb aggregates.
+func PercentileFloats(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
 // Percentile returns the p-th percentile (0..100) of samples with linear
 // interpolation between adjacent order statistics; the slice is sorted in
 // place by the caller beforehand.

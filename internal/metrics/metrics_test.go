@@ -105,6 +105,34 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+// TestPercentileFloats mirrors the duration variant's contract for the
+// float64 series internal/tsdb aggregates.
+func TestPercentileFloats(t *testing.T) {
+	if PercentileFloats(nil, 50) != 0 {
+		t.Fatal("empty")
+	}
+	one := []float64{42}
+	for _, p := range []float64{0, 50, 100} {
+		if v := PercentileFloats(one, p); v != 42 {
+			t.Fatalf("p%v of single sample = %v", p, v)
+		}
+	}
+	five := []float64{10, 20, 30, 40, 50}
+	if v := PercentileFloats(five, 50); v != 30 {
+		t.Fatalf("p50 = %v", v)
+	}
+	if v := PercentileFloats(five, 90); v != 46 {
+		// rank 3.6 → 40 + 0.6*(50-40)
+		t.Fatalf("p90 = %v, want 46", v)
+	}
+	if v := PercentileFloats(five, 0); v != 10 {
+		t.Fatalf("p0 = %v", v)
+	}
+	if v := PercentileFloats(five, 100); v != 50 {
+		t.Fatalf("p100 = %v", v)
+	}
+}
+
 func TestFmtDuration(t *testing.T) {
 	if s := FmtDuration(250 * time.Microsecond); s != "250µs" {
 		t.Fatal(s)

@@ -11,6 +11,8 @@
 //	GET /metrics          telemetry text dump (same as the -telemetry flags)
 //	GET /snapshot.json    telemetry snapshot as a JSON tree
 //	GET /traces?limit=N   most recent N traces as JSON span trees
+//	GET /tsdb/series      live time-series inventory (WithTSDB only)
+//	GET /tsdb/query       samples / windowed aggregates (WithTSDB only)
 //	GET /debug/pprof/     standard pprof index (profile, heap, trace, ...)
 package obs
 
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"flexric/internal/telemetry"
+	"flexric/internal/tsdb"
 )
 
 // Server is the observability HTTP server.
@@ -29,8 +32,25 @@ type Server struct {
 	http *http.Server
 }
 
+// Option configures optional surfaces of the observability server.
+type Option func(*options)
+
+type options struct {
+	store *tsdb.Store
+}
+
+// WithTSDB mounts the /tsdb/series and /tsdb/query endpoints over the
+// given store.
+func WithTSDB(st *tsdb.Store) Option {
+	return func(o *options) { o.store = st }
+}
+
 // NewServer binds addr (e.g. ":9090", "127.0.0.1:0") and starts serving.
-func NewServer(addr string) (*Server, error) {
+func NewServer(addr string, opts ...Option) (*Server, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -39,6 +59,10 @@ func NewServer(addr string) (*Server, error) {
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/snapshot.json", handleSnapshot)
 	mux.HandleFunc("/traces", handleTraces)
+	if o.store != nil {
+		mux.HandleFunc("/tsdb/series", handleTSDBSeries(o.store))
+		mux.HandleFunc("/tsdb/query", handleTSDBQuery(o.store))
+	}
 	// pprof registers on the default mux only; re-mount explicitly so a
 	// custom mux works and nothing else leaks in.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,94 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkTSDBAppend is the steady-state ingest path: the series exists
+// and the ring is warm, so each op is a lock + two array stores.
+// scripts/verify.sh gates this at ≤1 alloc/op across the default,
+// notelemetry, and notrace builds.
+func BenchmarkTSDBAppend(b *testing.B) {
+	s := New(Config{Capacity: 4096})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 3, Field: FieldCQI}
+	s.Append(k, 0, 0) // create the series outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(k, int64(i), float64(i))
+	}
+}
+
+// BenchmarkTSDBAppendParallel measures contention across shards: each
+// goroutine writes its own key set so lock striping can spread them.
+func BenchmarkTSDBAppendParallel(b *testing.B) {
+	s := New(Config{Capacity: 4096, Shards: 16})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI}
+		i := int64(0)
+		for pb.Next() {
+			i++
+			k.UE = uint16(i % 64)
+			s.Append(k, i, float64(i))
+		}
+	})
+}
+
+// BenchmarkTSDBAppendRaw archives a 512 B payload per op; the slot
+// buffer comes from bufpool once and is reused thereafter.
+func BenchmarkTSDBAppendRaw(b *testing.B) {
+	s := New(Config{RawCapacity: 64})
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AppendRaw(1, 142, int64(i), payload)
+	}
+}
+
+// BenchmarkTSDBLastK polls the newest 8 samples with a reused dst, the
+// pattern control loops use.
+func BenchmarkTSDBLastK(b *testing.B) {
+	s := New(Config{Capacity: 4096})
+	k := SeriesKey{Agent: 1, Fn: 143, UE: 1, Field: FieldSojournMS}
+	for i := 0; i < 4096; i++ {
+		s.Append(k, int64(i), float64(i))
+	}
+	dst := make([]Sample, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.LastK(k, 8, dst)
+	}
+}
+
+// BenchmarkTSDBAggregate summarizes a full 1024-sample ring per op.
+func BenchmarkTSDBAggregate(b *testing.B) {
+	s := New(Config{Capacity: 1024})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldThroughputBps}
+	for i := 0; i < 1024; i++ {
+		s.Append(k, int64(i)*1e6, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Aggregate(k, 0, math.MaxInt64)
+	}
+}
+
+// BenchmarkTSDBWindowQuery runs the 10-bucket windowed aggregate the
+// /tsdb/query endpoint serves, over a 10k-sample series.
+func BenchmarkTSDBWindowQuery(b *testing.B) {
+	s := New(Config{Capacity: 16384})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldThroughputBps}
+	for i := 0; i < 10000; i++ {
+		s.Append(k, int64(i)*1e6, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Window(k, 0, 10000*1e6, 1e9)
+	}
+}

@@ -1,0 +1,238 @@
+package tsdb
+
+import (
+	"sort"
+	"time"
+
+	"flexric/internal/metrics"
+)
+
+// Agg summarizes the samples of one series over a time range: the
+// windowed-aggregate unit control loops consume instead of single
+// latest reports.
+type Agg struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// RatePerS is the counter-style rate: (last - first) value delta
+	// per second of series time. Meaningful for monotonic fields
+	// (tx_bytes, tx_packets); for gauges use Mean.
+	RatePerS float64 `json:"rate_per_s"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	FirstTS  int64   `json:"first_ts"`
+	LastTS   int64   `json:"last_ts"`
+}
+
+// Bucket is one window of a windowed aggregate query.
+type Bucket struct {
+	FromTS int64 `json:"from_ts"`
+	ToTS   int64 `json:"to_ts"`
+	Agg    Agg   `json:"agg"`
+}
+
+// SeriesInfo describes one live series for enumeration.
+type SeriesInfo struct {
+	Key      SeriesKey `json:"key"`
+	Field    string    `json:"field"`
+	Count    int       `json:"count"`
+	OldestTS int64     `json:"oldest_ts"`
+	NewestTS int64     `json:"newest_ts"`
+}
+
+// lookup returns the series for k, or nil.
+func (s *Store) lookup(k SeriesKey) *series {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	se := sh.series[k]
+	sh.mu.RUnlock()
+	return se
+}
+
+// LastK appends the newest k samples of the series (oldest first) to
+// dst and returns it. A nil dst allocates; callers polling repeatedly
+// reuse their slice to stay allocation-free.
+func (s *Store) LastK(k SeriesKey, count int, dst []Sample) []Sample {
+	defer observeQuery(time.Now())
+	se := s.lookup(k)
+	if se == nil || count <= 0 {
+		return dst[:0]
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if count > se.n {
+		count = se.n
+	}
+	c := len(se.ts)
+	dst = dst[:0]
+	for i := se.n - count; i < se.n; i++ {
+		j := (se.head + i) % c
+		dst = append(dst, Sample{TS: se.ts[j], V: se.vs[j]})
+	}
+	return dst
+}
+
+// Range appends the samples with from ≤ TS ≤ to (oldest first) to dst
+// and returns it.
+func (s *Store) Range(k SeriesKey, from, to int64, dst []Sample) []Sample {
+	defer observeQuery(time.Now())
+	dst = dst[:0]
+	se := s.lookup(k)
+	if se == nil {
+		return dst
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	c := len(se.ts)
+	for i := 0; i < se.n; i++ {
+		j := (se.head + i) % c
+		if se.ts[j] < from || se.ts[j] > to {
+			continue
+		}
+		dst = append(dst, Sample{TS: se.ts[j], V: se.vs[j]})
+	}
+	return dst
+}
+
+// Aggregate computes the windowed aggregate of one series over
+// [from, to]. ok is false when no sample falls in the range.
+func (s *Store) Aggregate(k SeriesKey, from, to int64) (Agg, bool) {
+	defer observeQuery(time.Now())
+	se := s.lookup(k)
+	if se == nil {
+		return Agg{}, false
+	}
+	se.mu.Lock()
+	agg, _, ok := se.aggregateLocked(from, to, nil)
+	se.mu.Unlock()
+	return agg, ok
+}
+
+// aggregateLocked computes the aggregate over [from, to] using scratch
+// for the percentile sort, returning the (possibly grown) scratch for
+// reuse across windows. Caller holds se.mu.
+func (se *series) aggregateLocked(from, to int64, scratch []float64) (Agg, []float64, bool) {
+	c := len(se.ts)
+	vals := scratch[:0]
+	var agg Agg
+	for i := 0; i < se.n; i++ {
+		j := (se.head + i) % c
+		ts, v := se.ts[j], se.vs[j]
+		if ts < from || ts > to {
+			continue
+		}
+		if agg.Count == 0 {
+			agg.Min, agg.Max = v, v
+			agg.FirstTS = ts
+		} else {
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+		}
+		agg.LastTS = ts
+		agg.Mean += v // sum for now
+		agg.Count++
+		vals = append(vals, v)
+	}
+	if agg.Count == 0 {
+		return Agg{}, vals, false
+	}
+	first, last := vals[0], vals[len(vals)-1]
+	agg.Mean /= float64(agg.Count)
+	if dt := agg.LastTS - agg.FirstTS; dt > 0 {
+		agg.RatePerS = (last - first) / (float64(dt) / 1e9)
+	}
+	sort.Float64s(vals)
+	agg.P50 = metrics.PercentileFloats(vals, 50)
+	agg.P95 = metrics.PercentileFloats(vals, 95)
+	agg.P99 = metrics.PercentileFloats(vals, 99)
+	return agg, vals, true
+}
+
+// Window slices [from, to) into fixed step-width buckets and aggregates
+// each; buckets with no samples are returned with a zero Agg so the
+// series of buckets is continuous. step must be positive; the number of
+// buckets is capped at 4096 to bound response sizes.
+func (s *Store) Window(k SeriesKey, from, to, step int64) []Bucket {
+	defer observeQuery(time.Now())
+	if step <= 0 || to <= from {
+		return nil
+	}
+	const maxBuckets = 4096
+	nb := (to - from + step - 1) / step
+	if nb > maxBuckets {
+		nb = maxBuckets
+		to = from + nb*step
+	}
+	out := make([]Bucket, 0, nb)
+	se := s.lookup(k)
+	var scratch []float64
+	for b := int64(0); b < nb; b++ {
+		lo := from + b*step
+		hi := lo + step - 1 // inclusive range per bucket
+		if hi >= to {
+			hi = to - 1
+		}
+		bk := Bucket{FromTS: lo, ToTS: hi + 1}
+		if se != nil {
+			se.mu.Lock()
+			agg, grown, ok := se.aggregateLocked(lo, hi, scratch)
+			se.mu.Unlock()
+			scratch = grown
+			if ok {
+				bk.Agg = agg
+			}
+		}
+		out = append(out, bk)
+	}
+	return out
+}
+
+// List enumerates live series, optionally filtered: agent < 0 matches
+// all agents, fn == 0 all functions. The result is sorted by key for
+// stable output.
+func (s *Store) List(agent int64, fn uint16) []SeriesInfo {
+	defer observeQuery(time.Now())
+	var out []SeriesInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, se := range sh.series {
+			if agent >= 0 && k.Agent != uint32(agent) {
+				continue
+			}
+			if fn != 0 && k.Fn != fn {
+				continue
+			}
+			se.mu.Lock()
+			info := SeriesInfo{Key: k, Field: k.Field.String(), Count: se.n}
+			if se.n > 0 {
+				c := len(se.ts)
+				info.OldestTS = se.ts[se.head]
+				info.NewestTS = se.ts[(se.head+se.n-1)%c]
+			}
+			se.mu.Unlock()
+			out = append(out, info)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Agent != b.Agent {
+			return a.Agent < b.Agent
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.UE != b.UE {
+			return a.UE < b.UE
+		}
+		return a.Field < b.Field
+	})
+	return out
+}

@@ -1,0 +1,36 @@
+package tsdb
+
+import (
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// Store-wide instrumentation, following the repo convention of direct
+// primitive pointers so the hot path never touches the registry. All
+// of it compiles to no-ops under -tags notelemetry.
+var tel = struct {
+	appends     *telemetry.Counter
+	overwritten *telemetry.Counter
+	evictions   *telemetry.Counter
+	rawBytes    *telemetry.Counter
+	queries     *telemetry.Counter
+	series      *telemetry.Gauge
+	queryLat    *telemetry.Histogram
+}{
+	appends:     telemetry.NewCounter("tsdb.appends"),
+	overwritten: telemetry.NewCounter("tsdb.samples_overwritten"),
+	evictions:   telemetry.NewCounter("tsdb.series_evicted"),
+	rawBytes:    telemetry.NewCounter("tsdb.raw_bytes"),
+	queries:     telemetry.NewCounter("tsdb.queries"),
+	series:      telemetry.NewGauge("tsdb.series"),
+	queryLat:    telemetry.NewHistogram("tsdb.query_latency"),
+}
+
+// observeQuery records one query on the counters and the latency
+// histogram; used as `defer observeQuery(time.Now())` so the disabled
+// build pays only the time.Now call the defer already made.
+func observeQuery(start time.Time) {
+	tel.queries.Inc()
+	tel.queryLat.Observe(time.Since(start))
+}

@@ -1,0 +1,420 @@
+// Package tsdb is the SDK's in-memory time-series store for SM report
+// history: the storage subsystem between the indication fast path and
+// the consumers that need more than the latest report — windowed rates,
+// means, and percentiles for control loops, SLA checks, and the
+// northbound query API (see docs/OBSERVABILITY.md).
+//
+// The paper's statistics iApp (§5.3) "saves incoming messages to an
+// in-memory data structure"; ctrl.Monitor used to retain only the
+// latest report per agent/layer. This package gives it bounded history:
+// every numeric field of a decoded MAC/RLC/PDCP report becomes a point
+// in a scalar series keyed by (agent, RAN function, UE, field), and raw
+// SM payloads are archived per (agent, RAN function) in rings of pooled
+// buffers.
+//
+// # Design
+//
+//   - Lock-striped: series are filed into power-of-two shards by key
+//     hash. A shard's RWMutex guards only its map; each series carries
+//     its own mutex for ring operations, so appends to different series
+//     never serialize on a shard and a long query never blocks ingest
+//     on anything but the one series it reads.
+//   - Bounded: each series is a fixed-capacity ring (Config.Capacity)
+//     with optional age-based retention (Config.MaxAge) pruned lazily
+//     on append and query. Memory is O(series × capacity), independent
+//     of run length.
+//   - Allocation-free at steady state: once a series exists, Append is
+//     a map lookup plus two ring writes — no allocation (gated by
+//     BenchmarkTSDBAppend in scripts/verify.sh). Raw payload archiving
+//     copies into internal/bufpool buffers and recycles the buffer it
+//     overwrites, so a steady indication stream archives without
+//     touching the heap.
+//
+// # Ownership
+//
+// Buffers inside the raw archive belong to the store: AppendRaw copies
+// the caller's payload, and readers receive fresh copies (or append
+// into a caller-provided slice). See docs/PERFORMANCE.md for the full
+// buffer-ownership chain.
+package tsdb
+
+import (
+	"sync"
+	"time"
+
+	"flexric/internal/bufpool"
+)
+
+// Field identifies one scalar column of an SM report. Field names are
+// shared across service models — the RAN function ID in the SeriesKey
+// disambiguates (MAC TxBits vs RLC TxBytes live under different Fn).
+type Field uint8
+
+// Fields covered by the monitoring SMs (MAC/RLC/PDCP stats).
+const (
+	FieldCQI Field = iota
+	FieldMCS
+	FieldRBsUsed
+	FieldTxBits
+	FieldThroughputBps
+	FieldTxPackets
+	FieldTxBytes
+	FieldRxPackets
+	FieldRxBytes
+	FieldDropPackets
+	FieldDropBytes
+	FieldBufferBytes
+	FieldBufferPkts
+	FieldSojournMS
+	numFields
+)
+
+var fieldNames = [numFields]string{
+	FieldCQI:           "cqi",
+	FieldMCS:           "mcs",
+	FieldRBsUsed:       "rbs_used",
+	FieldTxBits:        "tx_bits",
+	FieldThroughputBps: "throughput_bps",
+	FieldTxPackets:     "tx_packets",
+	FieldTxBytes:       "tx_bytes",
+	FieldRxPackets:     "rx_packets",
+	FieldRxBytes:       "rx_bytes",
+	FieldDropPackets:   "drop_packets",
+	FieldDropBytes:     "drop_bytes",
+	FieldBufferBytes:   "buffer_bytes",
+	FieldBufferPkts:    "buffer_pkts",
+	FieldSojournMS:     "sojourn_ms",
+}
+
+// String returns the field's wire name as used by the HTTP query API.
+func (f Field) String() string {
+	if int(f) < len(fieldNames) {
+		return fieldNames[f]
+	}
+	return "unknown"
+}
+
+// ParseField resolves a wire name to a Field.
+func ParseField(s string) (Field, bool) {
+	for i, n := range fieldNames {
+		if n == s {
+			return Field(i), true
+		}
+	}
+	return 0, false
+}
+
+// SeriesKey identifies one scalar series: an agent's RAN function, a UE
+// within it, and the report field.
+type SeriesKey struct {
+	Agent uint32
+	Fn    uint16
+	UE    uint16
+	Field Field
+}
+
+// Sample is one timestamped point. TS is in nanoseconds; the store does
+// not interpret the epoch — wall-clock UnixNano and simulated-time
+// nanoseconds both work, as long as one series sticks to one clock.
+type Sample struct {
+	TS int64   `json:"ts"`
+	V  float64 `json:"v"`
+}
+
+// Config parameterizes a Store. The zero value takes all defaults.
+type Config struct {
+	// Capacity is the per-series ring size (count retention). Default
+	// 1024 samples; at a 10 ms reporting period that is ~10 s of
+	// history per field.
+	Capacity int
+	// MaxAge drops samples older than now-MaxAge relative to the newest
+	// appended timestamp (age retention), pruned lazily. 0 disables.
+	MaxAge time.Duration
+	// RawCapacity is the per-(agent, fn) raw-payload ring size. Default
+	// 64 payloads.
+	RawCapacity int
+	// Shards is the lock-stripe count, rounded up to a power of two.
+	// Default 16.
+	Shards int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Capacity <= 0 {
+		out.Capacity = 1024
+	}
+	if out.RawCapacity <= 0 {
+		out.RawCapacity = 64
+	}
+	if out.Shards <= 0 {
+		out.Shards = 16
+	}
+	n := 1
+	for n < out.Shards {
+		n <<= 1
+	}
+	out.Shards = n
+	return out
+}
+
+// series is one scalar ring. ts and vs are parallel circular buffers:
+// entry i (0 ≤ i < n) lives at (head+i) % cap, oldest first.
+type series struct {
+	mu   sync.Mutex
+	ts   []int64
+	vs   []float64
+	head int
+	n    int
+}
+
+// rawKey identifies one raw-payload archive ring.
+type rawKey struct {
+	Agent uint32
+	Fn    uint16
+}
+
+// rawSeries archives whole SM payloads in a ring of pooled buffers.
+type rawSeries struct {
+	mu   sync.Mutex
+	ts   []int64
+	bufs [][]byte
+	head int
+	n    int
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[SeriesKey]*series
+	raw    map[rawKey]*rawSeries
+}
+
+// Store is a sharded, bounded, in-memory time-series database.
+type Store struct {
+	cfg    Config
+	maxAge int64 // ns; 0 = disabled
+	shards []shard
+	mask   uint32
+}
+
+// New returns a Store with the given configuration.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:    cfg,
+		maxAge: int64(cfg.MaxAge),
+		shards: make([]shard, cfg.Shards),
+		mask:   uint32(cfg.Shards - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].series = make(map[SeriesKey]*series)
+		s.shards[i].raw = make(map[rawKey]*rawSeries)
+	}
+	return s
+}
+
+// Config returns the store's resolved configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) shardFor(k SeriesKey) *shard {
+	h := k.Agent*0x9e3779b1 ^ uint32(k.Fn)<<16 ^ uint32(k.UE)<<3 ^ uint32(k.Field)
+	h ^= h >> 13
+	return &s.shards[h&s.mask]
+}
+
+func (s *Store) shardForRaw(k rawKey) *shard {
+	h := k.Agent*0x9e3779b1 ^ uint32(k.Fn)<<16
+	h ^= h >> 13
+	return &s.shards[h&s.mask]
+}
+
+// Append records one sample. Samples are expected in non-decreasing
+// timestamp order per series; an out-of-order sample is still stored
+// (rings do not re-sort) but age pruning keys off the newest TS seen.
+// Steady-state cost: one shard RLock, one map lookup, one series lock,
+// two ring writes — zero allocations once the series exists.
+func (s *Store) Append(k SeriesKey, ts int64, v float64) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	se := sh.series[k]
+	sh.mu.RUnlock()
+	if se == nil {
+		se = &series{
+			ts: make([]int64, s.cfg.Capacity),
+			vs: make([]float64, s.cfg.Capacity),
+		}
+		sh.mu.Lock()
+		if cur := sh.series[k]; cur != nil {
+			se = cur // lost the race; use the winner
+		} else {
+			sh.series[k] = se
+			tel.series.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+	se.mu.Lock()
+	c := len(se.ts)
+	if se.n == c {
+		// Ring full: overwrite the oldest.
+		se.head = (se.head + 1) % c
+		se.n--
+		tel.overwritten.Inc()
+	}
+	i := (se.head + se.n) % c
+	se.ts[i] = ts
+	se.vs[i] = v
+	se.n++
+	if s.maxAge > 0 {
+		se.pruneLocked(ts - s.maxAge)
+	}
+	se.mu.Unlock()
+	tel.appends.Inc()
+}
+
+// pruneLocked drops samples with TS < cutoff from the tail. Caller
+// holds se.mu.
+func (se *series) pruneLocked(cutoff int64) {
+	c := len(se.ts)
+	for se.n > 0 && se.ts[se.head] < cutoff {
+		se.head = (se.head + 1) % c
+		se.n--
+	}
+}
+
+// AppendRaw archives one raw SM payload for (agent, fn). The payload is
+// copied into a pooled buffer; the caller keeps ownership of its slice.
+// When the ring wraps, the overwritten slot's buffer is recycled, so a
+// steady stream archives with zero steady-state allocations.
+func (s *Store) AppendRaw(agent uint32, fn uint16, ts int64, payload []byte) {
+	k := rawKey{Agent: agent, Fn: fn}
+	sh := s.shardForRaw(k)
+	sh.mu.RLock()
+	rs := sh.raw[k]
+	sh.mu.RUnlock()
+	if rs == nil {
+		rs = &rawSeries{
+			ts:   make([]int64, s.cfg.RawCapacity),
+			bufs: make([][]byte, s.cfg.RawCapacity),
+		}
+		sh.mu.Lock()
+		if cur := sh.raw[k]; cur != nil {
+			rs = cur
+		} else {
+			sh.raw[k] = rs
+		}
+		sh.mu.Unlock()
+	}
+	rs.mu.Lock()
+	c := len(rs.ts)
+	var i int
+	if rs.n == c {
+		i = rs.head
+		rs.head = (rs.head + 1) % c
+		rs.n--
+		tel.overwritten.Inc()
+	} else {
+		i = (rs.head + rs.n) % c
+	}
+	// Reuse the slot's buffer when it fits; otherwise recycle it and
+	// fetch one sized for this payload.
+	buf := rs.bufs[i]
+	if cap(buf) < len(payload) {
+		if buf != nil {
+			bufpool.Put(buf)
+		}
+		buf = bufpool.Get(len(payload))
+	}
+	buf = buf[:len(payload)]
+	copy(buf, payload)
+	rs.ts[i] = ts
+	rs.bufs[i] = buf
+	rs.n++
+	rs.mu.Unlock()
+	tel.appends.Inc()
+	tel.rawBytes.Add(uint64(len(payload)))
+}
+
+// LastRaw appends a copy of the newest archived payload for (agent, fn)
+// to dst (which may be nil) and returns it with its timestamp. ok is
+// false when nothing is archived.
+func (s *Store) LastRaw(agent uint32, fn uint16, dst []byte) (payload []byte, ts int64, ok bool) {
+	k := rawKey{Agent: agent, Fn: fn}
+	sh := s.shardForRaw(k)
+	sh.mu.RLock()
+	rs := sh.raw[k]
+	sh.mu.RUnlock()
+	if rs == nil {
+		return nil, 0, false
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.n == 0 {
+		return nil, 0, false
+	}
+	i := (rs.head + rs.n - 1) % len(rs.ts)
+	return append(dst[:0], rs.bufs[i]...), rs.ts[i], true
+}
+
+// RawCount returns how many payloads are archived for (agent, fn).
+func (s *Store) RawCount(agent uint32, fn uint16) int {
+	k := rawKey{Agent: agent, Fn: fn}
+	sh := s.shardForRaw(k)
+	sh.mu.RLock()
+	rs := sh.raw[k]
+	sh.mu.RUnlock()
+	if rs == nil {
+		return 0
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.n
+}
+
+// EvictAgent removes every series and raw archive belonging to agent,
+// returning the archived buffers to the pool. Wired to the server's
+// disconnect hook by ctrl.Monitor so reconnect churn cannot leak
+// history.
+func (s *Store) EvictAgent(agent uint32) {
+	var evicted int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.series {
+			if k.Agent == agent {
+				delete(sh.series, k)
+				evicted++
+			}
+		}
+		for k, rs := range sh.raw {
+			if k.Agent != agent {
+				continue
+			}
+			delete(sh.raw, k)
+			rs.mu.Lock()
+			for j, b := range rs.bufs {
+				if b != nil {
+					bufpool.Put(b)
+					rs.bufs[j] = nil
+				}
+			}
+			rs.n = 0
+			rs.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		tel.series.Add(-evicted)
+		tel.evictions.Add(uint64(evicted))
+	}
+}
+
+// NumSeries returns the live scalar-series count across all shards.
+func (s *Store) NumSeries() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
+}

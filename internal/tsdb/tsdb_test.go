@@ -1,0 +1,293 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(agent uint32, ue uint16, f Field) SeriesKey {
+	return SeriesKey{Agent: agent, Fn: 143, UE: ue, Field: f}
+}
+
+func TestRingCountRetention(t *testing.T) {
+	s := New(Config{Capacity: 4})
+	k := key(1, 1, FieldSojournMS)
+	for i := 0; i < 10; i++ {
+		s.Append(k, int64(i), float64(i))
+	}
+	got := s.LastK(k, 100, nil)
+	if len(got) != 4 {
+		t.Fatalf("ring length %d, want 4", len(got))
+	}
+	for i, sm := range got {
+		want := float64(6 + i)
+		if sm.V != want || sm.TS != int64(6+i) {
+			t.Fatalf("sample %d = %+v, want v=%v", i, sm, want)
+		}
+	}
+}
+
+func TestAgeRetention(t *testing.T) {
+	s := New(Config{Capacity: 128, MaxAge: 10 * time.Nanosecond})
+	k := key(1, 1, FieldCQI)
+	for i := int64(0); i <= 100; i += 10 {
+		s.Append(k, i, float64(i))
+	}
+	// Newest TS is 100; cutoff 90: samples at 90 and 100 survive.
+	got := s.LastK(k, 100, nil)
+	if len(got) != 2 || got[0].TS != 90 || got[1].TS != 100 {
+		t.Fatalf("age retention kept %+v", got)
+	}
+}
+
+func TestLastKAndRange(t *testing.T) {
+	s := New(Config{Capacity: 64})
+	k := key(2, 7, FieldTxBytes)
+	for i := 0; i < 20; i++ {
+		s.Append(k, int64(i*100), float64(i))
+	}
+	last3 := s.LastK(k, 3, nil)
+	if len(last3) != 3 || last3[0].V != 17 || last3[2].V != 19 {
+		t.Fatalf("last3 = %+v", last3)
+	}
+	rng := s.Range(k, 500, 900, nil)
+	if len(rng) != 5 || rng[0].TS != 500 || rng[4].TS != 900 {
+		t.Fatalf("range = %+v", rng)
+	}
+	// Missing series.
+	if got := s.LastK(key(9, 9, FieldCQI), 5, nil); len(got) != 0 {
+		t.Fatalf("missing series returned %+v", got)
+	}
+	// Reusing dst must not allocate new backing arrays.
+	buf := make([]Sample, 0, 32)
+	out := s.LastK(k, 10, buf)
+	if len(out) != 10 || cap(out) != 32 {
+		t.Fatalf("dst reuse: len=%d cap=%d", len(out), cap(out))
+	}
+}
+
+// TestGoldenWindowedAggregates is the acceptance golden test: a
+// 10k-sample series with v(i)=i at ts(i)=i·1e6 ns has analytically
+// known aggregates, overall and per 1 s window.
+func TestGoldenWindowedAggregates(t *testing.T) {
+	s := New(Config{Capacity: 16384})
+	k := key(3, 1, FieldThroughputBps)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Append(k, int64(i)*1e6, float64(i))
+	}
+	agg, ok := s.Aggregate(k, 0, math.MaxInt64)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if agg.Count != n {
+		t.Fatalf("count %d", agg.Count)
+	}
+	approx("min", agg.Min, 0)
+	approx("max", agg.Max, 9999)
+	approx("mean", agg.Mean, 4999.5)
+	// Interpolated order statistics: rank = p/100·(n-1).
+	approx("p50", agg.P50, 4999.5)
+	approx("p95", agg.P95, 9499.05)
+	approx("p99", agg.P99, 9899.01)
+	// Counter rate: 9999 units over 9.999 s.
+	approx("rate", agg.RatePerS, 9999/9.999)
+
+	// 1 s windows: bucket b holds values [1000b, 1000b+999].
+	buckets := s.Window(k, 0, n*1e6, 1e9)
+	if len(buckets) != 10 {
+		t.Fatalf("%d buckets", len(buckets))
+	}
+	for b, bk := range buckets {
+		base := float64(1000 * b)
+		if bk.Agg.Count != 1000 {
+			t.Fatalf("bucket %d count %d", b, bk.Agg.Count)
+		}
+		approx(fmt.Sprintf("bucket %d mean", b), bk.Agg.Mean, base+499.5)
+		approx(fmt.Sprintf("bucket %d max", b), bk.Agg.Max, base+999)
+		approx(fmt.Sprintf("bucket %d p99", b), bk.Agg.P99, base+989.01)
+	}
+	// Empty window: continuous buckets with zero Agg.
+	empty := s.Window(k, 20e9, 22e9, 1e9)
+	if len(empty) != 2 || empty[0].Agg.Count != 0 {
+		t.Fatalf("empty windows = %+v", empty)
+	}
+}
+
+func TestRawArchive(t *testing.T) {
+	s := New(Config{RawCapacity: 3})
+	payload := func(i int) []byte {
+		b := make([]byte, 100)
+		for j := range b {
+			b[j] = byte(i)
+		}
+		return b
+	}
+	for i := 0; i < 5; i++ {
+		s.AppendRaw(7, 142, int64(i), payload(i))
+	}
+	if n := s.RawCount(7, 142); n != 3 {
+		t.Fatalf("raw count %d", n)
+	}
+	got, ts, ok := s.LastRaw(7, 142, nil)
+	if !ok || ts != 4 || got[0] != 4 || len(got) != 100 {
+		t.Fatalf("last raw: ok=%v ts=%d b=%v", ok, ts, got[:1])
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// archive.
+	got[0] = 0xFF
+	again, _, _ := s.LastRaw(7, 142, nil)
+	if again[0] != 4 {
+		t.Fatal("LastRaw must return a copy")
+	}
+	// dst reuse path.
+	buf := make([]byte, 0, 256)
+	out, _, _ := s.LastRaw(7, 142, buf)
+	if len(out) != 100 || cap(out) != 256 {
+		t.Fatalf("dst reuse: len=%d cap=%d", len(out), cap(out))
+	}
+	if _, _, ok := s.LastRaw(7, 999, nil); ok {
+		t.Fatal("missing raw archive must report !ok")
+	}
+}
+
+func TestEvictAgent(t *testing.T) {
+	s := New(Config{Capacity: 16})
+	for agent := uint32(1); agent <= 3; agent++ {
+		for ue := uint16(1); ue <= 4; ue++ {
+			s.Append(key(agent, ue, FieldCQI), 1, 1)
+		}
+		s.AppendRaw(agent, 142, 1, []byte{1, 2, 3})
+	}
+	if n := s.NumSeries(); n != 12 {
+		t.Fatalf("series %d", n)
+	}
+	s.EvictAgent(2)
+	if n := s.NumSeries(); n != 8 {
+		t.Fatalf("series after evict %d", n)
+	}
+	if n := s.RawCount(2, 142); n != 0 {
+		t.Fatalf("raw survived evict: %d", n)
+	}
+	if len(s.List(2, 0)) != 0 {
+		t.Fatal("List shows evicted agent")
+	}
+	if n := s.RawCount(1, 142); n != 1 {
+		t.Fatal("evict touched another agent's archive")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := New(Config{Capacity: 16})
+	s.Append(SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI}, 10, 5)
+	s.Append(SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI}, 20, 6)
+	s.Append(SeriesKey{Agent: 1, Fn: 143, UE: 2, Field: FieldSojournMS}, 30, 7)
+	s.Append(SeriesKey{Agent: 2, Fn: 142, UE: 1, Field: FieldMCS}, 40, 8)
+
+	all := s.List(-1, 0)
+	if len(all) != 3 {
+		t.Fatalf("list all = %+v", all)
+	}
+	if all[0].Key.Agent != 1 || all[0].Field != "cqi" || all[0].Count != 2 ||
+		all[0].OldestTS != 10 || all[0].NewestTS != 20 {
+		t.Fatalf("list[0] = %+v", all[0])
+	}
+	if got := s.List(1, 143); len(got) != 1 || got[0].Key.UE != 2 {
+		t.Fatalf("filtered list = %+v", got)
+	}
+}
+
+func TestParseField(t *testing.T) {
+	for f := Field(0); f < numFields; f++ {
+		got, ok := ParseField(f.String())
+		if !ok || got != f {
+			t.Fatalf("roundtrip %v", f)
+		}
+	}
+	if _, ok := ParseField("bogus"); ok {
+		t.Fatal("bogus field parsed")
+	}
+	if Field(200).String() != "unknown" {
+		t.Fatal("out-of-range field name")
+	}
+}
+
+// TestConcurrentAppendQueryEvict is the -race stress: writers, readers,
+// and an evictor hammer overlapping keys.
+func TestConcurrentAppendQueryEvict(t *testing.T) {
+	s := New(Config{Capacity: 64, RawCapacity: 8, Shards: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				k := key(uint32(w%2), uint16(i%8), Field(i%int64(numFields)))
+				s.Append(k, i, float64(i))
+				s.AppendRaw(uint32(w%2), 142, i, []byte{byte(i), byte(w)})
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var dst []Sample
+			var raw []byte
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(uint32(r%2), uint16(i%8), Field(i%int64(numFields)))
+				dst = s.LastK(k, 16, dst)
+				s.Aggregate(k, 0, math.MaxInt64)
+				s.Window(k, 0, 1e6, 1e4)
+				raw, _, _ = s.LastRaw(uint32(r%2), 142, raw)
+				s.List(int64(r%2), 0)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.EvictAgent(uint32(i % 2))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := New(Config{Shards: 5})
+	cfg := s.Config()
+	if cfg.Shards != 8 || cfg.Capacity != 1024 || cfg.RawCapacity != 64 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}

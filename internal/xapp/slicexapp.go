@@ -5,6 +5,7 @@ import (
 
 	"flexric/internal/ctrl"
 	"flexric/internal/sm"
+	"flexric/internal/tsdb"
 )
 
 // SliceXApp is the slicing xApp of §6.1.2 — in the paper a plain curl
@@ -48,4 +49,18 @@ func (x *SliceXApp) Stats() (*sm.MACReport, error) {
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// AggStats fetches the windowed aggregate of one UE's MAC field over
+// the trailing windowMS milliseconds — the stable signal slicing
+// policies should decide on instead of a single latest report. field is
+// a tsdb field name ("throughput_bps", "cqi", ...).
+func (x *SliceXApp) AggStats(rnti uint16, field string, windowMS int64) (*tsdb.Agg, error) {
+	var agg tsdb.Agg
+	path := fmt.Sprintf("/stats/agg?agent=%d&ue=%d&field=%s&window_ms=%d",
+		x.agent, rnti, field, windowMS)
+	if err := x.rest.GetJSON(path, &agg); err != nil {
+		return nil, err
+	}
+	return &agg, nil
 }

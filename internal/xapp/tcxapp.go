@@ -3,10 +3,12 @@ package xapp
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"flexric/internal/broker"
 	"flexric/internal/ctrl"
 	"flexric/internal/sm"
+	"flexric/internal/tsdb"
 )
 
 // TCXApp is the traffic-control xApp of §6.1.1. It subscribes to RLC
@@ -15,14 +17,27 @@ import (
 // low-latency flow increase beyond a limit, it decides to perform three
 // actions": create a second FIFO queue, install a 5-tuple filter for the
 // low-latency flow, and load the 5G-BDP pacer.
+//
+// The decision is windowed, not snapshot-based: every report's sojourn
+// sample lands in a local time-series store, and the remedy fires only
+// when the p95 over the trailing window exceeds the limit with enough
+// samples present — one transient spike in a single report cannot
+// trigger the three-action sequence.
 type TCXApp struct {
 	rest   *RESTClient
 	broker *broker.Client
 	agent  int
 	rnti   uint16
+	db     *tsdb.Store
 
 	// SojournLimitMS triggers the remedy (default 50 ms).
 	SojournLimitMS int64
+	// SojournWindowMS is the trailing window the decision aggregates
+	// over (default 200 ms of wall time).
+	SojournWindowMS int64
+	// MinWindowSamples is how many reports must fall inside the window
+	// before the aggregate is trusted (default 3).
+	MinWindowSamples int
 	// Filter is the low-latency flow's 5-tuple (DstPort+Proto is enough
 	// for the VoIP flow).
 	FilterDstPort uint16
@@ -43,14 +58,17 @@ func NewTCXApp(restBase, brokerAddr string, agent int, rnti uint16) (*TCXApp, er
 		return nil, err
 	}
 	return &TCXApp{
-		rest:           NewRESTClient(restBase),
-		broker:         bc,
-		agent:          agent,
-		rnti:           rnti,
-		SojournLimitMS: 50,
-		PacerTargetMS:  4,
-		stop:           make(chan struct{}),
-		done:           make(chan struct{}),
+		rest:             NewRESTClient(restBase),
+		broker:           bc,
+		agent:            agent,
+		rnti:             rnti,
+		db:               tsdb.New(tsdb.Config{Capacity: 256}),
+		SojournLimitMS:   50,
+		SojournWindowMS:  200,
+		MinWindowSamples: 3,
+		PacerTargetMS:    4,
+		stop:             make(chan struct{}),
+		done:             make(chan struct{}),
 	}, nil
 }
 
@@ -74,15 +92,31 @@ func (x *TCXApp) Run() error {
 			if err != nil {
 				continue
 			}
+			now := time.Now().UnixNano()
+			k := tsdb.SeriesKey{Agent: uint32(x.agent), Fn: sm.IDRLCStats, UE: x.rnti, Field: tsdb.FieldSojournMS}
 			for _, u := range rep.UEs {
-				if u.RNTI == x.rnti && u.SojournMS > x.SojournLimitMS {
-					if err := x.applyRemedy(); err == nil {
-						return nil // remedy applied; the xApp's job is done
-					}
+				if u.RNTI != x.rnti {
+					continue
+				}
+				x.db.Append(k, now, float64(u.SojournMS))
+			}
+			if agg, ok := x.SojournAgg(); ok &&
+				agg.Count >= x.MinWindowSamples && agg.P95 > float64(x.SojournLimitMS) {
+				if err := x.applyRemedy(); err == nil {
+					return nil // remedy applied; the xApp's job is done
 				}
 			}
 		}
 	}
+}
+
+// SojournAgg returns the windowed aggregate the remedy decision reads:
+// the trailing SojournWindowMS of the watched UE's sojourn series. ok
+// is false while the window is still empty.
+func (x *TCXApp) SojournAgg() (tsdb.Agg, bool) {
+	now := time.Now().UnixNano()
+	k := tsdb.SeriesKey{Agent: uint32(x.agent), Fn: sm.IDRLCStats, UE: x.rnti, Field: tsdb.FieldSojournMS}
+	return x.db.Aggregate(k, now-x.SojournWindowMS*int64(time.Millisecond), now)
 }
 
 // Close stops the xApp.

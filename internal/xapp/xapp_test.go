@@ -104,6 +104,15 @@ func TestTCXAppAppliesRemedy(t *testing.T) {
 	if !x.Applied() {
 		t.Fatal("Applied() must report true")
 	}
+	// The remedy was a windowed decision: the trailing sojourn window
+	// must hold enough samples with a p95 beyond the limit.
+	agg, ok := x.SojournAgg()
+	if !ok || agg.Count < x.MinWindowSamples {
+		t.Fatalf("windowed sojourn aggregate too thin: %+v (ok=%v)", agg, ok)
+	}
+	if agg.P95 <= float64(x.SojournLimitMS) {
+		t.Fatalf("remedy fired below the windowed limit: %+v", agg)
+	}
 	var st ran.TCStats
 	if err := cell.WithUE(1, func(u *ran.UE) error { st = u.TC().Stats(); return nil }); err != nil {
 		t.Fatal(err)
@@ -189,11 +198,31 @@ func TestSliceXApp(t *testing.T) {
 		t.Fatalf("status: %+v %v", st, err)
 	}
 	deadline = time.Now().Add(10 * time.Second)
+	gotStats := false
 	for time.Now().Before(deadline) {
 		if rep, err := x.Stats(); err == nil && len(rep.UEs) == 1 {
+			gotStats = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !gotStats {
+		t.Fatal("no stats via xApp")
+	}
+	// The windowed view: aggregated CQI over the trailing window, served
+	// from the controller's time-series store instead of the latest
+	// report. The attached UE reports a constant CQI, so the windowed
+	// percentiles collapse onto it.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		agg, err := x.AggStats(1, "cqi", 5000)
+		if err == nil && agg.Count >= 5 {
+			if agg.Max <= 0 || agg.P95 < agg.P50 || agg.Mean > agg.Max {
+				t.Fatalf("aggregate shape: %+v", agg)
+			}
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatal("no stats via xApp")
+	t.Fatal("no windowed aggregate via xApp")
 }

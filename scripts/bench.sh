@@ -3,19 +3,21 @@
 # output.
 #
 # Runs the Fig. 6/7/8 and Table 2 experiment benchmarks (reduced scale,
-# -benchtime FIG_BENCHTIME) and the fast-path microbenchmarks
-# (-benchtime HOT_BENCHTIME / MICRO_BENCHTIME), all with -benchmem, and
-# writes BENCH_pr4.json mapping benchmark name -> ns/op, B/op,
-# allocs/op (plus any custom b.ReportMetric units). The JSON also embeds
-# the pre-fast-path baseline so a reviewer can diff allocation counts
-# without checking out the old tree. See docs/PERFORMANCE.md.
+# -benchtime FIG_BENCHTIME), the fast-path microbenchmarks
+# (-benchtime HOT_BENCHTIME / MICRO_BENCHTIME), and the time-series
+# store tier (append at MICRO_BENCHTIME, queries at HOT_BENCHTIME), all
+# with -benchmem, and writes BENCH_pr5.json mapping benchmark name ->
+# ns/op, B/op, allocs/op (plus any custom b.ReportMetric units). The
+# JSON also embeds the pre-fast-path baseline so a reviewer can diff
+# allocation counts without checking out the old tree. See
+# docs/PERFORMANCE.md.
 #
 # Tunables (env):
 #   FIG_BENCHTIME    iterations for the simulation-backed figure benches
 #                    (default 1x: each iteration is a full experiment)
 #   HOT_BENCHTIME    iterations for end-to-end hot paths (default 2000x)
 #   MICRO_BENCHTIME  iterations for pure-CPU microbenches (default 200000x)
-#   OUT              output file (default BENCH_pr4.json)
+#   OUT              output file (default BENCH_pr5.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,7 +25,7 @@ GO=${GO:-go}
 FIG_BENCHTIME=${FIG_BENCHTIME:-1x}
 HOT_BENCHTIME=${HOT_BENCHTIME:-2000x}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-200000x}
-OUT=${OUT:-BENCH_pr4.json}
+OUT=${OUT:-BENCH_pr5.json}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT INT TERM
@@ -45,6 +47,10 @@ echo "==> end-to-end hot paths (benchtime $HOT_BENCHTIME)"
 run "$HOT_BENCHTIME" . 'BenchmarkIndicationFastPath$|BenchmarkIndicationFastPathBatch$|BenchmarkTransportHotPath$|BenchmarkTraceDisabled$'
 run "$HOT_BENCHTIME" ./internal/broker/ 'BenchmarkPublishDeliver$'
 run "$HOT_BENCHTIME" ./internal/resilience/ 'BenchmarkResilienceSendHotPath$'
+
+echo "==> time-series store (append @$MICRO_BENCHTIME, queries @$HOT_BENCHTIME)"
+run "$MICRO_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBAppend$|BenchmarkTSDBAppendParallel$|BenchmarkTSDBAppendRaw$'
+run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBLastK$|BenchmarkTSDBAggregate$|BenchmarkTSDBWindowQuery$'
 
 echo "==> figure suite (benchtime $FIG_BENCHTIME)"
 run "$FIG_BENCHTIME" . 'BenchmarkFig6aAgentOverhead$|BenchmarkFig6bUESweep$|BenchmarkFig7aPingRTT$|BenchmarkFig7bSignaling$|BenchmarkFig8aControllerVsFlexRAN$|BenchmarkFig8bAgentSweep$|BenchmarkTable2Footprint$'

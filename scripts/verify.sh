@@ -105,6 +105,31 @@ for tags in "" "notelemetry" "notrace"; do
     fi
 done
 
+echo "==> tsdb append (<=1 alloc/op gate, all build modes)"
+# Steady-state time-series ingest — the per-UE-field appends the monitor
+# performs on every decoded report — must stay allocation-free whether
+# telemetry and tracing are compiled in or out. The gate accepts 0 or 1
+# allocs/op.
+for tags in "" "notelemetry" "notrace"; do
+    if [ -n "$tags" ]; then
+        label="-tags $tags"
+        ts_out=$(go test -tags "$tags" -run xxx -bench 'BenchmarkTSDBAppend$' -benchtime 10000x ./internal/tsdb/ 2>&1)
+    else
+        label="default build"
+        ts_out=$(go test -run xxx -bench 'BenchmarkTSDBAppend$' -benchtime 10000x ./internal/tsdb/ 2>&1)
+    fi
+    echo "--- $label"
+    echo "$ts_out"
+    if ! echo "$ts_out" | grep -q 'BenchmarkTSDBAppend'; then
+        echo "verify: BenchmarkTSDBAppend did not run ($label)" >&2
+        exit 1
+    fi
+    if ! echo "$ts_out" | grep 'BenchmarkTSDBAppend' | grep -Eq ' [0-1] allocs/op'; then
+        echo "verify: tsdb append exceeds 1 alloc/op ($label)" >&2
+        exit 1
+    fi
+done
+
 echo "==> bench suite smoke run"
 # The full scripts/bench.sh suite at token iteration counts: proves
 # every benchmark still runs and the JSON emitter works, without paying
