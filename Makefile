@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 # Paper figure suite + hot-path microbenches with -benchmem; writes
-# BENCH_pr5.json (name -> ns/op, B/op, allocs/op). Tunables:
+# BENCH_pr6.json (name -> ns/op, B/op, allocs/op). Tunables:
 # FIG_BENCHTIME, HOT_BENCHTIME, MICRO_BENCHTIME, OUT. See
 # scripts/bench.sh and docs/PERFORMANCE.md.
 bench:

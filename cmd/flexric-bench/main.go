@@ -15,7 +15,7 @@
 //	flexric-bench fig13a [-phase 15000]
 //	flexric-bench fig13b [-sim 60000]
 //	flexric-bench fig15  [-sim 50000]
-//	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s]
+//	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s] [-compress]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench all    (reduced scale)
 package main
@@ -44,6 +44,7 @@ func main() {
 	dur := fs.Duration("dur", 5*time.Second, "measurement window")
 	phase := fs.Int("phase", 15000, "per-phase simulated ms (fig13a)")
 	readers := fs.Int("readers", 4, "concurrent query readers (tsdbload)")
+	compress := fs.Bool("compress", false, "run the time-series store in chunk-compression mode (tsdbload)")
 	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos)")
 	connPlan := fs.String("connplan", "", "connection fault plan (chaos; empty = drop@120,drop@120)")
 	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
@@ -120,7 +121,7 @@ func main() {
 		},
 		"tsdbload": func() {
 			run("tsdbload", func() (fmt.Stringer, error) {
-				return experiments.TSDBLoad(*agents, *readers, *dur)
+				return experiments.TSDBLoad(*agents, *readers, *dur, *compress)
 			})
 		},
 		"chaos": func() {
@@ -158,7 +159,10 @@ func main() {
 		run("fig13b", func() (fmt.Stringer, error) { return experiments.Fig13b(30000) })
 		run("fig15", func() (fmt.Stringer, error) { return experiments.Fig15(30000) })
 		run("tsdbload", func() (fmt.Stringer, error) {
-			return experiments.TSDBLoad(4, 4, 2*time.Second)
+			return experiments.TSDBLoad(4, 4, 2*time.Second, false)
+		})
+		run("tsdbload -compress", func() (fmt.Stringer, error) {
+			return experiments.TSDBLoad(4, 4, 2*time.Second, true)
 		})
 	default:
 		f, ok := experimentsByName[cmd]

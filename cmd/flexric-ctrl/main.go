@@ -45,14 +45,31 @@ func main() {
 	faultPlan := flag.String("faultplan", "", "scripted listener fault plan, e.g. 'blackout@1=2' (see internal/faultinject)")
 	tsdbCap := flag.Int("tsdb", 1024, "samples retained per report series in the time-series store (0 = store off)")
 	tsdbAge := flag.Duration("tsdb-age", 0, "also drop samples older than this from each series (0 = count-only retention)")
+	tsdbCompress := flag.Bool("tsdb-compress", false, "seal full series rings into compressed chunks with downsampling tiers instead of overwriting old samples")
+	tsdbSnapshot := flag.String("tsdb-snapshot", "", "time-series snapshot file: loaded at startup, written on shutdown (empty = off)")
+	tsdbSnapshotEvery := flag.Duration("tsdb-snapshot-every", 0, "also write the snapshot periodically (0 = shutdown-only; needs -tsdb-snapshot)")
 	flag.Parse()
 
 	if *traceSample > 0 {
 		trace.SetSampleEvery(uint32(*traceSample))
 	}
 	var store *tsdb.Store
+	var snapStop chan struct{}
+	var snapDone <-chan struct{}
 	if *tsdbCap > 0 {
-		store = tsdb.New(tsdb.Config{Capacity: *tsdbCap, MaxAge: *tsdbAge})
+		store = tsdb.New(tsdb.Config{Capacity: *tsdbCap, MaxAge: *tsdbAge, Compress: *tsdbCompress})
+		if *tsdbSnapshot != "" {
+			if err := store.LoadFile(*tsdbSnapshot); err != nil {
+				log.Fatalf("tsdb snapshot load: %v", err)
+			}
+			if n := store.NumSeries(); n > 0 {
+				log.Printf("tsdb: restored %d series from %s", n, *tsdbSnapshot)
+			}
+			snapStop = make(chan struct{})
+			snapDone = store.SnapshotEvery(*tsdbSnapshot, *tsdbSnapshotEvery, snapStop, func(err error) {
+				log.Printf("tsdb snapshot write: %v", err)
+			})
+		}
 	}
 	if *obsAddr != "" {
 		var oo []obs.Option
@@ -159,5 +176,12 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if snapStop != nil {
+		// Final snapshot on SIGINT/SIGTERM so a restarted controller
+		// resumes with its history.
+		close(snapStop)
+		<-snapDone
+		log.Printf("tsdb: snapshot written to %s", *tsdbSnapshot)
+	}
 	dumper.Stop()
 }

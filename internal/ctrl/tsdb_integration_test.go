@@ -302,3 +302,51 @@ func TestSlicingStatsAgg(t *testing.T) {
 		t.Fatalf("unknown agent: %s", resp.Status)
 	}
 }
+
+// TestMonitorTSDBCompressed runs the live ingest pipeline against a
+// store in chunk-compression mode: a tiny write head forces seals at
+// experiment timescale, and windowed aggregates spanning sealed chunks
+// must stay coherent (monotone counters keep a positive rate, counts
+// keep growing) while the store reports a real compression ratio.
+func TestMonitorTSDBCompressed(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 64, Compress: true})
+	s, addr := startSrv(t)
+	ctrl.NewMonitor(s, ctrl.MonitorConfig{Scheme: sm.SchemeFB, PeriodMS: 1, Layers: ctrl.MonMAC, Decode: true, TSDB: st})
+	b := startBS(t, addr, 1, sm.SchemeFB, 25)
+	if _, err := b.cell.Attach(1, "", "208.95", 28); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.cell.AddTraffic(1, &ran.Saturating{Flow: ran.FiveTuple{DstIP: 1}, RateBytesPerMS: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, "agent", func() bool { return len(s.Agents()) == 1 })
+	id := s.Agents()[0].ID
+	k := tsdb.SeriesKey{Agent: uint32(id), Fn: sm.IDMACStats, UE: 1, Field: tsdb.FieldTxBits}
+
+	// Enough reports to overflow the 64-sample head repeatedly.
+	await(t, "chunks seal under live ingest", func() bool {
+		return st.Stats().Chunks > 0
+	})
+	await(t, "history spans head+chunks", func() bool {
+		agg, ok := st.Aggregate(k, 0, math.MaxInt64)
+		return ok && agg.Count > 64
+	})
+	agg, _ := st.Aggregate(k, 0, math.MaxInt64)
+	if agg.RatePerS <= 0 {
+		t.Fatalf("tx_bits rate over compressed history: %+v", agg)
+	}
+	// LastK deeper than the write head decompresses chunks.
+	samples := st.LastK(k, 200, nil)
+	if len(samples) <= 64 {
+		t.Fatalf("LastK returned only %d samples", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TS < samples[i-1].TS {
+			t.Fatal("decompressed samples out of order")
+		}
+	}
+	stats := st.Stats()
+	if stats.BytesPerSample <= 0 || stats.BytesPerSample >= 16 {
+		t.Fatalf("bytes/sample = %v", stats.BytesPerSample)
+	}
+}

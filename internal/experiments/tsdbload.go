@@ -21,6 +21,7 @@ type TSDBLoadResult struct {
 	Agents   int
 	UEs      int
 	Readers  int
+	Compress bool
 	Duration time.Duration
 
 	Series      int    // distinct series after the run
@@ -30,18 +31,29 @@ type TSDBLoadResult struct {
 	Errors      uint64 // transport or non-2xx/404 responses
 	QPS         float64
 	Latency     RTTStats // per-query HTTP round trip
+
+	// Compressed-store occupancy after the run (Compress only).
+	Chunks         int
+	BytesPerSample float64
 }
 
 // TSDBLoad measures the time-series store under combined load: dummy
 // agents stream MAC reports at 1 ms into a monitor that appends every
 // UE field to the store, while `readers` concurrent HTTP clients issue
 // windowed queries against the observability /tsdb endpoints for d.
-// This is the flexric-bench `tsdbload` subcommand.
-func TSDBLoad(agents, readers int, d time.Duration) (*TSDBLoadResult, error) {
+// With compress, the store runs in chunk-compression mode (smaller
+// write head so seals actually happen at experiment timescales) and the
+// result reports the chunk count and compressed bytes/sample. This is
+// the flexric-bench `tsdbload` subcommand.
+func TSDBLoad(agents, readers int, d time.Duration, compress bool) (*TSDBLoadResult, error) {
 	const ues = 8
-	res := &TSDBLoadResult{Agents: agents, UEs: ues, Readers: readers, Duration: d}
+	res := &TSDBLoadResult{Agents: agents, UEs: ues, Readers: readers, Compress: compress, Duration: d}
 
-	store := tsdb.New(tsdb.Config{Capacity: 2048})
+	cfg := tsdb.Config{Capacity: 2048}
+	if compress {
+		cfg = tsdb.Config{Capacity: 256, Compress: true}
+	}
+	store := tsdb.New(cfg)
 	srv, addr, err := StartServer(e2ap.SchemeFB)
 	if err != nil {
 		return nil, err
@@ -146,6 +158,11 @@ func TSDBLoad(agents, readers int, d time.Duration) (*TSDBLoadResult, error) {
 		all = append(all, l...)
 	}
 	res.Latency = summarize(all)
+	if compress {
+		st := store.Stats()
+		res.Chunks = st.Chunks
+		res.BytesPerSample = st.BytesPerSample
+	}
 	if res.Queries == 0 {
 		return nil, fmt.Errorf("no query succeeded (misses=%d errors=%d)", res.Misses, res.Errors)
 	}
@@ -166,8 +183,17 @@ func (r *TSDBLoadResult) String() string {
 		fmt.Sprintf("%d", r.Misses),
 		fmt.Sprintf("%d", r.Errors),
 	}}
-	return fmt.Sprintf("tsdbload — windowed queries vs live ingest, %d agents x %d UEs @1ms, %v\n",
-		r.Agents, r.UEs, r.Duration) +
+	mode := ""
+	if r.Compress {
+		mode = " (compressed)"
+	}
+	out := fmt.Sprintf("tsdbload — windowed queries vs live ingest%s, %d agents x %d UEs @1ms, %v\n",
+		mode, r.Agents, r.UEs, r.Duration) +
 		Table([]string{"agents", "readers", "series", "ingested", "qps",
 			"mean µs", "p50 µs", "p95 µs", "404s", "errs"}, rows)
+	if r.Compress {
+		out += fmt.Sprintf("store: %d sealed chunks, %.2f bytes/sample compressed (16 raw)\n",
+			r.Chunks, r.BytesPerSample)
+	}
+	return out
 }

@@ -13,6 +13,7 @@
 //	GET /traces?limit=N   most recent N traces as JSON span trees
 //	GET /tsdb/series      live time-series inventory (WithTSDB only)
 //	GET /tsdb/query       samples / windowed aggregates (WithTSDB only)
+//	GET /tsdb/stats       store occupancy & compression stats (WithTSDB only)
 //	GET /debug/pprof/     standard pprof index (profile, heap, trace, ...)
 package obs
 
@@ -39,8 +40,8 @@ type options struct {
 	store *tsdb.Store
 }
 
-// WithTSDB mounts the /tsdb/series and /tsdb/query endpoints over the
-// given store.
+// WithTSDB mounts the /tsdb/series, /tsdb/query, and /tsdb/stats
+// endpoints over the given store.
 func WithTSDB(st *tsdb.Store) Option {
 	return func(o *options) { o.store = st }
 }
@@ -62,6 +63,7 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 	if o.store != nil {
 		mux.HandleFunc("/tsdb/series", handleTSDBSeries(o.store))
 		mux.HandleFunc("/tsdb/query", handleTSDBQuery(o.store))
+		mux.HandleFunc("/tsdb/stats", handleTSDBStats(o.store))
 	}
 	// pprof registers on the default mux only; re-mount explicitly so a
 	// custom mux works and nothing else leaks in.

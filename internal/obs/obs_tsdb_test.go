@@ -150,3 +150,39 @@ func TestTSDBEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestTSDBStatsEndpoint drives /tsdb/stats over a compressed store:
+// the occupancy summary must report sealed chunks and a compression
+// ratio, and track the store's own Stats() exactly.
+func TestTSDBStatsEndpoint(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 128, Compress: true})
+	k := tsdb.SeriesKey{Agent: 1, Fn: sm.IDMACStats, UE: 1, Field: tsdb.FieldTxBytes}
+	v := 0.0
+	for i := 0; i < 1000; i++ {
+		v += 1500
+		st.Append(k, int64(i)*int64(time.Millisecond), v)
+	}
+	st.AppendRaw(1, sm.IDMACStats, 0, []byte("payload"))
+	s, err := obs.NewServer("127.0.0.1:0", obs.WithTSDB(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var got tsdb.Stats
+	if code := getJSON(t, "http://"+s.Addr()+"/tsdb/stats", &got); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if got != st.Stats() {
+		t.Fatalf("endpoint stats %+v != store stats %+v", got, st.Stats())
+	}
+	if got.Series != 1 || got.Chunks == 0 || got.ChunkSamples == 0 {
+		t.Fatalf("occupancy: %+v", got)
+	}
+	if got.BytesPerSample <= 0 || got.BytesPerSample > 2 {
+		t.Fatalf("bytes/sample = %v, want (0, 2] on a counter series", got.BytesPerSample)
+	}
+	if got.RawPayloads != 1 || got.RawPayloadBytes != len("payload") {
+		t.Fatalf("raw archive: %+v", got)
+	}
+}

@@ -65,6 +65,18 @@ func handleTSDBSeries(st *tsdb.Store) http.HandlerFunc {
 	}
 }
 
+// handleTSDBStats serves GET /tsdb/stats: the store-wide occupancy and
+// compression-efficiency summary (series/chunk counts, bytes per
+// compressed sample, tier occupancy, raw-archive size).
+func handleTSDBStats(st *tsdb.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := trace.StartRoot("obs.tsdb.stats")
+		defer sp.End()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st.Stats())
+	}
+}
+
 // queryResponse is the /tsdb/query envelope; exactly one of the result
 // fields is set, matching the query mode.
 type queryResponse struct {

@@ -3,6 +3,7 @@ package tsdb
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // BenchmarkTSDBAppend is the steady-state ingest path: the series exists
@@ -77,6 +78,124 @@ func BenchmarkTSDBAggregate(b *testing.B) {
 		s.Aggregate(k, 0, math.MaxInt64)
 	}
 }
+
+// counterSeries fills ts/vs with a counter-like shape: a tx_bytes-style
+// monotone series ticking every 1 ms and growing ~1500 B per report —
+// the shape the ≤2 bytes/sample compression target is specified on.
+func counterSeries(n int) (ts []int64, vs []float64) {
+	ts = make([]int64, n)
+	vs = make([]float64, n)
+	t, v := int64(0), 0.0
+	for i := 0; i < n; i++ {
+		t += int64(time.Millisecond)
+		v += 1500
+		ts[i] = t
+		vs[i] = v
+	}
+	return ts, vs
+}
+
+// BenchmarkTSDBCompressedAppend is the ingest path with Compress on:
+// identical to BenchmarkTSDBAppend except every Capacity-th append
+// seals the ring into a chunk, so the cost shown is the amortized
+// append + seal. Allocations here are the amortized chunk allocations;
+// the uncompressed fast path keeps its own ≤1 alloc/op gate.
+func BenchmarkTSDBCompressedAppend(b *testing.B) {
+	s := New(Config{Capacity: 4096, Compress: true, MaxChunks: 1 << 20})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 3, Field: FieldTxBytes}
+	s.Append(k, 0, 0)
+	ts, v := int64(0), 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts += int64(time.Millisecond)
+		v += 1500
+		s.Append(k, ts, v)
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.ChunkSamples > 0 {
+		b.ReportMetric(st.BytesPerSample, "bytes/sample")
+	}
+}
+
+// BenchmarkTSDBChunkSeal is the seal operation in isolation: one op
+// compresses a full 4096-sample counter-like ring into a chunk. The
+// bytes/sample metric is the headline compression ratio (16 bytes raw).
+func BenchmarkTSDBChunkSeal(b *testing.B) {
+	const n = 4096
+	ts, vs := counterSeries(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ck *chunk
+	for i := 0; i < b.N; i++ {
+		var enc chunkEncoder
+		for j := 0; j < n; j++ {
+			enc.add(ts[j], vs[j])
+		}
+		ck = enc.seal()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ck.sizeBytes())/float64(ck.count), "bytes/sample")
+}
+
+// BenchmarkTSDBChunkDecode iterates one sealed 4096-sample chunk per op
+// — the unit cost a query pays per chunk it cannot skip on the header.
+func BenchmarkTSDBChunkDecode(b *testing.B) {
+	const n = 4096
+	ts, vs := counterSeries(n)
+	var enc chunkEncoder
+	for j := 0; j < n; j++ {
+		enc.add(ts[j], vs[j])
+	}
+	ck := enc.seal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := ck.iter()
+		for it.next() {
+		}
+	}
+}
+
+// BenchmarkTSDBCompressedWindowQuery is BenchmarkTSDBWindowQuery over a
+// compressed store: the same 10k samples and the same 10-bucket window,
+// but most samples live in sealed chunks and are decoded chunk-at-a-time
+// during the single query pass.
+func BenchmarkTSDBCompressedWindowQuery(b *testing.B) {
+	s := New(Config{Capacity: 1024, Compress: true, MaxChunks: 1 << 20})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldThroughputBps}
+	for i := 0; i < 10000; i++ {
+		s.Append(k, int64(i)*1e6, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Window(k, 0, 10000*1e6, 1e9)
+	}
+}
+
+// BenchmarkTSDBSnapshot serializes a 16-series compressed store per op.
+func BenchmarkTSDBSnapshot(b *testing.B) {
+	s := New(Config{Capacity: 1024, Compress: true})
+	ts, vs := counterSeries(8192)
+	for ue := 0; ue < 16; ue++ {
+		k := SeriesKey{Agent: 1, Fn: 142, UE: uint16(ue), Field: FieldTxBytes}
+		for i := range ts {
+			s.Append(k, ts[i], vs[i])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.WriteSnapshot(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // BenchmarkTSDBWindowQuery runs the 10-bucket windowed aggregate the
 // /tsdb/query endpoint serves, over a 10k-sample series.

@@ -1,0 +1,183 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCompressedQueryEquivalence is the semantic guarantee of the
+// compressed mode: as long as no data has left the raw domain (nothing
+// folded into tiers), every query — LastK, Range, Aggregate, Window —
+// returns results identical to an uncompressed store fed the same
+// samples. The compressed store uses a small write head so most of the
+// data lives in sealed chunks.
+func TestCompressedQueryEquivalence(t *testing.T) {
+	const n = 10000
+	raw := New(Config{Capacity: 16384})
+	comp := New(Config{Capacity: 512, Compress: true, MaxChunks: 1 << 20})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldThroughputBps}
+	rng := rand.New(rand.NewSource(7))
+	v := 100.0
+	for i := 0; i < n; i++ {
+		v += rng.NormFloat64() * 5
+		raw.Append(k, int64(i)*1e6, v)
+		comp.Append(k, int64(i)*1e6, v)
+	}
+
+	wantW := raw.Window(k, 0, n*1e6, 1e9)
+	gotW := comp.Window(k, 0, n*1e6, 1e9)
+	if !reflect.DeepEqual(wantW, gotW) {
+		t.Fatalf("Window diverges:\nraw:  %+v\ncomp: %+v", wantW[:2], gotW[:2])
+	}
+
+	wantA, ok1 := raw.Aggregate(k, 0, math.MaxInt64)
+	gotA, ok2 := comp.Aggregate(k, 0, math.MaxInt64)
+	if !ok1 || !ok2 || wantA != gotA {
+		t.Fatalf("Aggregate diverges:\nraw:  %+v\ncomp: %+v", wantA, gotA)
+	}
+
+	// Range restricted to a span that crosses several chunk boundaries.
+	wantR := raw.Range(k, 2500*1e6, 7500*1e6, nil)
+	gotR := comp.Range(k, 2500*1e6, 7500*1e6, nil)
+	if !reflect.DeepEqual(wantR, gotR) {
+		t.Fatalf("Range diverges: %d vs %d samples", len(wantR), len(gotR))
+	}
+
+	// LastK within the write head, and LastK deep enough to need chunk
+	// decompression (2000 > the 512-sample head).
+	for _, count := range []int{8, 512, 2000, n + 50} {
+		wantL := raw.LastK(k, count, nil)
+		gotL := comp.LastK(k, count, nil)
+		if !reflect.DeepEqual(wantL, gotL) {
+			t.Fatalf("LastK(%d) diverges: %d vs %d samples", count, len(wantL), len(gotL))
+		}
+	}
+}
+
+// TestChunkRetentionFoldsToTiers checks the retention ladder: when the
+// chunk chain exceeds MaxChunks the oldest chunk folds into the 1 s
+// tier instead of being deleted, so a whole-range aggregate still
+// accounts for every appended sample.
+func TestChunkRetentionFoldsToTiers(t *testing.T) {
+	const n = 10000
+	s := New(Config{Capacity: 64, Compress: true, MaxChunks: 2})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes}
+	for i := 0; i < n; i++ {
+		s.Append(k, int64(i)*int64(time.Millisecond), 1.0)
+	}
+	st := s.Stats()
+	if st.Chunks > 2 {
+		t.Fatalf("chunk chain %d exceeds MaxChunks 2", st.Chunks)
+	}
+	if st.Tier1.Buckets == 0 {
+		t.Fatal("nothing folded into tier 1")
+	}
+	agg, ok := s.Aggregate(k, 0, math.MaxInt64)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	// Every sample is retained somewhere: head + chunks + tier buckets.
+	if agg.Count != n {
+		t.Fatalf("aggregate count %d, want %d (samples lost in retention)", agg.Count, n)
+	}
+	if agg.Min != 1 || agg.Max != 1 || agg.Mean != 1 {
+		t.Fatalf("constant series aggregate: %+v", agg)
+	}
+}
+
+// TestAgeRetentionCompressSealsAndFolds checks MaxAge semantics under
+// compression: aging data is sealed out of the write head and folded
+// into tiers rather than deleted (the uncompressed mode deletes), so
+// history shrinks in resolution, not in coverage.
+func TestAgeRetentionCompressSealsAndFolds(t *testing.T) {
+	const n = 5000
+	s := New(Config{Capacity: 1024, Compress: true, MaxAge: time.Second})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes}
+	for i := 0; i < n; i++ {
+		s.Append(k, int64(i)*int64(time.Millisecond), float64(i))
+	}
+	agg, ok := s.Aggregate(k, 0, math.MaxInt64)
+	if !ok || agg.Count != n {
+		t.Fatalf("aggregate count %d, want %d", agg.Count, n)
+	}
+	// The raw domain (Range) is bounded by MaxAge + head slack, far less
+	// than the full history; the rest is tier summaries.
+	rawSamples := s.Range(k, 0, math.MaxInt64, nil)
+	if len(rawSamples) == n {
+		t.Fatal("age retention kept everything raw")
+	}
+	if len(rawSamples) == 0 {
+		t.Fatal("age retention deleted the raw window")
+	}
+	info := s.List(-1, 0)
+	if len(info) != 1 || info[0].TierSamples == 0 {
+		t.Fatalf("expected tier occupancy, got %+v", info)
+	}
+}
+
+// TestTierBucketFolding exercises the tier ring directly: same-bucket
+// merging, eviction into the next tier, and the final drop.
+func TestTierBucketFolding(t *testing.T) {
+	t2 := newTier(tier2Width, 2, nil)
+	t1 := newTier(tier1Width, 2, t2)
+	// Two samples in the same 1 s bucket merge.
+	t1.foldSample(100e6, 5)
+	t1.foldSample(900e6, 7)
+	if t1.n != 1 || t1.count[0] != 2 || t1.min[0] != 5 || t1.max[0] != 7 || t1.sum[0] != 12 {
+		t.Fatalf("same-bucket merge: n=%d count=%v min=%v max=%v sum=%v",
+			t1.n, t1.count[:1], t1.min[:1], t1.max[:1], t1.sum[:1])
+	}
+	// Two more buckets: the ring (cap 2) evicts the oldest into t2.
+	t1.foldSample(1_100e6, 1)
+	t1.foldSample(2_100e6, 9)
+	if t1.n != 2 {
+		t.Fatalf("t1 occupancy %d, want 2", t1.n)
+	}
+	if t2.n != 1 || t2.count[0] != 2 || t2.sum[0] != 12 {
+		t.Fatalf("evicted bucket not in t2: n=%d", t2.n)
+	}
+	if got := t1.samples() + t2.samples(); got != 4 {
+		t.Fatalf("sample conservation: %d, want 4", got)
+	}
+	// Bucket-start alignment at negative timestamps floors toward -inf.
+	if got := t1.bucketStart(-1); got != -tier1Width {
+		t.Fatalf("bucketStart(-1) = %d, want %d", got, -tier1Width)
+	}
+	if got := t1.bucketStart(-tier1Width); got != -tier1Width {
+		t.Fatalf("bucketStart(-width) = %d, want %d", got, -tier1Width)
+	}
+}
+
+// TestCompressedSeriesInfo checks the List metadata over a compressed
+// series: Count spans head+chunks, OldestTS reaches back into the
+// oldest chunk, and the chunk/tier occupancy fields are populated.
+func TestCompressedSeriesInfo(t *testing.T) {
+	s := New(Config{Capacity: 128, Compress: true, MaxChunks: 4})
+	k := SeriesKey{Agent: 9, Fn: 143, UE: 2, Field: FieldRxBytes}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Append(k, int64(i)*1e6, float64(i))
+	}
+	infos := s.List(9, 143)
+	if len(infos) != 1 {
+		t.Fatalf("%d series listed", len(infos))
+	}
+	info := infos[0]
+	if info.Chunks == 0 {
+		t.Fatal("no chunks reported")
+	}
+	if info.NewestTS != (n-1)*1e6 {
+		t.Fatalf("NewestTS = %d", info.NewestTS)
+	}
+	if info.OldestTS >= info.NewestTS {
+		t.Fatalf("OldestTS = %d not older than newest", info.OldestTS)
+	}
+	// 1000 samples, head 128, MaxChunks 4: some folded to tiers; the
+	// retained raw count is head + chunk samples.
+	if info.Count <= 128 {
+		t.Fatalf("Count = %d, want > head capacity", info.Count)
+	}
+}

@@ -10,6 +10,13 @@ import (
 // Agg summarizes the samples of one series over a time range: the
 // windowed-aggregate unit control loops consume instead of single
 // latest reports.
+//
+// Over compressed series a range may be served partly or wholly from
+// downsampling tiers (count/min/max/sum buckets). Count, Min, Max and
+// Mean merge exactly across raw and tier data. RatePerS and the
+// percentiles need raw samples: with none in range, RatePerS is 0 and
+// the percentiles degrade to the documented approximation (P50 = Mean,
+// P95 = P99 = Max). See docs/TSDB.md.
 type Agg struct {
 	Count int     `json:"count"`
 	Min   float64 `json:"min"`
@@ -33,13 +40,18 @@ type Bucket struct {
 	Agg    Agg   `json:"agg"`
 }
 
-// SeriesInfo describes one live series for enumeration.
+// SeriesInfo describes one live series for enumeration. Count is the
+// raw retained sample count (write head + sealed chunks); Chunks and
+// TierSamples report the compressed-side occupancy (both zero on
+// uncompressed stores).
 type SeriesInfo struct {
-	Key      SeriesKey `json:"key"`
-	Field    string    `json:"field"`
-	Count    int       `json:"count"`
-	OldestTS int64     `json:"oldest_ts"`
-	NewestTS int64     `json:"newest_ts"`
+	Key         SeriesKey `json:"key"`
+	Field       string    `json:"field"`
+	Count       int       `json:"count"`
+	Chunks      int       `json:"chunks,omitempty"`
+	TierSamples int       `json:"tier_samples,omitempty"`
+	OldestTS    int64     `json:"oldest_ts"`
+	NewestTS    int64     `json:"newest_ts"`
 }
 
 // lookup returns the series for k, or nil.
@@ -51,9 +63,128 @@ func (s *Store) lookup(k SeriesKey) *series {
 	return se
 }
 
+// aggState accumulates one Agg from raw samples and tier buckets,
+// visited oldest-first. It reproduces the pre-compression aggregation
+// exactly when fed only samples (the golden windowed-aggregate test
+// pins this), and merges tier summaries losslessly for
+// count/min/max/mean.
+type aggState struct {
+	agg  Agg
+	vals []float64 // raw sample values, for the percentile sort
+	// First/last raw sample, in visit order, for the counter rate.
+	rawN                  int
+	firstRawTS, lastRawTS int64
+	firstV, lastV         float64
+}
+
+func (a *aggState) addSample(ts int64, v float64) {
+	if a.agg.Count == 0 {
+		a.agg.Min, a.agg.Max = v, v
+		a.agg.FirstTS = ts
+	} else {
+		if v < a.agg.Min {
+			a.agg.Min = v
+		}
+		if v > a.agg.Max {
+			a.agg.Max = v
+		}
+	}
+	a.agg.LastTS = ts
+	a.agg.Mean += v // sum until finish
+	a.agg.Count++
+	a.vals = append(a.vals, v)
+	if a.rawN == 0 {
+		a.firstRawTS, a.firstV = ts, v
+	}
+	a.lastRawTS, a.lastV = ts, v
+	a.rawN++
+}
+
+func (a *aggState) addBucket(start int64, count uint32, min, max, sum float64) {
+	if count == 0 {
+		return
+	}
+	if a.agg.Count == 0 {
+		a.agg.Min, a.agg.Max = min, max
+		a.agg.FirstTS = start
+	} else {
+		if min < a.agg.Min {
+			a.agg.Min = min
+		}
+		if max > a.agg.Max {
+			a.agg.Max = max
+		}
+	}
+	a.agg.LastTS = start
+	a.agg.Mean += sum
+	a.agg.Count += int(count)
+}
+
+func (a *aggState) finish() (Agg, bool) {
+	if a.agg.Count == 0 {
+		return Agg{}, false
+	}
+	a.agg.Mean /= float64(a.agg.Count)
+	if a.rawN > 0 {
+		if dt := a.lastRawTS - a.firstRawTS; dt > 0 {
+			a.agg.RatePerS = (a.lastV - a.firstV) / (float64(dt) / 1e9)
+		}
+		sort.Float64s(a.vals)
+		a.agg.P50 = metrics.PercentileFloats(a.vals, 50)
+		a.agg.P95 = metrics.PercentileFloats(a.vals, 95)
+		a.agg.P99 = metrics.PercentileFloats(a.vals, 99)
+	} else {
+		// Tier-only range: order statistics are not recoverable from
+		// count/min/max/sum summaries. Documented approximation.
+		a.agg.P50 = a.agg.Mean
+		a.agg.P95 = a.agg.Max
+		a.agg.P99 = a.agg.Max
+	}
+	return a.agg, true
+}
+
+// visitLocked walks the series' retained data in time order — tier-2
+// buckets, tier-1 buckets, sealed chunks (chunk-at-a-time: blocks
+// entirely outside [from, to] are skipped on their headers without
+// decompression), then the write head — restricted to [from, to]
+// inclusive. Tier summaries go to bucket (nil skips tiers), raw
+// samples to sample. Caller holds se.mu.
+func (se *series) visitLocked(from, to int64, bucket func(start int64, count uint32, min, max, sum float64), sample func(ts int64, v float64)) {
+	if bucket != nil {
+		if se.t2 != nil {
+			se.t2.visit(from, to, bucket)
+		}
+		if se.t1 != nil {
+			se.t1.visit(from, to, bucket)
+		}
+	}
+	for _, ck := range se.chunks {
+		if ck.lastTS < from || ck.firstTS > to {
+			continue
+		}
+		it := ck.iter()
+		for it.next() {
+			if it.ts < from || it.ts > to {
+				continue
+			}
+			sample(it.ts, it.v)
+		}
+	}
+	c := len(se.ts)
+	for i := 0; i < se.n; i++ {
+		j := (se.head + i) % c
+		if se.ts[j] < from || se.ts[j] > to {
+			continue
+		}
+		sample(se.ts[j], se.vs[j])
+	}
+}
+
 // LastK appends the newest k samples of the series (oldest first) to
 // dst and returns it. A nil dst allocates; callers polling repeatedly
-// reuse their slice to stay allocation-free.
+// reuse their slice to stay allocation-free. On compressed series a k
+// larger than the write head decompresses the newest chunks to serve
+// the tail; tiers never contribute (they hold summaries, not samples).
 func (s *Store) LastK(k SeriesKey, count int, dst []Sample) []Sample {
 	defer observeQuery(time.Now())
 	se := s.lookup(k)
@@ -62,11 +193,36 @@ func (s *Store) LastK(k SeriesKey, count int, dst []Sample) []Sample {
 	}
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	dst = dst[:0]
+	need := count - se.n
+	if need > 0 && len(se.chunks) > 0 {
+		// Walk the chain backwards to find the oldest chunk we need,
+		// then decompress forward, skipping the surplus prefix.
+		total := 0
+		first := len(se.chunks)
+		for first > 0 && total < need {
+			first--
+			total += se.chunks[first].count
+		}
+		skip := total - need
+		if skip < 0 {
+			skip = 0
+		}
+		for _, ck := range se.chunks[first:] {
+			it := ck.iter()
+			for it.next() {
+				if skip > 0 {
+					skip--
+					continue
+				}
+				dst = append(dst, Sample{TS: it.ts, V: it.v})
+			}
+		}
+	}
 	if count > se.n {
 		count = se.n
 	}
 	c := len(se.ts)
-	dst = dst[:0]
 	for i := se.n - count; i < se.n; i++ {
 		j := (se.head + i) % c
 		dst = append(dst, Sample{TS: se.ts[j], V: se.vs[j]})
@@ -74,8 +230,10 @@ func (s *Store) LastK(k SeriesKey, count int, dst []Sample) []Sample {
 	return dst
 }
 
-// Range appends the samples with from ≤ TS ≤ to (oldest first) to dst
-// and returns it.
+// Range appends the raw samples with from ≤ TS ≤ to (oldest first) to
+// dst and returns it. Samples already folded into tiers are summaries,
+// not samples, and are not returned — use Aggregate or Window to read
+// that far back.
 func (s *Store) Range(k SeriesKey, from, to int64, dst []Sample) []Sample {
 	defer observeQuery(time.Now())
 	dst = dst[:0]
@@ -85,79 +243,37 @@ func (s *Store) Range(k SeriesKey, from, to int64, dst []Sample) []Sample {
 	}
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	c := len(se.ts)
-	for i := 0; i < se.n; i++ {
-		j := (se.head + i) % c
-		if se.ts[j] < from || se.ts[j] > to {
-			continue
-		}
-		dst = append(dst, Sample{TS: se.ts[j], V: se.vs[j]})
-	}
+	se.visitLocked(from, to, nil, func(ts int64, v float64) {
+		dst = append(dst, Sample{TS: ts, V: v})
+	})
 	return dst
 }
 
 // Aggregate computes the windowed aggregate of one series over
-// [from, to]. ok is false when no sample falls in the range.
+// [from, to], merging tier summaries, decompressed chunks, and the
+// write head. ok is false when nothing falls in the range.
 func (s *Store) Aggregate(k SeriesKey, from, to int64) (Agg, bool) {
 	defer observeQuery(time.Now())
 	se := s.lookup(k)
 	if se == nil {
 		return Agg{}, false
 	}
+	var st aggState
 	se.mu.Lock()
-	agg, _, ok := se.aggregateLocked(from, to, nil)
+	se.visitLocked(from, to, st.addBucket, st.addSample)
 	se.mu.Unlock()
-	return agg, ok
-}
-
-// aggregateLocked computes the aggregate over [from, to] using scratch
-// for the percentile sort, returning the (possibly grown) scratch for
-// reuse across windows. Caller holds se.mu.
-func (se *series) aggregateLocked(from, to int64, scratch []float64) (Agg, []float64, bool) {
-	c := len(se.ts)
-	vals := scratch[:0]
-	var agg Agg
-	for i := 0; i < se.n; i++ {
-		j := (se.head + i) % c
-		ts, v := se.ts[j], se.vs[j]
-		if ts < from || ts > to {
-			continue
-		}
-		if agg.Count == 0 {
-			agg.Min, agg.Max = v, v
-			agg.FirstTS = ts
-		} else {
-			if v < agg.Min {
-				agg.Min = v
-			}
-			if v > agg.Max {
-				agg.Max = v
-			}
-		}
-		agg.LastTS = ts
-		agg.Mean += v // sum for now
-		agg.Count++
-		vals = append(vals, v)
-	}
-	if agg.Count == 0 {
-		return Agg{}, vals, false
-	}
-	first, last := vals[0], vals[len(vals)-1]
-	agg.Mean /= float64(agg.Count)
-	if dt := agg.LastTS - agg.FirstTS; dt > 0 {
-		agg.RatePerS = (last - first) / (float64(dt) / 1e9)
-	}
-	sort.Float64s(vals)
-	agg.P50 = metrics.PercentileFloats(vals, 50)
-	agg.P95 = metrics.PercentileFloats(vals, 95)
-	agg.P99 = metrics.PercentileFloats(vals, 99)
-	return agg, vals, true
+	return st.finish()
 }
 
 // Window slices [from, to) into fixed step-width buckets and aggregates
 // each; buckets with no samples are returned with a zero Agg so the
 // series of buckets is continuous. step must be positive; the number of
 // buckets is capped at 4096 to bound response sizes.
+//
+// The implementation is a single pass over the retained data — each
+// sample (or tier bucket) is dispatched to its window as it is visited
+// — rather than one scan per window, so cost is O(samples + windows),
+// not O(samples × windows).
 func (s *Store) Window(k SeriesKey, from, to, step int64) []Bucket {
 	defer observeQuery(time.Now())
 	if step <= 0 || to <= from {
@@ -169,26 +285,27 @@ func (s *Store) Window(k SeriesKey, from, to, step int64) []Bucket {
 		nb = maxBuckets
 		to = from + nb*step
 	}
-	out := make([]Bucket, 0, nb)
-	se := s.lookup(k)
-	var scratch []float64
+	states := make([]aggState, nb)
+	if se := s.lookup(k); se != nil {
+		se.mu.Lock()
+		se.visitLocked(from, to-1, func(start int64, count uint32, min, max, sum float64) {
+			states[(start-from)/step].addBucket(start, count, min, max, sum)
+		}, func(ts int64, v float64) {
+			states[(ts-from)/step].addSample(ts, v)
+		})
+		se.mu.Unlock()
+	}
+	out := make([]Bucket, nb)
 	for b := int64(0); b < nb; b++ {
 		lo := from + b*step
-		hi := lo + step - 1 // inclusive range per bucket
-		if hi >= to {
-			hi = to - 1
+		hi := lo + step
+		if hi > to {
+			hi = to
 		}
-		bk := Bucket{FromTS: lo, ToTS: hi + 1}
-		if se != nil {
-			se.mu.Lock()
-			agg, grown, ok := se.aggregateLocked(lo, hi, scratch)
-			se.mu.Unlock()
-			scratch = grown
-			if ok {
-				bk.Agg = agg
-			}
+		out[b] = Bucket{FromTS: lo, ToTS: hi}
+		if agg, ok := states[b].finish(); ok {
+			out[b].Agg = agg
 		}
-		out = append(out, bk)
 	}
 	return out
 }
@@ -210,11 +327,25 @@ func (s *Store) List(agent int64, fn uint16) []SeriesInfo {
 				continue
 			}
 			se.mu.Lock()
-			info := SeriesInfo{Key: k, Field: k.Field.String(), Count: se.n}
-			if se.n > 0 {
-				c := len(se.ts)
+			info := SeriesInfo{
+				Key:    k,
+				Field:  k.Field.String(),
+				Count:  se.n + se.chunkSamples(),
+				Chunks: len(se.chunks),
+			}
+			if se.t1 != nil {
+				info.TierSamples = se.t1.samples() + se.t2.samples()
+			}
+			switch {
+			case len(se.chunks) > 0:
+				info.OldestTS = se.chunks[0].firstTS
+			case se.n > 0:
 				info.OldestTS = se.ts[se.head]
-				info.NewestTS = se.ts[(se.head+se.n-1)%c]
+			}
+			if se.n > 0 {
+				info.NewestTS = se.ts[(se.head+se.n-1)%len(se.ts)]
+			} else if nc := len(se.chunks); nc > 0 {
+				info.NewestTS = se.chunks[nc-1].lastTS
 			}
 			se.mu.Unlock()
 			out = append(out, info)

@@ -1,0 +1,241 @@
+package tsdb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// populate fills a store with a realistic mixed workload: two agents,
+// counter and gauge series, enough volume to cross head/chunk/tier
+// domains under the given config.
+func populate(s *Store, n int) {
+	rng := rand.New(rand.NewSource(42))
+	keys := []SeriesKey{
+		{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes},
+		{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI},
+		{Agent: 1, Fn: 143, UE: 2, Field: FieldRxBytes},
+		{Agent: 2, Fn: 144, UE: 1, Field: FieldSojournMS},
+	}
+	ctr := make([]float64, len(keys))
+	for i := 0; i < n; i++ {
+		ts := int64(i) * int64(time.Millisecond)
+		for j, k := range keys {
+			switch j {
+			case 1: // gauge
+				s.Append(k, ts, float64(rng.Intn(16)))
+			default: // counters at different rates
+				ctr[j] += float64(300 * (j + 1))
+				s.Append(k, ts, ctr[j])
+			}
+		}
+	}
+}
+
+// TestSnapshotRestartWindowedAggregates is the kill-and-restart golden
+// test from the issue: write a snapshot, load it into a fresh store
+// (simulating a controller restart), and require windowed queries to
+// return identical aggregates — buckets, percentiles, rates, and all.
+func TestSnapshotRestartWindowedAggregates(t *testing.T) {
+	cfg := Config{Capacity: 256, Compress: true, MaxChunks: 4}
+	before := New(cfg)
+	populate(before, 8000)
+	path := filepath.Join(t.TempDir(), "tsdb.snap")
+	if err := before.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	after := New(cfg) // the restarted controller
+	if err := after.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after.NumSeries(), before.NumSeries(); got != want {
+		t.Fatalf("restored %d series, want %d", got, want)
+	}
+	for _, k := range []SeriesKey{
+		{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes},
+		{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI},
+		{Agent: 2, Fn: 144, UE: 1, Field: FieldSojournMS},
+	} {
+		wantW := before.Window(k, 0, 8000*int64(time.Millisecond), int64(time.Second))
+		gotW := after.Window(k, 0, 8000*int64(time.Millisecond), int64(time.Second))
+		if !reflect.DeepEqual(wantW, gotW) {
+			t.Fatalf("%v: windowed aggregates diverge after restore", k)
+		}
+		wantA, ok1 := before.Aggregate(k, 0, math.MaxInt64)
+		gotA, ok2 := after.Aggregate(k, 0, math.MaxInt64)
+		if !ok1 || !ok2 || wantA != gotA {
+			t.Fatalf("%v: aggregate diverges after restore:\nbefore: %+v\nafter:  %+v", k, wantA, gotA)
+		}
+		if !reflect.DeepEqual(before.LastK(k, 500, nil), after.LastK(k, 500, nil)) {
+			t.Fatalf("%v: LastK diverges after restore", k)
+		}
+	}
+	// Occupancy carried over exactly.
+	if b, a := before.Stats(), after.Stats(); b != a {
+		t.Fatalf("stats diverge:\nbefore: %+v\nafter:  %+v", b, a)
+	}
+	// The restored store keeps working: appends land after the restored
+	// history.
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes}
+	after.Append(k, 9000*int64(time.Millisecond), 1e9)
+	agg, ok := after.Aggregate(k, 8500*int64(time.Millisecond), math.MaxInt64)
+	if !ok || agg.Count != 1 {
+		t.Fatalf("append after restore: %+v ok=%v", agg, ok)
+	}
+}
+
+// TestSnapshotUncompressedStore round-trips the plain overwrite-ring
+// mode (no chunks, no tiers) through the same format.
+func TestSnapshotUncompressedStore(t *testing.T) {
+	cfg := Config{Capacity: 512}
+	before := New(cfg)
+	populate(before, 2000)
+	var buf bytes.Buffer
+	if _, err := before.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := New(cfg)
+	if err := after.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k := SeriesKey{Agent: 1, Fn: 143, UE: 2, Field: FieldRxBytes}
+	if !reflect.DeepEqual(before.LastK(k, 512, nil), after.LastK(k, 512, nil)) {
+		t.Fatal("ring contents diverge after restore")
+	}
+}
+
+// TestSnapshotHeader pins the on-disk magic and version so the format
+// cannot change silently (bump snapshotVersion deliberately instead).
+func TestSnapshotHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(Config{}).WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 9 {
+		t.Fatalf("snapshot only %d bytes", len(b))
+	}
+	if string(b[:4]) != "FXTS" {
+		t.Fatalf("magic = %q", b[:4])
+	}
+	if b[4] != 1 {
+		t.Fatalf("version = %d", b[4])
+	}
+}
+
+// TestSnapshotCorruption checks every tamper mode fails closed with
+// ErrSnapshotFormat and leaves the target store empty.
+func TestSnapshotCorruption(t *testing.T) {
+	src := New(Config{Capacity: 128, Compress: true})
+	populate(src, 1000)
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	tamper := map[string][]byte{
+		"bad-magic":    append([]byte("NOPE"), good[4:]...),
+		"bad-version":  append(append(append([]byte{}, good[:4]...), 99), good[5:]...),
+		"truncated":    good[:len(good)/2],
+		"flipped-byte": flipByte(good, len(good)/2),
+		"flipped-crc":  flipByte(good, len(good)-1),
+		"empty":        {},
+	}
+	for name, data := range tamper {
+		t.Run(name, func(t *testing.T) {
+			dst := New(Config{Capacity: 128, Compress: true})
+			err := dst.ReadSnapshot(bytes.NewReader(data))
+			if !errors.Is(err, ErrSnapshotFormat) {
+				t.Fatalf("err = %v, want ErrSnapshotFormat", err)
+			}
+			if dst.NumSeries() != 0 {
+				t.Fatal("corrupt snapshot published series")
+			}
+		})
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0xff
+	return out
+}
+
+// TestSnapshotLoadMissingFile: a fresh deployment has no snapshot yet;
+// that is a clean start, not an error.
+func TestSnapshotLoadMissingFile(t *testing.T) {
+	s := New(Config{})
+	if err := s.LoadFile(filepath.Join(t.TempDir(), "absent.snap")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotHeadOverflowClamps loads a snapshot whose write head is
+// larger than the target store's Capacity: the newest samples win.
+func TestSnapshotHeadOverflowClamps(t *testing.T) {
+	big := New(Config{Capacity: 1024})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldCQI}
+	for i := 0; i < 1000; i++ {
+		big.Append(k, int64(i), float64(i))
+	}
+	var buf bytes.Buffer
+	if _, err := big.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := New(Config{Capacity: 64})
+	if err := small.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := small.LastK(k, 1024, nil)
+	if len(got) != 64 {
+		t.Fatalf("clamped head has %d samples, want 64", len(got))
+	}
+	if got[len(got)-1].TS != 999 || got[0].TS != 999-63 {
+		t.Fatalf("kept span [%d,%d], want the newest 64", got[0].TS, got[len(got)-1].TS)
+	}
+}
+
+// TestSnapshotEvery drives the periodic writer: the file appears within
+// an interval, and closing stop produces a final consistent snapshot.
+func TestSnapshotEvery(t *testing.T) {
+	s := New(Config{Capacity: 128, Compress: true})
+	populate(s, 500)
+	path := filepath.Join(t.TempDir(), "periodic.snap")
+	stop := make(chan struct{})
+	done := s.SnapshotEvery(path, 10*time.Millisecond, stop, func(err error) { t.Error(err) })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never written")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	populate(s, 600) // more data before shutdown
+	close(stop)
+	<-done
+	restored := New(Config{Capacity: 128, Compress: true})
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.NumSeries(), s.NumSeries(); got != want {
+		t.Fatalf("final snapshot has %d series, want %d", got, want)
+	}
+	// The final write happened after stop, so it includes the late data.
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 1, Field: FieldTxBytes}
+	a, ok1 := s.Aggregate(k, 0, math.MaxInt64)
+	b, ok2 := restored.Aggregate(k, 0, math.MaxInt64)
+	if !ok1 || !ok2 || a != b {
+		t.Fatalf("final snapshot stale:\nlive:     %+v\nrestored: %+v", a, b)
+	}
+}

@@ -10,21 +10,37 @@ import (
 // primitive pointers so the hot path never touches the registry. All
 // of it compiles to no-ops under -tags notelemetry.
 var tel = struct {
-	appends     *telemetry.Counter
-	overwritten *telemetry.Counter
-	evictions   *telemetry.Counter
-	rawBytes    *telemetry.Counter
-	queries     *telemetry.Counter
-	series      *telemetry.Gauge
-	queryLat    *telemetry.Histogram
+	appends      *telemetry.Counter
+	overwritten  *telemetry.Counter
+	evictions    *telemetry.Counter
+	rawBytes     *telemetry.Counter
+	queries      *telemetry.Counter
+	series       *telemetry.Gauge
+	queryLat     *telemetry.Histogram
+	chunksSealed *telemetry.Counter
+	chunkBytes   *telemetry.Counter
+	tierFolds    *telemetry.Counter
+	tierDrops    *telemetry.Counter
+	snapWrites   *telemetry.Counter
+	snapLoads    *telemetry.Counter
+	snapBytes    *telemetry.Counter
+	sealLat      *telemetry.Histogram
 }{
-	appends:     telemetry.NewCounter("tsdb.appends"),
-	overwritten: telemetry.NewCounter("tsdb.samples_overwritten"),
-	evictions:   telemetry.NewCounter("tsdb.series_evicted"),
-	rawBytes:    telemetry.NewCounter("tsdb.raw_bytes"),
-	queries:     telemetry.NewCounter("tsdb.queries"),
-	series:      telemetry.NewGauge("tsdb.series"),
-	queryLat:    telemetry.NewHistogram("tsdb.query_latency"),
+	appends:      telemetry.NewCounter("tsdb.appends"),
+	overwritten:  telemetry.NewCounter("tsdb.samples_overwritten"),
+	evictions:    telemetry.NewCounter("tsdb.series_evicted"),
+	rawBytes:     telemetry.NewCounter("tsdb.raw_bytes"),
+	queries:      telemetry.NewCounter("tsdb.queries"),
+	series:       telemetry.NewGauge("tsdb.series"),
+	queryLat:     telemetry.NewHistogram("tsdb.query_latency"),
+	chunksSealed: telemetry.NewCounter("tsdb.chunks_sealed"),
+	chunkBytes:   telemetry.NewCounter("tsdb.chunk_bytes_sealed"),
+	tierFolds:    telemetry.NewCounter("tsdb.tier_folds"),
+	tierDrops:    telemetry.NewCounter("tsdb.tier_buckets_dropped"),
+	snapWrites:   telemetry.NewCounter("tsdb.snapshots_written"),
+	snapLoads:    telemetry.NewCounter("tsdb.snapshots_loaded"),
+	snapBytes:    telemetry.NewCounter("tsdb.snapshot_bytes"),
+	sealLat:      telemetry.NewHistogram("tsdb.seal_latency"),
 }
 
 // observeQuery records one query on the counters and the latency

@@ -1,0 +1,140 @@
+package tsdb
+
+// tiers.go — downsampling retention tiers. When chunk retention
+// (Config.MaxChunks / Config.MaxAge) pushes a sealed chunk out of the
+// raw domain, its samples are folded into the 1-second tier as
+// count/min/max/sum summary buckets; when the 1-second ring wraps, the
+// evicted bucket folds into the 1-minute tier; when that wraps, the
+// bucket is dropped (tsdb.tier_buckets_dropped counts the loss). Old
+// data therefore shrinks twice — raw → 16 B/s → 16 B/min per series —
+// before it vanishes. Query semantics over tier data are documented in
+// docs/TSDB.md (aggregates are exact for count/min/max/mean; rate and
+// percentiles need raw samples).
+
+// Tier widths. Tier 1 summarizes to 1-second buckets, tier 2 to
+// 1-minute buckets (timestamps are nanoseconds).
+const (
+	tier1Width = int64(1e9)
+	tier2Width = int64(60e9)
+)
+
+// tier is one downsampling ring: fixed-capacity parallel arrays of
+// summary buckets, oldest first from head, each bucket covering
+// [start, start+width). Buckets arrive oldest-first (chunks fold in
+// seal order), so the ring is time-ordered for well-behaved writers.
+type tier struct {
+	width int64
+	start []int64
+	count []uint32
+	min   []float64
+	max   []float64
+	sum   []float64
+	head  int
+	n     int
+	next  *tier // eviction target; nil = dropped
+}
+
+func newTier(width int64, capacity int, next *tier) *tier {
+	return &tier{
+		width: width,
+		start: make([]int64, capacity),
+		count: make([]uint32, capacity),
+		min:   make([]float64, capacity),
+		max:   make([]float64, capacity),
+		sum:   make([]float64, capacity),
+		next:  next,
+	}
+}
+
+// bucketStart aligns ts down to the tier's bucket grid. Alignment is
+// floored toward negative infinity so negative (simulated-clock)
+// timestamps bucket consistently.
+func (t *tier) bucketStart(ts int64) int64 {
+	s := ts / t.width * t.width
+	if ts < 0 && ts%t.width != 0 {
+		s -= t.width
+	}
+	return s
+}
+
+// foldSample merges one raw sample into the tier.
+func (t *tier) foldSample(ts int64, v float64) {
+	t.fold(t.bucketStart(ts), 1, v, v, v)
+}
+
+// fold merges a pre-aggregated bucket (count/min/max/sum covering
+// bucketStart-aligned start) into the tier. Same-bucket folds merge;
+// a new bucket start appends, evicting the oldest into t.next when the
+// ring is full. An out-of-order start (older than the newest bucket)
+// is merged into the newest bucket rather than reordering the ring —
+// the summary stays conservative and the ring stays time-sorted.
+func (t *tier) fold(start int64, count uint32, min, max, sum float64) {
+	start = t.bucketStart(start)
+	c := len(t.start)
+	if t.n > 0 {
+		last := (t.head + t.n - 1) % c
+		if start <= t.start[last] {
+			t.count[last] += count
+			if min < t.min[last] {
+				t.min[last] = min
+			}
+			if max > t.max[last] {
+				t.max[last] = max
+			}
+			t.sum[last] += sum
+			return
+		}
+	}
+	if t.n == c {
+		// Evict the oldest bucket into the next tier (or drop it).
+		i := t.head
+		if t.next != nil {
+			t.next.fold(t.start[i], t.count[i], t.min[i], t.max[i], t.sum[i])
+			tel.tierFolds.Inc()
+		} else {
+			tel.tierDrops.Inc()
+		}
+		t.head = (t.head + 1) % c
+		t.n--
+	}
+	i := (t.head + t.n) % c
+	t.start[i] = start
+	t.count[i] = count
+	t.min[i] = min
+	t.max[i] = max
+	t.sum[i] = sum
+	t.n++
+}
+
+// visit calls fn for every bucket whose start lies in [from, to],
+// oldest first. Tier data is attributed at bucket granularity: a
+// bucket belongs to the window containing its start timestamp.
+func (t *tier) visit(from, to int64, fn func(start int64, count uint32, min, max, sum float64)) {
+	c := len(t.start)
+	for i := 0; i < t.n; i++ {
+		j := (t.head + i) % c
+		if t.start[j] < from || t.start[j] > to {
+			continue
+		}
+		fn(t.start[j], t.count[j], t.min[j], t.max[j], t.sum[j])
+	}
+}
+
+// samples returns the total sample count summarized by the tier.
+func (t *tier) samples() int {
+	var n int
+	c := len(t.start)
+	for i := 0; i < t.n; i++ {
+		n += int(t.count[(t.head+i)%c])
+	}
+	return n
+}
+
+// oldestNewest returns the bucket-start span of the ring.
+func (t *tier) oldestNewest() (oldest, newest int64) {
+	if t.n == 0 {
+		return 0, 0
+	}
+	c := len(t.start)
+	return t.start[t.head], t.start[(t.head+t.n-1)%c]
+}

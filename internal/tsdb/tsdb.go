@@ -136,6 +136,23 @@ type Config struct {
 	// Shards is the lock-stripe count, rounded up to a power of two.
 	// Default 16.
 	Shards int
+	// Compress turns the ring into a write head: when it fills (or its
+	// oldest sample exceeds MaxAge), it is sealed into an immutable
+	// delta-of-delta + XOR compressed chunk (docs/TSDB.md) instead of
+	// overwriting the oldest sample, and retention operates on the
+	// chunk chain. Off by default — the zero-configuration store keeps
+	// the raw overwrite-ring behavior.
+	Compress bool
+	// MaxChunks bounds the per-series sealed-chunk chain (count
+	// retention at chunk granularity, Compress only). The oldest chunk
+	// folds into the downsampling tiers when the chain exceeds it.
+	// Default 16.
+	MaxChunks int
+	// Tier1Cap and Tier2Cap bound the per-series 1-second and 1-minute
+	// downsampling tier rings, in buckets (Compress only). Defaults
+	// 4096 (~68 min at full occupancy) and 2048 (~34 h).
+	Tier1Cap int
+	Tier2Cap int
 }
 
 func (c *Config) withDefaults() Config {
@@ -149,6 +166,15 @@ func (c *Config) withDefaults() Config {
 	if out.Shards <= 0 {
 		out.Shards = 16
 	}
+	if out.MaxChunks <= 0 {
+		out.MaxChunks = 16
+	}
+	if out.Tier1Cap <= 0 {
+		out.Tier1Cap = 4096
+	}
+	if out.Tier2Cap <= 0 {
+		out.Tier2Cap = 2048
+	}
 	n := 1
 	for n < out.Shards {
 		n <<= 1
@@ -157,14 +183,29 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// series is one scalar ring. ts and vs are parallel circular buffers:
-// entry i (0 ≤ i < n) lives at (head+i) % cap, oldest first.
+// series is one scalar series: a write-head ring plus, under
+// Config.Compress, a chain of sealed compressed chunks and two
+// downsampling tiers. ts and vs are parallel circular buffers: entry i
+// (0 ≤ i < n) lives at (head+i) % cap, oldest first. chunks holds
+// sealed immutable blocks oldest first; t1/t2 are the 1 s / 1 min
+// summary rings (nil when compression is off).
 type series struct {
-	mu   sync.Mutex
-	ts   []int64
-	vs   []float64
-	head int
-	n    int
+	mu     sync.Mutex
+	ts     []int64
+	vs     []float64
+	head   int
+	n      int
+	chunks []*chunk
+	t1, t2 *tier
+}
+
+// chunkSamples is the total sample count across sealed chunks.
+func (se *series) chunkSamples() int {
+	n := 0
+	for _, ck := range se.chunks {
+		n += ck.count
+	}
+	return n
 }
 
 // rawKey identifies one raw-payload archive ring.
@@ -238,10 +279,7 @@ func (s *Store) Append(k SeriesKey, ts int64, v float64) {
 	se := sh.series[k]
 	sh.mu.RUnlock()
 	if se == nil {
-		se = &series{
-			ts: make([]int64, s.cfg.Capacity),
-			vs: make([]float64, s.cfg.Capacity),
-		}
+		se = s.newSeries()
 		sh.mu.Lock()
 		if cur := sh.series[k]; cur != nil {
 			se = cur // lost the race; use the winner
@@ -254,20 +292,100 @@ func (s *Store) Append(k SeriesKey, ts int64, v float64) {
 	se.mu.Lock()
 	c := len(se.ts)
 	if se.n == c {
-		// Ring full: overwrite the oldest.
-		se.head = (se.head + 1) % c
-		se.n--
-		tel.overwritten.Inc()
+		if s.cfg.Compress {
+			// Write head full: seal it into a compressed chunk. The
+			// head restarts empty, so this costs one encoder pass per
+			// Capacity appends — amortized, off the 0-alloc fast path.
+			s.sealLocked(se, ts)
+		} else {
+			// Ring full: overwrite the oldest.
+			se.head = (se.head + 1) % c
+			se.n--
+			tel.overwritten.Inc()
+		}
+	}
+	if s.maxAge > 0 && s.cfg.Compress && se.n > 0 && se.ts[se.head] < ts-s.maxAge {
+		// Age-based seal: the head's oldest sample left the raw
+		// window, so move the whole head into the chunk domain where
+		// retention folds it into tiers instead of deleting it.
+		s.sealLocked(se, ts)
 	}
 	i := (se.head + se.n) % c
 	se.ts[i] = ts
 	se.vs[i] = v
 	se.n++
-	if s.maxAge > 0 {
+	if s.maxAge > 0 && !s.cfg.Compress {
 		se.pruneLocked(ts - s.maxAge)
 	}
 	se.mu.Unlock()
 	tel.appends.Inc()
+}
+
+// newSeries allocates an empty series shaped by the store's config.
+func (s *Store) newSeries() *series {
+	se := &series{
+		ts: make([]int64, s.cfg.Capacity),
+		vs: make([]float64, s.cfg.Capacity),
+	}
+	if s.cfg.Compress {
+		se.t2 = newTier(tier2Width, s.cfg.Tier2Cap, nil)
+		se.t1 = newTier(tier1Width, s.cfg.Tier1Cap, se.t2)
+	}
+	return se
+}
+
+// sealLocked compresses the write head into a chunk, appends it to the
+// chain, resets the head, and enforces chunk retention. now is the
+// newest appended timestamp (age retention cutoff). Caller holds se.mu.
+func (s *Store) sealLocked(se *series, now int64) {
+	if se.n == 0 {
+		return
+	}
+	start := time.Now()
+	var enc chunkEncoder
+	c := len(se.ts)
+	for i := 0; i < se.n; i++ {
+		j := (se.head + i) % c
+		enc.add(se.ts[j], se.vs[j])
+	}
+	ck := enc.seal()
+	se.chunks = append(se.chunks, ck)
+	se.head, se.n = 0, 0
+	tel.chunksSealed.Inc()
+	tel.chunkBytes.Add(uint64(ck.sizeBytes()))
+	tel.sealLat.Observe(time.Since(start))
+	s.retainChunksLocked(se, now)
+}
+
+// retainChunksLocked folds chunks that left the raw retention window —
+// by chain length (MaxChunks) or age (MaxAge) — into the downsampling
+// tiers, oldest first. Caller holds se.mu.
+func (s *Store) retainChunksLocked(se *series, now int64) {
+	for len(se.chunks) > s.cfg.MaxChunks {
+		s.foldOldestLocked(se)
+	}
+	if s.maxAge > 0 {
+		cutoff := now - s.maxAge
+		for len(se.chunks) > 0 && se.chunks[0].lastTS < cutoff {
+			s.foldOldestLocked(se)
+		}
+	}
+}
+
+// foldOldestLocked decompresses the oldest chunk into tier 1 and drops
+// it from the chain. Caller holds se.mu.
+func (s *Store) foldOldestLocked(se *series) {
+	ck := se.chunks[0]
+	copy(se.chunks, se.chunks[1:])
+	se.chunks[len(se.chunks)-1] = nil
+	se.chunks = se.chunks[:len(se.chunks)-1]
+	if se.t1 != nil {
+		it := ck.iter()
+		for it.next() {
+			se.t1.foldSample(it.ts, it.v)
+		}
+	}
+	tel.tierFolds.Inc()
 }
 
 // pruneLocked drops samples with TS < cutoff from the tail. Caller

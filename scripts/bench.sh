@@ -4,20 +4,22 @@
 #
 # Runs the Fig. 6/7/8 and Table 2 experiment benchmarks (reduced scale,
 # -benchtime FIG_BENCHTIME), the fast-path microbenchmarks
-# (-benchtime HOT_BENCHTIME / MICRO_BENCHTIME), and the time-series
-# store tier (append at MICRO_BENCHTIME, queries at HOT_BENCHTIME), all
-# with -benchmem, and writes BENCH_pr5.json mapping benchmark name ->
-# ns/op, B/op, allocs/op (plus any custom b.ReportMetric units). The
-# JSON also embeds the pre-fast-path baseline so a reviewer can diff
-# allocation counts without checking out the old tree. See
-# docs/PERFORMANCE.md.
+# (-benchtime HOT_BENCHTIME / MICRO_BENCHTIME), the time-series store
+# tier (append at MICRO_BENCHTIME, queries at HOT_BENCHTIME), and the
+# compression tier (seal/decode/compressed queries, with the
+# bytes/sample ReportMetric), all with -benchmem, and writes
+# BENCH_pr6.json mapping benchmark name -> ns/op, B/op, allocs/op (plus
+# any custom b.ReportMetric units, e.g. bytes/sample -> bytes_sample).
+# The JSON also embeds two baselines so a reviewer can diff without
+# checking out old trees: the pre-fast-path allocation counts and the
+# pre-compression (PR 5) query latencies. See docs/PERFORMANCE.md.
 #
 # Tunables (env):
 #   FIG_BENCHTIME    iterations for the simulation-backed figure benches
 #                    (default 1x: each iteration is a full experiment)
 #   HOT_BENCHTIME    iterations for end-to-end hot paths (default 2000x)
 #   MICRO_BENCHTIME  iterations for pure-CPU microbenches (default 200000x)
-#   OUT              output file (default BENCH_pr5.json)
+#   OUT              output file (default BENCH_pr6.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,7 +27,7 @@ GO=${GO:-go}
 FIG_BENCHTIME=${FIG_BENCHTIME:-1x}
 HOT_BENCHTIME=${HOT_BENCHTIME:-2000x}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-200000x}
-OUT=${OUT:-BENCH_pr5.json}
+OUT=${OUT:-BENCH_pr6.json}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT INT TERM
@@ -52,6 +54,10 @@ echo "==> time-series store (append @$MICRO_BENCHTIME, queries @$HOT_BENCHTIME)"
 run "$MICRO_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBAppend$|BenchmarkTSDBAppendParallel$|BenchmarkTSDBAppendRaw$'
 run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBLastK$|BenchmarkTSDBAggregate$|BenchmarkTSDBWindowQuery$'
 
+echo "==> compression tier (seal/decode @$HOT_BENCHTIME)"
+run "$MICRO_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBCompressedAppend$'
+run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBChunkSeal$|BenchmarkTSDBChunkDecode$|BenchmarkTSDBCompressedWindowQuery$|BenchmarkTSDBSnapshot$'
+
 echo "==> figure suite (benchtime $FIG_BENCHTIME)"
 run "$FIG_BENCHTIME" . 'BenchmarkFig6aAgentOverhead$|BenchmarkFig6bUESweep$|BenchmarkFig7aPingRTT$|BenchmarkFig7bSignaling$|BenchmarkFig8aControllerVsFlexRAN$|BenchmarkFig8bAgentSweep$|BenchmarkTable2Footprint$'
 
@@ -75,6 +81,10 @@ echo "==> writing $OUT"
     "BenchmarkEnvelopeFlat": {"ns_op": 263.6, "B_op": 68, "allocs_op": 1},
     "BenchmarkTransportHotPath": {"ns_op": 15319, "B_op": 3216, "allocs_op": 6},
     "BenchmarkPublishDeliver": {"ns_op": 19542, "B_op": 3287, "allocs_op": 16}
+  },
+  "baseline_pr5_tsdb": {
+    "_comment": "query latencies before chunk compression and the single-pass Window rewrite (PR 5 tree, same machine class); raw samples were 16 bytes each with no compressed tier",
+    "BenchmarkTSDBWindowQuery": {"ns_op": 373000, "B_op": 254640, "allocs_op": 122}
   },
 EOF
     printf '  "benchmarks": {\n'

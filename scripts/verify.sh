@@ -130,6 +130,9 @@ for tags in "" "notelemetry" "notrace"; do
     fi
 done
 
+echo "==> doc lint (markdown links + documented flags)"
+sh scripts/doclint.sh
+
 echo "==> bench suite smoke run"
 # The full scripts/bench.sh suite at token iteration counts: proves
 # every benchmark still runs and the JSON emitter works, without paying
