@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench trace-demo chaos-demo verify fmt
+.PHONY: build test bench trace-demo chaos-demo controlroom-demo verify fmt
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ trace-demo:
 # resumes, and the recovery counters appear on /snapshot.json.
 chaos-demo:
 	$(GO) test -run TestChaosDemo -v ./internal/experiments/
+
+# End-to-end control-room demo: a headless Go WebSocket client dials a
+# live monitoring loop's /stream/ws, subscribes to mac.* deltas (with
+# backfill) plus the topology and span channels, receives batched delta
+# frames under both codecs, and disconnects with a clean close
+# handshake.
+controlroom-demo:
+	$(GO) test -run TestControlRoomDemo -v ./internal/experiments/
 
 fmt:
 	gofmt -w .

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,7 +38,7 @@ func main() {
 	realtime := flag.Bool("realtime", true, "pace the slot loop at 1 TTI per ms")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "dump the telemetry snapshot periodically (0 = off)")
 	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
-	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
+	obsAddr := flag.String("obs", "", "observability HTTP address serving the control-room dashboard, /metrics, /snapshot.json, /traces, /stream/{ws,sse} and pprof (empty = off)")
 	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
 	resOn := flag.Bool("resilience", true, "keepalives, dead-peer detection, and automatic reconnect with backoff")
 	keepalive := flag.Duration("keepalive", 0, "idle period before a keepalive frame (0 = default 1s; needs -resilience)")
@@ -115,17 +116,17 @@ func main() {
 	if *tsdbCap > 0 {
 		store = tsdb.New(tsdb.Config{Capacity: *tsdbCap, MaxAge: *tsdbAge})
 	}
+	var o *obs.Server
 	if *obsAddr != "" {
-		var oo []obs.Option
+		oo := []obs.Option{obs.WithStream(0)}
 		if store != nil {
 			oo = append(oo, obs.WithTSDB(store))
 		}
-		o, err := obs.NewServer(*obsAddr, oo...)
+		o, err = obs.NewServer(*obsAddr, oo...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer o.Close()
-		log.Printf("observability on http://%s (try /traces?limit=5)", o.Addr())
+		log.Printf("control room on http://%s (dashboard at /, streams at /stream/ws and /stream/sse)", o.Addr())
 	}
 	dumper := obs.NewDumper(os.Stdout, *telemetryEvery, *telemetryDump)
 
@@ -216,6 +217,15 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if o != nil {
+		// Graceful: stream clients get a going-away close frame and
+		// in-flight HTTP requests drain, bounded by the timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := o.Shutdown(ctx); err != nil {
+			log.Printf("obs shutdown: %v", err)
+		}
+		cancel()
+	}
 	close(stop)
 	dumper.Stop()
 }

@@ -16,6 +16,7 @@
 //	flexric-bench fig13b [-sim 60000]
 //	flexric-bench fig15  [-sim 50000]
 //	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s] [-compress]
+//	flexric-bench streamload [-agents 10] [-clients 8] [-dur 5s]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench all    (reduced scale)
 package main
@@ -44,6 +45,7 @@ func main() {
 	dur := fs.Duration("dur", 5*time.Second, "measurement window")
 	phase := fs.Int("phase", 15000, "per-phase simulated ms (fig13a)")
 	readers := fs.Int("readers", 4, "concurrent query readers (tsdbload)")
+	clients := fs.Int("clients", 8, "concurrent WebSocket stream consumers (streamload)")
 	compress := fs.Bool("compress", false, "run the time-series store in chunk-compression mode (tsdbload)")
 	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos)")
 	connPlan := fs.String("connplan", "", "connection fault plan (chaos; empty = drop@120,drop@120)")
@@ -124,6 +126,11 @@ func main() {
 				return experiments.TSDBLoad(*agents, *readers, *dur, *compress)
 			})
 		},
+		"streamload": func() {
+			run("streamload", func() (fmt.Stringer, error) {
+				return experiments.StreamLoad(*agents, *clients, *dur)
+			})
+		},
 		"chaos": func() {
 			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
 			if *scheme == "fb" {
@@ -164,6 +171,9 @@ func main() {
 		run("tsdbload -compress", func() (fmt.Stringer, error) {
 			return experiments.TSDBLoad(4, 4, 2*time.Second, true)
 		})
+		run("streamload", func() (fmt.Stringer, error) {
+			return experiments.StreamLoad(4, 4, 2*time.Second)
+		})
 	default:
 		f, ok := experimentsByName[cmd]
 		if !ok {
@@ -192,6 +202,7 @@ experiments:
   fig13b  static slicing vs NVS sharing
   fig15   recursive slicing: dedicated vs shared infrastructure
   tsdbload  time-series store under windowed queries vs live ingest
+  streamload  control-room WebSocket fan-out of live deltas
   chaos   resilience under a scripted fault plan (drops + blackout)
   all     everything, reduced scale`)
 }

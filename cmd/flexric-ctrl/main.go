@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,7 @@ func main() {
 	period := flag.Uint("period", 100, "monitoring period in ms")
 	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "also dump telemetry periodically (0 = off)")
-	obsAddr := flag.String("obs", "", "observability HTTP address serving /metrics, /snapshot.json, /traces and pprof (empty = off)")
+	obsAddr := flag.String("obs", "", "observability HTTP address serving the control-room dashboard, /metrics, /snapshot.json, /traces, /stream/{ws,sse} and pprof (empty = off)")
 	traceSample := flag.Uint("trace-sample", 0, "record every Nth E2 control-loop trace (0 = off, 1 = all)")
 	resOn := flag.Bool("resilience", true, "keepalives, dead-peer detection, and subscription retention/replay across agent reconnects")
 	keepalive := flag.Duration("keepalive", 0, "idle period before a keepalive frame (0 = default 1s; needs -resilience)")
@@ -71,19 +72,6 @@ func main() {
 			})
 		}
 	}
-	if *obsAddr != "" {
-		var oo []obs.Option
-		if store != nil {
-			oo = append(oo, obs.WithTSDB(store))
-		}
-		o, err := obs.NewServer(*obsAddr, oo...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer o.Close()
-		log.Printf("observability on http://%s (try /traces?limit=5 or /tsdb/series)", o.Addr())
-	}
-
 	e2s := e2ap.SchemeASN
 	sms := sm.SchemeASN
 	if *scheme == "fb" {
@@ -128,6 +116,7 @@ func main() {
 		log.Printf("RAN entity complete: %s/%d (%d parts)", e.PLMN, e.NodeID, len(e.Parts))
 	})
 
+	var sc *ctrl.SlicingController
 	if *slicing != "" {
 		// Share the process-wide store (fed by the main monitor) with
 		// the slicing northbound's /stats/agg when it exists.
@@ -135,7 +124,7 @@ func main() {
 		if store != nil {
 			so = append(so, ctrl.WithTSDB(store))
 		}
-		sc, err := ctrl.NewSlicingController(srv, sms, *slicing, so...)
+		sc, err = ctrl.NewSlicingController(srv, sms, *slicing, so...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -161,6 +150,29 @@ func main() {
 		log.Printf("traffic-control REST on http://%s", tcc.Addr())
 	}
 
+	// The observability server mounts last so the control room's
+	// topology feed can see every component built above.
+	var o *obs.Server
+	if *obsAddr != "" {
+		topoOpts := []ctrl.TopologyOption{ctrl.TopoWithMonitor(mon)}
+		if sc != nil {
+			topoOpts = append(topoOpts, ctrl.TopoWithSlicing(sc))
+		}
+		topo := ctrl.NewTopology(srv, topoOpts...)
+		oo := []obs.Option{
+			obs.WithStream(0),
+			obs.WithTopology(func() any { return topo.Snapshot() }),
+		}
+		if store != nil {
+			oo = append(oo, obs.WithTSDB(store))
+		}
+		o, err = obs.NewServer(*obsAddr, oo...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("control room on http://%s (dashboard at /, streams at /stream/ws and /stream/sse)", o.Addr())
+	}
+
 	// Periodic status line.
 	go func() {
 		for range time.Tick(5 * time.Second) {
@@ -176,6 +188,15 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if o != nil {
+		// Graceful: stream clients get a going-away close frame and
+		// in-flight HTTP requests drain, bounded by the timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := o.Shutdown(ctx); err != nil {
+			log.Printf("obs shutdown: %v", err)
+		}
+		cancel()
+	}
 	if snapStop != nil {
 		// Final snapshot on SIGINT/SIGTERM so a restarted controller
 		// resumes with its history.

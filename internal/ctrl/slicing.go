@@ -153,6 +153,19 @@ func (c *SlicingController) Addr() string { return c.lis.Addr().String() }
 // Close stops the REST server (the E2 server is owned by the caller).
 func (c *SlicingController) Close() error { return c.http.Close() }
 
+// Status returns a copy of the latest slice status per agent — the
+// slice panel of the topology snapshot (see NewTopology).
+func (c *SlicingController) Status() map[server.AgentID]*sm.SliceStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[server.AgentID]*sm.SliceStatus, len(c.status))
+	for id, st := range c.status {
+		cp := *st
+		out[id] = &cp
+	}
+	return out
+}
+
 // Monitor exposes the internal stats DB.
 func (c *SlicingController) Monitor() *Monitor { return c.mon }
 

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/obs"
+	"flexric/internal/obs/ws"
+	"flexric/internal/sm"
+	"flexric/internal/telemetry"
+	"flexric/internal/tsdb"
+)
+
+// StreamLoadResult is the control-room fan-out dataset: N headless
+// WebSocket clients consuming live tsdb deltas while dummy agents
+// stream indications at 1 ms.
+type StreamLoadResult struct {
+	Agents   int
+	UEs      int
+	Clients  int
+	Duration time.Duration
+
+	Series    int     // distinct series feeding the hub
+	Frames    uint64  // tsdb frames delivered across all clients
+	Samples   uint64  // samples delivered across all clients
+	Bytes     uint64  // wire bytes delivered (JSON payloads)
+	PerSec    float64 // samples/s across all clients
+	Dropped   uint64  // frames dropped to slow clients (obs.stream.dropped_frames)
+	RingDrops uint64  // ring entries lost producer-side (obs.stream.ring_dropped)
+
+	// FirstFrame is the subscribe-to-first-delta latency per client.
+	FirstFrame RTTStats
+}
+
+// StreamLoad measures the control-room streaming layer under fan-out:
+// `agents` dummy agents report MAC stats at 1 ms into the monitor's
+// store, and `clients` concurrent WebSocket consumers subscribe to
+// mac.* deltas at a 100 ms flush. The result reports delivered frame,
+// sample, and byte throughput plus the layer's own drop telemetry.
+// This is the flexric-bench `streamload` subcommand.
+func StreamLoad(agents, clients int, d time.Duration) (*StreamLoadResult, error) {
+	const ues = 8
+	res := &StreamLoadResult{Agents: agents, UEs: ues, Clients: clients, Duration: d}
+
+	store := tsdb.New(tsdb.Config{Capacity: 2048})
+	srv, addr, err := StartServer(e2ap.SchemeFB)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{
+		Scheme: sm.SchemeFB, PeriodMS: 1, Layers: ctrl.MonMAC, Decode: true, TSDB: store,
+	})
+	topo := ctrl.NewTopology(srv, ctrl.TopoWithMonitor(mon))
+	o, err := obs.NewServer("127.0.0.1:0",
+		obs.WithTSDB(store), obs.WithStream(0),
+		obs.WithTopology(func() any { return topo.Snapshot() }))
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+
+	var dummies []*DummyAgent
+	defer func() {
+		for _, da := range dummies {
+			da.Close()
+		}
+	}()
+	for i := 0; i < agents; i++ {
+		da, err := StartDummyAgent(uint64(i+1), addr, e2ap.SchemeFB, sm.SchemeFB, ues, time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		dummies = append(dummies, da)
+	}
+	if !WaitUntil(waitShort, func() bool {
+		n, _ := mon.Counters()
+		return n > uint64(agents*10) && store.NumSeries() > 0
+	}) {
+		return nil, fmt.Errorf("indications not reaching the store")
+	}
+
+	droppedBase := telemetry.TakeSnapshot().Counter("obs.stream.dropped_frames")
+	ringBase := telemetry.TakeSnapshot().Counter("obs.stream.ring_dropped")
+
+	var frames, samples, bytes uint64
+	firstLat := make([]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := ws.Dial("ws://"+o.Addr()+"/stream/ws", 5*time.Second)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer conn.Close()
+			if err := conn.WriteText([]byte(`{"op":"subscribe","ch":"tsdb","glob":"mac.*","flush_ms":100}`)); err != nil {
+				errs[c] = err
+				return
+			}
+			t0 := time.Now()
+			deadline := t0.Add(d)
+			gotFirst := false
+			for time.Now().Before(deadline) {
+				_, payload, err := conn.ReadMessage()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var frame struct {
+					Ch     string `json:"ch"`
+					Series []struct {
+						Name    string       `json:"name"`
+						Samples [][2]float64 `json:"samples"`
+					} `json:"series"`
+				}
+				if err := json.Unmarshal(payload, &frame); err != nil {
+					errs[c] = fmt.Errorf("bad frame: %w", err)
+					return
+				}
+				if frame.Ch != "tsdb" {
+					continue
+				}
+				if !gotFirst {
+					gotFirst = true
+					firstLat[c] = time.Since(t0)
+				}
+				atomic.AddUint64(&frames, 1)
+				atomic.AddUint64(&bytes, uint64(len(payload)))
+				for _, s := range frame.Series {
+					atomic.AddUint64(&samples, uint64(len(s.Samples)))
+				}
+			}
+			if !gotFirst {
+				errs[c] = fmt.Errorf("client %d: no tsdb frame in %v", c, d)
+				return
+			}
+			if err := conn.CloseHandshake(ws.CloseNormal, "done", 2*time.Second); err != nil {
+				errs[c] = fmt.Errorf("close handshake: %w", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Series = store.NumSeries()
+	res.Frames = frames
+	res.Samples = samples
+	res.Bytes = bytes
+	res.PerSec = float64(samples) / d.Seconds()
+	res.Dropped = telemetry.TakeSnapshot().Counter("obs.stream.dropped_frames") - droppedBase
+	res.RingDrops = telemetry.TakeSnapshot().Counter("obs.stream.ring_dropped") - ringBase
+	res.FirstFrame = summarize(firstLat)
+	return res, nil
+}
+
+// String renders the fan-out table.
+func (r *StreamLoadResult) String() string {
+	rows := [][]string{{
+		fmt.Sprintf("%d", r.Clients),
+		fmt.Sprintf("%d", r.Agents),
+		fmt.Sprintf("%d", r.Series),
+		fmt.Sprintf("%d", r.Frames),
+		fmt.Sprintf("%d", r.Samples),
+		fmt.Sprintf("%.0f", r.PerSec),
+		fmt.Sprintf("%.2f", float64(r.Bytes)/(1<<20)),
+		fmt.Sprintf("%d", r.FirstFrame.P50.Milliseconds()),
+		fmt.Sprintf("%d", r.Dropped),
+		fmt.Sprintf("%d", r.RingDrops),
+	}}
+	return fmt.Sprintf("streamload — WebSocket fan-out of live mac.* deltas, %d agents x %d UEs @1ms, %v\n",
+		r.Agents, r.UEs, r.Duration) +
+		Table([]string{"clients", "agents", "series", "frames", "samples",
+			"samples/s", "MB", "first ms", "dropped", "ringdrop"}, rows)
+}

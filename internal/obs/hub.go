@@ -1,0 +1,739 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexric/internal/telemetry"
+	"flexric/internal/trace"
+	"flexric/internal/tsdb"
+)
+
+// The control-room stream hub: fans live controller state out to
+// browser/WS/SSE clients over three push channels plus a topology feed.
+//
+//	tsdb       per-sample deltas from the monitoring store, batched per
+//	           flush tick and filtered by a series-name glob
+//	telemetry  counter/gauge/histogram deltas vs the client's last frame
+//	spans      the tail of the trace ring (spans as they finish)
+//	topology   agents / subscriptions / slices snapshot, sent on change
+//
+// Producers never block: the tsdb append hook and trace tail hook write
+// into fixed-capacity drop-oldest rings gated on atomic subscriber
+// counts (zero work when nobody listens, zero allocations either way),
+// and per-client send queues drop their oldest frame when a slow client
+// falls behind. A single flush loop at baseTick drains the rings and
+// builds frames; clients flush on every Nth tick per their requested
+// flush_ms.
+
+// Stream channel names.
+const (
+	ChanTSDB      = "tsdb"
+	ChanTelemetry = "telemetry"
+	ChanSpans     = "spans"
+	ChanTopology  = "topology"
+)
+
+const (
+	// DefaultFlushMS is the hub's base flush tick; per-client flush_ms
+	// values are rounded up to a multiple of it.
+	DefaultFlushMS = 100
+
+	// clientQueueLen bounds each client's send queue (frames).
+	clientQueueLen = 64
+	// pendingDeltaCap bounds the hub-wide tsdb delta ring (samples
+	// buffered between flush ticks).
+	pendingDeltaCap = 16384
+	// pendingSpanCap bounds the hub-wide span tail ring.
+	pendingSpanCap = 2048
+	// clientAccCap bounds each client's between-flush accumulators.
+	clientAccCap = 16384
+	// backfillMaxSeries caps how many series one subscribe backfills.
+	backfillMaxSeries = 512
+)
+
+var streamTel = struct {
+	clients     *telemetry.Gauge
+	frames      *telemetry.Counter
+	dropped     *telemetry.Counter
+	ringDropped *telemetry.Counter
+	fanout      *telemetry.Histogram
+}{
+	clients:     telemetry.NewGauge("obs.stream.clients"),
+	frames:      telemetry.NewCounter("obs.stream.frames"),
+	dropped:     telemetry.NewCounter("obs.stream.dropped_frames"),
+	ringDropped: telemetry.NewCounter("obs.stream.ring_dropped"),
+	fanout:      telemetry.NewHistogram("obs.stream.fanout"),
+}
+
+// delta is one tsdb append captured by the hook.
+type delta struct {
+	k  tsdb.SeriesKey
+	ts int64
+	v  float64
+}
+
+// Hub owns the stream state and the flush loop.
+type Hub struct {
+	store  *tsdb.Store // nil when no store is mounted
+	topoFn func() any  // nil when no topology source is mounted
+
+	baseTick time.Duration
+
+	// Subscriber counts gate the producer-side hooks: when zero, the
+	// hooks return before taking any lock.
+	tsdbSubs atomic.Int64
+	spanSubs atomic.Int64
+
+	dmu    sync.Mutex
+	deltas []delta // fixed-cap drop-oldest ring
+	dHead  int     // index of oldest entry
+	dLen   int
+
+	smu    sync.Mutex
+	spans  []trace.SpanData
+	spHead int
+	spLen  int
+
+	cmu     sync.Mutex
+	clients map[*streamClient]struct{}
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	// appendHookFn keeps the installed hook reachable so SetAppendHook
+	// uninstall can be matched in tests; trace tail hook is global.
+	hookInstalled bool
+}
+
+// newHub builds a hub and installs the producer hooks. flushMS <= 0
+// selects DefaultFlushMS.
+func newHub(store *tsdb.Store, topoFn func() any, flushMS int) *Hub {
+	if flushMS <= 0 {
+		flushMS = DefaultFlushMS
+	}
+	h := &Hub{
+		store:    store,
+		topoFn:   topoFn,
+		baseTick: time.Duration(flushMS) * time.Millisecond,
+		deltas:   make([]delta, pendingDeltaCap),
+		spans:    make([]trace.SpanData, pendingSpanCap),
+		clients:  make(map[*streamClient]struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if store != nil {
+		store.SetAppendHook(h.onAppend)
+		h.hookInstalled = true
+	}
+	trace.SetTailHook(h.onSpan)
+	go h.flushLoop()
+	return h
+}
+
+// onAppend is the tsdb producer hook. It runs on the store's Append
+// hot path: no allocations, one mutex, and an atomic early-out when no
+// client subscribes to the tsdb channel.
+func (h *Hub) onAppend(k tsdb.SeriesKey, ts int64, v float64) {
+	if h.tsdbSubs.Load() == 0 {
+		return
+	}
+	h.dmu.Lock()
+	if h.dLen == len(h.deltas) {
+		// Drop the oldest pending delta rather than blocking or growing.
+		h.dHead = (h.dHead + 1) % len(h.deltas)
+		h.dLen--
+		streamTel.ringDropped.Inc()
+	}
+	h.deltas[(h.dHead+h.dLen)%len(h.deltas)] = delta{k: k, ts: ts, v: v}
+	h.dLen++
+	h.dmu.Unlock()
+}
+
+// onSpan is the trace tail hook; same contract as onAppend.
+func (h *Hub) onSpan(d trace.SpanData) {
+	if h.spanSubs.Load() == 0 {
+		return
+	}
+	h.smu.Lock()
+	if h.spLen == len(h.spans) {
+		h.spHead = (h.spHead + 1) % len(h.spans)
+		h.spLen--
+		streamTel.ringDropped.Inc()
+	}
+	h.spans[(h.spHead+h.spLen)%len(h.spans)] = d
+	h.spLen++
+	h.smu.Unlock()
+}
+
+// close detaches every client (each gets a shutdown signal so WS
+// handlers can send a going-away close frame), stops the flush loop,
+// and uninstalls the producer hooks.
+func (h *Hub) close() {
+	h.cmu.Lock()
+	if h.closed {
+		h.cmu.Unlock()
+		return
+	}
+	h.closed = true
+	clients := make([]*streamClient, 0, len(h.clients))
+	for c := range h.clients {
+		clients = append(clients, c)
+	}
+	h.cmu.Unlock()
+
+	close(h.stop)
+	<-h.done
+	if h.hookInstalled {
+		h.store.SetAppendHook(nil)
+	}
+	trace.SetTailHook(nil)
+	for _, c := range clients {
+		h.detach(c)
+	}
+}
+
+// NumClients reports the attached client count (tests, topology).
+func (h *Hub) NumClients() int {
+	h.cmu.Lock()
+	defer h.cmu.Unlock()
+	return len(h.clients)
+}
+
+// ---------------------------------------------------------------------
+// Clients and subscriptions
+
+// clientSub is one channel subscription of one client.
+type clientSub struct {
+	glob  string
+	every int // flush on every Nth base tick
+}
+
+// streamClient is one attached WS or SSE consumer. The hub writes
+// marshaled frames into q; the transport handler drains it. enqueue
+// never blocks: when q is full the oldest frame is dropped.
+type streamClient struct {
+	h *Hub
+	q chan []byte
+	// shutdown closes when the hub detaches the client; transports use
+	// it to send a close frame and return.
+	shutdown chan struct{}
+	once     sync.Once
+
+	mu       sync.Mutex
+	subs     map[string]*clientSub
+	tick     uint64
+	acc      []delta // pending tsdb deltas for this client
+	accDrop  bool
+	spanAcc  []trace.SpanData
+	prevTel  map[string]float64
+	lastTopo []byte
+}
+
+// attach registers a new client and enqueues its hello frame. Returns
+// nil when the hub is closed.
+func (h *Hub) attach() *streamClient {
+	c := &streamClient{
+		h:        h,
+		q:        make(chan []byte, clientQueueLen),
+		shutdown: make(chan struct{}),
+		subs:     make(map[string]*clientSub),
+	}
+	h.cmu.Lock()
+	if h.closed {
+		h.cmu.Unlock()
+		return nil
+	}
+	h.clients[c] = struct{}{}
+	n := len(h.clients)
+	h.cmu.Unlock()
+	streamTel.clients.Set(int64(n))
+	c.enqueue(marshalFrame(helloFrame{
+		Ch:          "hello",
+		Channels:    []string{ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology},
+		BaseFlushMS: int(h.baseTick / time.Millisecond),
+	}))
+	return c
+}
+
+// detach removes a client and releases its channel subscriptions.
+func (h *Hub) detach(c *streamClient) {
+	h.cmu.Lock()
+	_, ok := h.clients[c]
+	delete(h.clients, c)
+	n := len(h.clients)
+	h.cmu.Unlock()
+	if !ok {
+		return
+	}
+	streamTel.clients.Set(int64(n))
+	c.mu.Lock()
+	for ch := range c.subs {
+		h.subCount(ch).Add(-1)
+		delete(c.subs, ch)
+	}
+	c.mu.Unlock()
+	c.once.Do(func() { close(c.shutdown) })
+}
+
+// subCount returns the gating counter for a channel; channels without
+// a producer hook share a dummy counter.
+func (h *Hub) subCount(ch string) *atomic.Int64 {
+	switch ch {
+	case ChanTSDB:
+		return &h.tsdbSubs
+	case ChanSpans:
+		return &h.spanSubs
+	}
+	return &dummyCount
+}
+
+var dummyCount atomic.Int64
+
+func (c *streamClient) enqueue(b []byte) {
+	for {
+		select {
+		case c.q <- b:
+			streamTel.frames.Inc()
+			return
+		default:
+		}
+		// Queue full: drop the oldest frame. The slow client loses
+		// history; the producer never blocks.
+		select {
+		case <-c.q:
+			streamTel.dropped.Inc()
+		default:
+		}
+	}
+}
+
+// request is one client->server protocol message.
+type request struct {
+	Op       string `json:"op"` // subscribe | unsubscribe | ping
+	Ch       string `json:"ch"`
+	Glob     string `json:"glob,omitempty"`
+	WindowMS int64  `json:"window_ms,omitempty"`
+	FlushMS  int    `json:"flush_ms,omitempty"`
+}
+
+type helloFrame struct {
+	Ch          string   `json:"ch"`
+	Channels    []string `json:"channels"`
+	BaseFlushMS int      `json:"base_flush_ms"`
+}
+
+type errorFrame struct {
+	Ch    string `json:"ch"`
+	Error string `json:"error"`
+}
+
+func marshalFrame(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Frames are built from plain structs; this cannot fail.
+		return []byte(`{"ch":"error","error":"marshal"}`)
+	}
+	return b
+}
+
+// handle processes one protocol request from the client's transport.
+func (c *streamClient) handle(raw []byte) {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "bad request: " + err.Error()}))
+		return
+	}
+	switch req.Op {
+	case "ping":
+		c.enqueue([]byte(`{"ch":"pong"}`))
+	case "subscribe":
+		c.subscribe(req)
+	case "unsubscribe":
+		c.unsubscribe(req.Ch)
+	default:
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "unknown op " + strconv.Quote(req.Op)}))
+	}
+}
+
+func validChannel(ch string) bool {
+	switch ch {
+	case ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology:
+		return true
+	}
+	return false
+}
+
+func (c *streamClient) subscribe(req request) {
+	if !validChannel(req.Ch) {
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "unknown channel " + strconv.Quote(req.Ch)}))
+		return
+	}
+	if req.Ch == ChanTSDB && c.h.store == nil {
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "no tsdb store mounted"}))
+		return
+	}
+	if req.Ch == ChanTopology && c.h.topoFn == nil {
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "no topology source mounted"}))
+		return
+	}
+	glob := req.Glob
+	if glob == "" {
+		glob = "*"
+	}
+	every := 1
+	if req.FlushMS > 0 {
+		every = int((time.Duration(req.FlushMS)*time.Millisecond + c.h.baseTick - 1) / c.h.baseTick)
+		if every < 1 {
+			every = 1
+		}
+	}
+	sub := &clientSub{glob: glob, every: every}
+	c.mu.Lock()
+	_, had := c.subs[req.Ch]
+	c.subs[req.Ch] = sub
+	if req.Ch == ChanTelemetry {
+		c.prevTel = nil // force a full dump on the next flush
+	}
+	if req.Ch == ChanTopology {
+		c.lastTopo = nil // force a snapshot on the next flush
+	}
+	c.mu.Unlock()
+	if !had {
+		c.h.subCount(req.Ch).Add(1)
+	}
+	if req.Ch == ChanTSDB && req.WindowMS > 0 {
+		c.backfill(glob, req.WindowMS)
+	}
+}
+
+func (c *streamClient) unsubscribe(ch string) {
+	c.mu.Lock()
+	_, had := c.subs[ch]
+	delete(c.subs, ch)
+	c.mu.Unlock()
+	if had {
+		c.h.subCount(ch).Add(-1)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Series naming and glob matching
+
+// fnAliasNames is the reverse of fnAliases, for series-name rendering.
+var fnAliasNames = func() map[uint16]string {
+	m := make(map[uint16]string, len(fnAliases))
+	for name, id := range fnAliases {
+		m[id] = name
+	}
+	return m
+}()
+
+// seriesName renders a series key as the dotted wire name
+// <fn>.<agent>.<ue>.<field>, e.g. "mac.0.1.cqi".
+func seriesName(k tsdb.SeriesKey) string {
+	fn, ok := fnAliasNames[k.Fn]
+	if !ok {
+		fn = "fn" + strconv.FormatUint(uint64(k.Fn), 10)
+	}
+	return fn + "." + strconv.FormatUint(uint64(k.Agent), 10) + "." +
+		strconv.FormatUint(uint64(k.UE), 10) + "." + k.Field.String()
+}
+
+// globMatch reports whether s matches pattern, where '*' matches any
+// run of characters (including empty and across dots).
+func globMatch(pattern, s string) bool {
+	// Iterative wildcard match with backtracking to the last '*'.
+	p, i := 0, 0
+	star, mark := -1, 0
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			star = p
+			mark = i
+			p++
+		case p < len(pattern) && pattern[p] == s[i]:
+			p++
+			i++
+		case star >= 0:
+			p = star + 1
+			mark++
+			i = mark
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// ---------------------------------------------------------------------
+// Frame building
+
+// samplePair is one (timestamp, value) pair on the wire. The timestamp
+// is Unix *milliseconds* so it survives the float64 JSON round-trip
+// exactly (Unix nanoseconds exceed 2^53).
+type samplePair [2]float64
+
+func pair(tsNS int64, v float64) samplePair {
+	return samplePair{float64(tsNS / int64(time.Millisecond)), v}
+}
+
+type seriesFrameEntry struct {
+	Name    string       `json:"name"`
+	Samples []samplePair `json:"samples"`
+}
+
+type tsdbFrame struct {
+	Ch       string             `json:"ch"`
+	Series   []seriesFrameEntry `json:"series"`
+	Backfill bool               `json:"backfill,omitempty"`
+	Partial  bool               `json:"partial,omitempty"`
+	Dropped  bool               `json:"dropped,omitempty"`
+}
+
+type telemetryFrame struct {
+	Ch      string             `json:"ch"`
+	Full    bool               `json:"full,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type spanFrameEntry struct {
+	TraceID    uint64 `json:"trace_id"`
+	SpanID     uint64 `json:"span_id"`
+	Parent     uint64 `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+type spansFrame struct {
+	Ch    string           `json:"ch"`
+	Spans []spanFrameEntry `json:"spans"`
+}
+
+type topologyFrame struct {
+	Ch       string          `json:"ch"`
+	Topology json.RawMessage `json:"topology"`
+}
+
+// backfill sends the recent history of every series matching glob as
+// one frame, so a fresh dashboard starts with context instead of an
+// empty chart.
+func (c *streamClient) backfill(glob string, windowMS int64) {
+	now := time.Now().UnixNano()
+	from := now - windowMS*int64(time.Millisecond)
+	frame := tsdbFrame{Ch: ChanTSDB, Backfill: true}
+	for _, info := range c.h.store.List(-1, 0) {
+		name := seriesName(info.Key)
+		if !globMatch(glob, name) {
+			continue
+		}
+		if len(frame.Series) == backfillMaxSeries {
+			frame.Partial = true
+			break
+		}
+		samples := c.h.store.Range(info.Key, from, now, nil)
+		if len(samples) == 0 {
+			continue
+		}
+		e := seriesFrameEntry{Name: name, Samples: make([]samplePair, len(samples))}
+		for i, s := range samples {
+			e.Samples[i] = pair(s.TS, s.V)
+		}
+		frame.Series = append(frame.Series, e)
+	}
+	sort.Slice(frame.Series, func(i, j int) bool { return frame.Series[i].Name < frame.Series[j].Name })
+	c.enqueue(marshalFrame(frame))
+}
+
+// flattenTelemetry walks a snapshot tree into dotted-name scalars.
+// Histograms contribute .count, .mean_ns and .max_ns leaves.
+func flattenTelemetry(s *telemetry.Snapshot, prefix string, out map[string]float64) {
+	for name, v := range s.Counters {
+		out[prefix+name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		out[prefix+name] = float64(v)
+	}
+	for name, h := range s.Histograms {
+		out[prefix+name+".count"] = float64(h.Count)
+		out[prefix+name+".mean_ns"] = float64(h.Mean())
+		out[prefix+name+".max_ns"] = float64(h.Max)
+	}
+	for seg, child := range s.Children {
+		flattenTelemetry(child, prefix+seg+".", out)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Flush loop
+
+func (h *Hub) flushLoop() {
+	defer close(h.done)
+	tick := time.NewTicker(h.baseTick)
+	defer tick.Stop()
+	var (
+		deltaScratch []delta
+		nameScratch  []string
+		spanScratch  []trace.SpanData
+	)
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-tick.C:
+		}
+		t0 := time.Now()
+
+		// Drain the producer rings into scratch buffers.
+		deltaScratch = deltaScratch[:0]
+		h.dmu.Lock()
+		for i := 0; i < h.dLen; i++ {
+			deltaScratch = append(deltaScratch, h.deltas[(h.dHead+i)%len(h.deltas)])
+		}
+		h.dHead, h.dLen = 0, 0
+		h.dmu.Unlock()
+		nameScratch = nameScratch[:0]
+		for _, d := range deltaScratch {
+			nameScratch = append(nameScratch, seriesName(d.k))
+		}
+
+		spanScratch = spanScratch[:0]
+		h.smu.Lock()
+		for i := 0; i < h.spLen; i++ {
+			spanScratch = append(spanScratch, h.spans[(h.spHead+i)%len(h.spans)])
+		}
+		h.spHead, h.spLen = 0, 0
+		h.smu.Unlock()
+
+		h.cmu.Lock()
+		clients := make([]*streamClient, 0, len(h.clients))
+		for c := range h.clients {
+			clients = append(clients, c)
+		}
+		h.cmu.Unlock()
+
+		// Per-tick lazies, shared across clients due this tick.
+		var telFlat map[string]float64
+		var topoBytes []byte
+		for _, c := range clients {
+			c.flushTick(deltaScratch, nameScratch, spanScratch, &telFlat, &topoBytes)
+		}
+		streamTel.fanout.Observe(time.Since(t0))
+	}
+}
+
+// flushTick accumulates this tick's data into the client and emits
+// frames for every subscription due on this tick.
+func (c *streamClient) flushTick(deltas []delta, names []string, spans []trace.SpanData, telFlat *map[string]float64, topoBytes *[]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+
+	// Accumulate into per-client buffers (bounded, drop-oldest).
+	if sub := c.subs[ChanTSDB]; sub != nil {
+		for i, d := range deltas {
+			if !globMatch(sub.glob, names[i]) {
+				continue
+			}
+			if len(c.acc) == clientAccCap {
+				copy(c.acc, c.acc[1:])
+				c.acc = c.acc[:clientAccCap-1]
+				c.accDrop = true
+				streamTel.ringDropped.Inc()
+			}
+			c.acc = append(c.acc, d)
+		}
+	}
+	if c.subs[ChanSpans] != nil {
+		c.spanAcc = append(c.spanAcc, spans...)
+		if len(c.spanAcc) > clientAccCap {
+			c.spanAcc = c.spanAcc[len(c.spanAcc)-clientAccCap:]
+		}
+	}
+
+	if sub := c.subs[ChanTSDB]; sub != nil && c.tick%uint64(sub.every) == 0 && len(c.acc) > 0 {
+		frame := tsdbFrame{Ch: ChanTSDB, Dropped: c.accDrop}
+		byName := make(map[string]int)
+		for _, d := range c.acc {
+			name := seriesName(d.k)
+			idx, ok := byName[name]
+			if !ok {
+				idx = len(frame.Series)
+				byName[name] = idx
+				frame.Series = append(frame.Series, seriesFrameEntry{Name: name})
+			}
+			frame.Series[idx].Samples = append(frame.Series[idx].Samples, pair(d.ts, d.v))
+		}
+		sort.Slice(frame.Series, func(i, j int) bool { return frame.Series[i].Name < frame.Series[j].Name })
+		c.acc = c.acc[:0]
+		c.accDrop = false
+		c.enqueue(marshalFrame(frame))
+	}
+
+	if sub := c.subs[ChanTelemetry]; sub != nil && c.tick%uint64(sub.every) == 0 {
+		if *telFlat == nil {
+			m := make(map[string]float64)
+			flattenTelemetry(telemetry.TakeSnapshot(), "", m)
+			*telFlat = m
+		}
+		full := c.prevTel == nil
+		frame := telemetryFrame{Ch: ChanTelemetry, Full: full, Metrics: make(map[string]float64)}
+		for name, v := range *telFlat {
+			if !globMatch(sub.glob, name) {
+				continue
+			}
+			if full || c.prevTel[name] != v {
+				frame.Metrics[name] = v
+			}
+		}
+		if c.prevTel == nil {
+			c.prevTel = make(map[string]float64, len(*telFlat))
+		}
+		for name, v := range *telFlat {
+			c.prevTel[name] = v
+		}
+		if full || len(frame.Metrics) > 0 {
+			c.enqueue(marshalFrame(frame))
+		}
+	}
+
+	if sub := c.subs[ChanSpans]; sub != nil && c.tick%uint64(sub.every) == 0 && len(c.spanAcc) > 0 {
+		frame := spansFrame{Ch: ChanSpans}
+		for _, d := range c.spanAcc {
+			if !globMatch(sub.glob, d.Name) {
+				continue
+			}
+			frame.Spans = append(frame.Spans, spanFrameEntry{
+				TraceID: d.TraceID, SpanID: d.SpanID, Parent: d.Parent,
+				Name: d.Name, StartNS: d.StartNS, DurationNS: d.DurationNS,
+			})
+		}
+		c.spanAcc = c.spanAcc[:0]
+		if len(frame.Spans) > 0 {
+			c.enqueue(marshalFrame(frame))
+		}
+	}
+
+	if sub := c.subs[ChanTopology]; sub != nil && c.tick%uint64(sub.every) == 0 {
+		if *topoBytes == nil && c.h.topoFn != nil {
+			b, err := json.Marshal(c.h.topoFn())
+			if err == nil {
+				*topoBytes = b
+			}
+		}
+		if *topoBytes != nil && !bytes.Equal(*topoBytes, c.lastTopo) {
+			c.lastTopo = append(c.lastTopo[:0], *topoBytes...)
+			c.enqueue(marshalFrame(topologyFrame{Ch: ChanTopology, Topology: *topoBytes}))
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"flexric/internal/tsdb"
+)
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "mac.0.1.cqi", true},
+		{"*", "", true},
+		{"mac.*", "mac.0.1.cqi", true},
+		{"mac.*", "rlc.0.1.tx_bytes", false},
+		{"mac.*.cqi", "mac.0.1.cqi", true},
+		{"mac.*.cqi", "mac.0.1.mcs", false},
+		{"*.cqi", "mac.12.3.cqi", true},
+		{"mac.0.1.cqi", "mac.0.1.cqi", true},
+		{"mac.0.1.cqi", "mac.0.1.cq", false},
+		{"mac.0.1.cq", "mac.0.1.cqi", false},
+		{"*mac*", "mac.0.1.cqi", true},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "axxbyy", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSeriesName(t *testing.T) {
+	fld, ok := tsdb.ParseField("cqi")
+	if !ok {
+		t.Fatal("no cqi field")
+	}
+	k := tsdb.SeriesKey{Agent: 3, Fn: 142, UE: 7, Field: fld}
+	if got := seriesName(k); got != "mac.3.7.cqi" {
+		t.Errorf("seriesName = %q, want mac.3.7.cqi", got)
+	}
+	k.Fn = 9999
+	if got := seriesName(k); got != "fn9999.3.7.cqi" {
+		t.Errorf("seriesName = %q, want fn9999.3.7.cqi", got)
+	}
+}
+
+// drainFrames empties a client queue, decoding each frame's "ch".
+func drainFrames(c *streamClient) map[string]int {
+	got := map[string]int{}
+	for {
+		select {
+		case b := <-c.q:
+			var f struct {
+				Ch string `json:"ch"`
+			}
+			_ = json.Unmarshal(b, &f)
+			got[f.Ch]++
+		default:
+			return got
+		}
+	}
+}
+
+// TestHubFanout drives the hub directly (no HTTP): subscribe, append,
+// and expect batched tsdb frames with the right series names.
+func TestHubFanout(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 256})
+	h := newHub(st, nil, 5)
+	defer h.close()
+
+	c := h.attach()
+	if c == nil {
+		t.Fatal("attach returned nil")
+	}
+	// Hello frame arrives immediately.
+	select {
+	case b := <-c.q:
+		var hello helloFrame
+		if err := json.Unmarshal(b, &hello); err != nil || hello.Ch != "hello" {
+			t.Fatalf("first frame = %s, err=%v", b, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no hello frame")
+	}
+
+	c.handle([]byte(`{"op":"subscribe","ch":"tsdb","glob":"mac.*"}`))
+	if h.tsdbSubs.Load() != 1 {
+		t.Fatalf("tsdbSubs = %d, want 1", h.tsdbSubs.Load())
+	}
+
+	fld, _ := tsdb.ParseField("cqi")
+	mac := tsdb.SeriesKey{Agent: 0, Fn: 142, UE: 1, Field: fld}
+	rlc := tsdb.SeriesKey{Agent: 0, Fn: 143, UE: 1, Field: fld}
+	now := time.Now().UnixNano()
+	for i := 0; i < 10; i++ {
+		st.Append(mac, now+int64(i)*1e6, float64(i))
+		st.Append(rlc, now+int64(i)*1e6, float64(i)) // filtered out by glob
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var frame tsdbFrame
+	for time.Now().Before(deadline) {
+		select {
+		case b := <-c.q:
+			if err := json.Unmarshal(b, &frame); err != nil {
+				t.Fatalf("bad frame %s: %v", b, err)
+			}
+			if frame.Ch == ChanTSDB {
+				goto got
+			}
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	t.Fatal("no tsdb frame")
+got:
+	if len(frame.Series) != 1 || frame.Series[0].Name != "mac.0.1.cqi" {
+		t.Fatalf("series = %+v, want only mac.0.1.cqi", frame.Series)
+	}
+	if len(frame.Series[0].Samples) == 0 {
+		t.Fatal("no samples in frame")
+	}
+
+	// Unsubscribe releases the producer gate.
+	c.handle([]byte(`{"op":"unsubscribe","ch":"tsdb"}`))
+	if h.tsdbSubs.Load() != 0 {
+		t.Fatalf("tsdbSubs after unsubscribe = %d, want 0", h.tsdbSubs.Load())
+	}
+	// Protocol errors answer on the error channel instead of killing
+	// the connection.
+	c.handle([]byte(`{"op":"subscribe","ch":"nope"}`))
+	c.handle([]byte(`not json`))
+	c.handle([]byte(`{"op":"ping"}`))
+	got := drainFrames(c)
+	if got["error"] != 2 || got["pong"] != 1 {
+		t.Fatalf("control replies = %v, want 2 errors + 1 pong", got)
+	}
+	h.detach(c)
+	if h.NumClients() != 0 {
+		t.Fatalf("NumClients = %d after detach", h.NumClients())
+	}
+}
+
+// TestHubBackfill: subscribing with window_ms replays recent history
+// as one backfill-tagged frame.
+func TestHubBackfill(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 256})
+	h := newHub(st, nil, 5)
+	defer h.close()
+
+	fld, _ := tsdb.ParseField("cqi")
+	k := tsdb.SeriesKey{Agent: 2, Fn: 142, UE: 4, Field: fld}
+	now := time.Now().UnixNano()
+	for i := 0; i < 20; i++ {
+		st.Append(k, now-int64(20-i)*1e6, float64(i))
+	}
+
+	c := h.attach()
+	<-c.q // hello
+	c.handle([]byte(`{"op":"subscribe","ch":"tsdb","glob":"mac.*","window_ms":60000}`))
+	select {
+	case b := <-c.q:
+		var frame tsdbFrame
+		if err := json.Unmarshal(b, &frame); err != nil {
+			t.Fatal(err)
+		}
+		if !frame.Backfill {
+			t.Fatalf("frame not tagged backfill: %s", b)
+		}
+		if len(frame.Series) != 1 || frame.Series[0].Name != "mac.2.4.cqi" {
+			t.Fatalf("backfill series = %+v", frame.Series)
+		}
+		if len(frame.Series[0].Samples) != 20 {
+			t.Fatalf("backfill samples = %d, want 20", len(frame.Series[0].Samples))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no backfill frame")
+	}
+	h.detach(c)
+}
+
+// TestSlowClientDrop: a client that never drains its queue loses its
+// oldest frames; the producer side never blocks.
+func TestSlowClientDrop(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 64})
+	h := newHub(st, nil, 5)
+	defer h.close()
+
+	c := h.attach()
+	before := streamTel.dropped.Load()
+	// 3x the queue depth; enqueue must return promptly every time.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < clientQueueLen*3; i++ {
+			c.enqueue([]byte(`{"ch":"pong"}`))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue blocked on a slow client")
+	}
+	if len(c.q) > clientQueueLen {
+		t.Fatalf("queue overflowed: %d", len(c.q))
+	}
+	if streamTel.dropped.Load() == before {
+		t.Fatal("no dropped-frame telemetry recorded")
+	}
+	h.detach(c)
+}
+
+// TestTelemetryChannel: the first frame is a full dump, later frames
+// are deltas of changed metrics only.
+func TestTelemetryChannel(t *testing.T) {
+	h := newHub(nil, nil, 5)
+	defer h.close()
+
+	probe := tsdb.New(tsdb.Config{Capacity: 16}) // its appends move tsdb.appends
+	c := h.attach()
+	<-c.q // hello
+	c.handle([]byte(`{"op":"subscribe","ch":"telemetry","glob":"tsdb.*"}`))
+
+	var full telemetryFrame
+	select {
+	case b := <-c.q:
+		if err := json.Unmarshal(b, &full); err != nil || full.Ch != ChanTelemetry {
+			t.Fatalf("frame %s err %v", b, err)
+		}
+		if !full.Full {
+			t.Fatalf("first telemetry frame not full: %s", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no full telemetry frame")
+	}
+
+	fld, _ := tsdb.ParseField("cqi")
+	probe.Append(tsdb.SeriesKey{Agent: 9, Fn: 142, UE: 9, Field: fld}, time.Now().UnixNano(), 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case b := <-c.q:
+			var f telemetryFrame
+			if err := json.Unmarshal(b, &f); err != nil || f.Ch != ChanTelemetry {
+				continue
+			}
+			if f.Full {
+				t.Fatalf("unexpected second full frame: %s", b)
+			}
+			if _, ok := f.Metrics["tsdb.appends"]; ok {
+				return // delta observed
+			}
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	t.Fatal("no telemetry delta frame for tsdb.appends")
+}

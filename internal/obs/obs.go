@@ -1,23 +1,33 @@
 // Package obs is the SDK's live-introspection surface: a small HTTP
 // server exposing the telemetry registry (text and JSON), the tracing
-// ring as per-trace span trees, and net/http/pprof — mounted in the
-// flexric-ctrl and flexric-agent binaries via the -obs flag. It also
-// provides the Dumper helper that owns the binaries' periodic and
-// on-exit telemetry dumps (so the ticker goroutine is stopped and
-// flushed on shutdown instead of abandoned).
+// ring as per-trace span trees, net/http/pprof, and — with WithStream —
+// the control room: a WebSocket/SSE streaming layer plus an embedded
+// browser dashboard. Mounted in the flexric-ctrl and flexric-agent
+// binaries via the -obs flag.
 //
 // Endpoints:
 //
+//	GET /                 embedded control-room dashboard (WithStream only)
 //	GET /metrics          telemetry text dump (same as the -telemetry flags)
 //	GET /snapshot.json    telemetry snapshot as a JSON tree
 //	GET /traces?limit=N   most recent N traces as JSON span trees
 //	GET /tsdb/series      live time-series inventory (WithTSDB only)
 //	GET /tsdb/query       samples / windowed aggregates (WithTSDB only)
 //	GET /tsdb/stats       store occupancy & compression stats (WithTSDB only)
+//	GET /topology.json    controller topology snapshot (WithTopology only)
+//	GET /stream/ws        WebSocket push stream (WithStream only)
+//	GET /stream/sse       server-sent-events push stream (WithStream only)
 //	GET /debug/pprof/     standard pprof index (profile, heap, trace, ...)
+//
+// All endpoints are GET-only; other methods get 405 with an Allow
+// header. Each route counts obs.http.requests.<route> and observes
+// obs.http.latency.<route> (for the stream routes the "latency" is the
+// connection lifetime).
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,19 +41,59 @@ import (
 type Server struct {
 	lis  net.Listener
 	http *http.Server
+	hub  *Hub // nil unless WithStream
 }
 
 // Option configures optional surfaces of the observability server.
 type Option func(*options)
 
 type options struct {
-	store *tsdb.Store
+	store   *tsdb.Store
+	stream  bool
+	flushMS int
+	topoFn  func() any
 }
 
 // WithTSDB mounts the /tsdb/series, /tsdb/query, and /tsdb/stats
-// endpoints over the given store.
+// endpoints over the given store, and makes it the source of the
+// stream hub's tsdb channel when WithStream is also set.
 func WithTSDB(st *tsdb.Store) Option {
 	return func(o *options) { o.store = st }
+}
+
+// WithStream mounts the control room: the /stream/ws and /stream/sse
+// push endpoints and the dashboard at /. flushMS sets the hub's base
+// flush tick (<= 0 selects DefaultFlushMS). The stream hub installs
+// the process-global trace tail hook and the store's append hook for
+// as long as the server runs, so it is opt-in rather than always-on.
+func WithStream(flushMS int) Option {
+	return func(o *options) { o.stream = true; o.flushMS = flushMS }
+}
+
+// WithTopology mounts /topology.json and the stream hub's topology
+// channel over fn, which must return a JSON-marshalable snapshot (the
+// controller passes ctrl.Topology.Snapshot; obs stays decoupled from
+// the ctrl package).
+func WithTopology(fn func() any) Option {
+	return func(o *options) { o.topoFn = fn }
+}
+
+// route wraps a handler with per-endpoint telemetry and uniform
+// method enforcement.
+func route(label string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := telemetry.NewCounter("obs.http.requests." + label)
+	lat := telemetry.NewHistogram("obs.http.latency." + label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		reqs.Inc()
+		t0 := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(t0))
+	}
 }
 
 // NewServer binds addr (e.g. ":9090", "127.0.0.1:0") and starts serving.
@@ -57,13 +107,23 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", handleMetrics)
-	mux.HandleFunc("/snapshot.json", handleSnapshot)
-	mux.HandleFunc("/traces", handleTraces)
+	mux.HandleFunc("/metrics", route("metrics", handleMetrics))
+	mux.HandleFunc("/snapshot.json", route("snapshot", handleSnapshot))
+	mux.HandleFunc("/traces", route("traces", handleTraces))
 	if o.store != nil {
-		mux.HandleFunc("/tsdb/series", handleTSDBSeries(o.store))
-		mux.HandleFunc("/tsdb/query", handleTSDBQuery(o.store))
-		mux.HandleFunc("/tsdb/stats", handleTSDBStats(o.store))
+		mux.HandleFunc("/tsdb/series", route("tsdb_series", handleTSDBSeries(o.store)))
+		mux.HandleFunc("/tsdb/query", route("tsdb_query", handleTSDBQuery(o.store)))
+		mux.HandleFunc("/tsdb/stats", route("tsdb_stats", handleTSDBStats(o.store)))
+	}
+	if o.topoFn != nil {
+		mux.HandleFunc("/topology.json", route("topology", handleTopology(o.topoFn)))
+	}
+	s := &Server{lis: lis}
+	if o.stream {
+		s.hub = newHub(o.store, o.topoFn, o.flushMS)
+		mux.HandleFunc("/stream/ws", route("stream_ws", handleStreamWS(s.hub)))
+		mux.HandleFunc("/stream/sse", route("stream_sse", handleStreamSSE(s.hub)))
+		mux.HandleFunc("/", route("root", handleDashboard))
 	}
 	// pprof registers on the default mux only; re-mount explicitly so a
 	// custom mux works and nothing else leaks in.
@@ -72,10 +132,7 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{
-		lis:  lis,
-		http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-	}
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.http.Serve(lis) }()
 	return s, nil
 }
@@ -83,8 +140,32 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 // Addr returns the bound address, e.g. to print a startup banner.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.http.Close() }
+// Hub exposes the stream hub (nil unless WithStream), for tests.
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Shutdown stops the server gracefully: stream clients receive a
+// going-away WebSocket close frame (SSE streams end), the producer
+// hooks are uninstalled, and in-flight plain HTTP requests drain until
+// ctx expires. The binaries call this from their signal handlers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hub != nil {
+		s.hub.close()
+	}
+	if err := s.http.Shutdown(ctx); err != nil {
+		_ = s.http.Close()
+		return err
+	}
+	return nil
+}
+
+// Close stops the server immediately (tests and abnormal paths;
+// binaries prefer Shutdown).
+func (s *Server) Close() error {
+	if s.hub != nil {
+		s.hub.close()
+	}
+	return s.http.Close()
+}
 
 func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -94,4 +175,13 @@ func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = telemetry.DumpJSON(w)
+}
+
+// handleTopology serves GET /topology.json: the controller topology
+// snapshot the dashboard's topology panel renders.
+func handleTopology(fn func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(fn())
+	}
 }

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flexric/internal/obs/ws"
+)
+
+// Stream transports. Both speak the same frame vocabulary (hub.go);
+// they differ in how subscriptions arrive:
+//
+//	GET /stream/ws    WebSocket. The client sends JSON requests
+//	                  ({"op":"subscribe","ch":"tsdb","glob":"mac.*",...})
+//	                  over the socket and may re-subscribe live.
+//	GET /stream/sse   Server-sent events. Subscriptions are fixed at
+//	                  request time via query parameters: ch (repeatable),
+//	                  glob, flush_ms, window_ms.
+
+// wsWriteTimeout bounds each frame write so one dead client cannot
+// wedge its writer goroutine.
+const wsWriteTimeout = 5 * time.Second
+
+// handleStreamWS upgrades to WebSocket and bridges hub frames <-> the
+// socket. Reader and writer run as separate goroutines: the reader
+// parses protocol requests, the writer drains the client queue.
+func handleStreamWS(h *Hub) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		conn, err := ws.Upgrade(w, r)
+		if err != nil {
+			// Upgrade already wrote the HTTP error (or the connection is
+			// gone); nothing more to send.
+			return
+		}
+		conn.WriteTimeout = wsWriteTimeout
+		c := h.attach()
+		if c == nil {
+			_ = conn.CloseHandshake(ws.CloseGoingAway, "shutting down", time.Second)
+			_ = conn.Close()
+			return
+		}
+
+		// Reader: protocol requests until error/close.
+		readerDone := make(chan struct{})
+		go func() {
+			defer close(readerDone)
+			for {
+				op, payload, err := conn.ReadMessage()
+				if err != nil {
+					return
+				}
+				if op == ws.OpText || op == ws.OpBinary {
+					c.handle(payload)
+				}
+			}
+		}()
+
+		// Writer: hub frames until the client leaves or the hub shuts
+		// down. On shutdown the client gets a proper going-away close.
+		for {
+			select {
+			case frame := <-c.q:
+				if err := conn.WriteText(frame); err != nil {
+					h.detach(c)
+					_ = conn.Close()
+					<-readerDone
+					return
+				}
+			case <-c.shutdown:
+				// Hub-initiated: drain nothing more, say goodbye.
+				_ = conn.CloseHandshake(ws.CloseGoingAway, "shutting down", time.Second)
+				_ = conn.Close()
+				<-readerDone
+				return
+			case <-readerDone:
+				// Client-initiated close or socket error.
+				h.detach(c)
+				_ = conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// handleStreamSSE serves the same frames over text/event-stream for
+// consumers that cannot speak WebSocket (curl, EventSource).
+func handleStreamSSE(h *Hub) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		c := h.attach()
+		if c == nil {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		defer h.detach(c)
+
+		q := r.URL.Query()
+		chans := q["ch"]
+		if len(chans) == 0 {
+			chans = []string{ChanTelemetry}
+		}
+		flushMS := 0
+		if v := q.Get("flush_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad flush_ms parameter", http.StatusBadRequest)
+				return
+			}
+			flushMS = n
+		}
+		var windowMS int64
+		if v := q.Get("window_ms"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad window_ms parameter", http.StatusBadRequest)
+				return
+			}
+			windowMS = n
+		}
+		for _, ch := range chans {
+			if !validChannel(ch) {
+				http.Error(w, "unknown channel "+strconv.Quote(ch), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for _, ch := range chans {
+			c.subscribe(request{Op: "subscribe", Ch: ch, Glob: q.Get("glob"), FlushMS: flushMS, WindowMS: windowMS})
+		}
+
+		ctx := r.Context()
+		for {
+			select {
+			case frame := <-c.q:
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-c.shutdown:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

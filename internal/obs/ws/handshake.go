@@ -1,0 +1,160 @@
+package ws
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// wsGUID is the fixed RFC 6455 §1.3 key-derivation constant.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// acceptKey derives the Sec-WebSocket-Accept value from the client key.
+func acceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// headerHasToken reports whether a comma-separated header contains the
+// token (case-insensitive) — needed because "Connection: keep-alive,
+// Upgrade" is a legal handshake.
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsUpgrade reports whether the request asks for a WebSocket upgrade,
+// so a handler can branch to an SSE or plain-HTTP fallback.
+func IsUpgrade(r *http.Request) bool {
+	return headerHasToken(r.Header, "Connection", "upgrade") &&
+		strings.EqualFold(r.Header.Get("Upgrade"), "websocket")
+}
+
+// Upgrade performs the server side of the opening handshake and hijacks
+// the connection. On failure it writes the HTTP error itself and
+// returns a non-nil error; the caller must not touch w afterwards
+// either way.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: method not allowed", http.StatusMethodNotAllowed)
+		return nil, errors.New("ws: handshake method not GET")
+	}
+	if !IsUpgrade(r) {
+		http.Error(w, "websocket: not an upgrade request", http.StatusBadRequest)
+		return nil, errors.New("ws: not an upgrade request")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "websocket: unsupported version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("ws: unsupported version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: hijacking unsupported", http.StatusInternalServerError)
+		return nil, errors.New("ws: ResponseWriter is not a Hijacker")
+	}
+	nc, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	// The response goes out through the hijacked buffer so any bytes the
+	// HTTP server buffered stay ordered.
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	_ = nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := brw.WriteString(resp); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	_ = nc.SetWriteDeadline(time.Time{})
+	_ = nc.SetReadDeadline(time.Time{})
+	return &Conn{c: nc, br: brw.Reader}, nil
+}
+
+// Dial opens a client connection to rawURL (ws://host[:port]/path;
+// http:// is accepted as an alias). timeout bounds the TCP connect and
+// the handshake round trip; 0 means 5 s.
+func Dial(rawURL string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http", "":
+	default:
+		return nil, fmt.Errorf("ws: unsupported scheme %q (no TLS support)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	nc, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	var nonce [16]byte
+	for i := 0; i < len(nonce); i += 4 {
+		v := rand.Uint32()
+		nonce[i], nonce[i+1], nonce[i+2], nonce[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	key := base64.StdEncoding.EncodeToString(nonce[:])
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	_ = nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write([]byte(req)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		nc.Close()
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return &Conn{c: nc, br: br, client: true}, nil
+}

@@ -341,3 +341,11 @@ func (s *Server) agent(id AgentID) *agentConn {
 
 // Scheme returns the server's E2AP encoding scheme.
 func (s *Server) Scheme() e2ap.Scheme { return s.cfg.Scheme }
+
+// NumSubscriptions returns the count of live subscriptions across all
+// agents — part of the topology snapshot the control room renders.
+func (s *Server) NumSubscriptions() int {
+	s.subs.mu.Lock()
+	defer s.subs.mu.Unlock()
+	return len(s.subs.subs)
+}

@@ -100,7 +100,32 @@ type collector struct {
 
 var col = collector{buf: make([]SpanData, DefaultCapacity)}
 
+// TailHook observes every finished span as it is recorded, before it
+// enters the ring — the live feed behind the control room's span-tree
+// tail (internal/obs). It runs on the span-End path of whatever
+// goroutine finished the span: keep it non-blocking. Only sampled spans
+// reach it, so an unsampled run pays a single atomic load.
+type TailHook func(SpanData)
+
+var tailHook atomic.Pointer[TailHook]
+
+// SetTailHook installs (or, with nil, removes) the process-wide span
+// tail hook. At most one hook is active.
+func SetTailHook(h TailHook) {
+	if !Enabled {
+		return
+	}
+	if h == nil {
+		tailHook.Store(nil)
+		return
+	}
+	tailHook.Store(&h)
+}
+
 func (c *collector) record(d SpanData) {
+	if h := tailHook.Load(); h != nil {
+		(*h)(d)
+	}
 	c.mu.Lock()
 	if len(c.buf) != 0 {
 		c.buf[c.next] = d

@@ -215,3 +215,36 @@ func TestConcurrentRecordAndSnapshot(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 }
+
+// TestTailHook: sampled spans reach the tail hook as they finish, in
+// End order, and uninstalling stops delivery without touching the ring.
+func TestTailHook(t *testing.T) {
+	reset(t)
+	SetSampleEvery(1)
+	var mu sync.Mutex
+	var names []string
+	SetTailHook(func(d SpanData) {
+		mu.Lock()
+		names = append(names, d.Name)
+		mu.Unlock()
+	})
+	t.Cleanup(func() { SetTailHook(nil) })
+
+	root := StartRoot("tail.root")
+	child := StartChild(root.Context(), "tail.child")
+	child.End()
+	root.End()
+	SetTailHook(nil)
+	late := StartRoot("tail.late")
+	late.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(names) != 2 || names[0] != "tail.child" || names[1] != "tail.root" {
+		t.Fatalf("tail hook saw %v, want [tail.child tail.root]", names)
+	}
+	// The ring keeps recording independently of the hook.
+	if n := len(Snapshot()); n != 3 {
+		t.Fatalf("ring has %d spans, want 3", n)
+	}
+}

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -18,6 +19,42 @@ func BenchmarkTSDBAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Append(k, int64(i), float64(i))
+	}
+}
+
+// BenchmarkTSDBAppendHooked is BenchmarkTSDBAppend with an append hook
+// registered that mirrors the obs stream hub's delta buffer: a mutex
+// plus a fixed-capacity ring write. scripts/verify.sh gates this at
+// ≤1 alloc/op — publishing live deltas must not cost the ingest path
+// its allocation-free steady state.
+func BenchmarkTSDBAppendHooked(b *testing.B) {
+	s := New(Config{Capacity: 4096})
+	type delta struct {
+		k  SeriesKey
+		ts int64
+		v  float64
+	}
+	var (
+		mu   sync.Mutex
+		ring [1024]delta
+		n    int
+	)
+	s.SetAppendHook(func(k SeriesKey, ts int64, v float64) {
+		mu.Lock()
+		ring[n&1023] = delta{k, ts, v}
+		n++
+		mu.Unlock()
+	})
+	k := SeriesKey{Agent: 1, Fn: 142, UE: 3, Field: FieldCQI}
+	s.Append(k, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(k, int64(i), float64(i))
+	}
+	b.StopTimer()
+	if n != b.N+1 {
+		b.Fatalf("hook saw %d appends, want %d", n, b.N+1)
 	}
 }
 

@@ -40,6 +40,7 @@ package tsdb
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexric/internal/bufpool"
@@ -229,12 +230,20 @@ type shard struct {
 	raw    map[rawKey]*rawSeries
 }
 
+// AppendHook observes every stored sample, after it is in the ring. It
+// runs on the ingest hot path under the series lock released — the hook
+// must not block and must not allocate (the Append ≤1-alloc gate in
+// scripts/verify.sh runs with a hook registered). The obs stream hub
+// uses it to publish live deltas to control-room clients.
+type AppendHook func(k SeriesKey, ts int64, v float64)
+
 // Store is a sharded, bounded, in-memory time-series database.
 type Store struct {
 	cfg    Config
 	maxAge int64 // ns; 0 = disabled
 	shards []shard
 	mask   uint32
+	hook   atomic.Pointer[AppendHook]
 }
 
 // New returns a Store with the given configuration.
@@ -319,6 +328,21 @@ func (s *Store) Append(k SeriesKey, ts int64, v float64) {
 	}
 	se.mu.Unlock()
 	tel.appends.Inc()
+	if h := s.hook.Load(); h != nil {
+		(*h)(k, ts, v)
+	}
+}
+
+// SetAppendHook installs (or, with nil, removes) the store's append
+// hook. At most one hook is active; installation is atomic, so it may
+// race live appends — samples stored while the swap is in flight may
+// see either hook.
+func (s *Store) SetAppendHook(h AppendHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
 }
 
 // newSeries allocates an empty series shaped by the store's config.

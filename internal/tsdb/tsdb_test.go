@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -289,5 +290,78 @@ func TestConfigDefaults(t *testing.T) {
 	cfg := s.Config()
 	if cfg.Shards != 8 || cfg.Capacity != 1024 || cfg.RawCapacity != 64 {
 		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+// TestAppendHook: the hook sees every stored sample with the stored
+// key/timestamp/value, uninstalling stops delivery, and the hot path is
+// unchanged when no hook is set.
+func TestAppendHook(t *testing.T) {
+	s := New(Config{Capacity: 8})
+	type rec struct {
+		k  SeriesKey
+		ts int64
+		v  float64
+	}
+	var mu sync.Mutex
+	var got []rec
+	s.SetAppendHook(func(k SeriesKey, ts int64, v float64) {
+		mu.Lock()
+		got = append(got, rec{k, ts, v})
+		mu.Unlock()
+	})
+	k := key(1, 2, FieldCQI)
+	s.Append(k, 10, 1.5)
+	s.Append(k, 20, 2.5)
+	s.SetAppendHook(nil)
+	s.Append(k, 30, 3.5) // after uninstall: not observed
+	mu.Lock()
+	defer mu.Unlock()
+	want := []rec{{k, 10, 1.5}, {k, 20, 2.5}}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("hook[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The samples must all be in the store regardless of hook state.
+	if n := len(s.LastK(k, 8, nil)); n != 3 {
+		t.Errorf("stored %d samples, want 3", n)
+	}
+}
+
+// TestAppendHookConcurrent races SetAppendHook against live appends —
+// the swap is atomic, so this must be clean under -race.
+func TestAppendHookConcurrent(t *testing.T) {
+	s := New(Config{Capacity: 64})
+	k := key(9, 1, FieldMCS)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Append(k, int64(i), float64(i))
+		}
+	}()
+	var seen atomic.Uint64
+	h := func(SeriesKey, int64, float64) { seen.Add(1) }
+	for i := 0; i < 200; i++ {
+		s.SetAppendHook(h)
+		s.SetAppendHook(nil)
+	}
+	s.SetAppendHook(h)
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if seen.Load() == 0 {
+		t.Fatal("hook never fired")
 	}
 }

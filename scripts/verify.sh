@@ -44,6 +44,12 @@ go test -tags nofaultinject ./internal/faultinject/ ./internal/resilience/ ./int
 echo "==> seeded chaos suite (scripted drops + blackout, both codecs)"
 go test -count=1 -run 'TestChaosDemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
 
+echo "==> control-room demo (WebSocket stream e2e, both codecs)"
+# A headless WS client dials a live monitoring loop's /stream/ws,
+# subscribes to mac.* deltas plus topology and span channels, receives
+# batched delta frames, and closes with a clean RFC 6455 handshake.
+go test -count=1 -run 'TestControlRoomDemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
 echo "==> go build -tags notrace"
 go build -tags notrace ./...
 
@@ -129,6 +135,21 @@ for tags in "" "notelemetry" "notrace"; do
         exit 1
     fi
 done
+
+echo "==> tsdb append with stream hook registered (<=1 alloc/op gate)"
+# The control-room hub taps every Append through SetAppendHook; the gate
+# proves a registered hook (mutex + ring write, as the hub installs)
+# keeps the ingest path allocation-free.
+hk_out=$(go test -run xxx -bench 'BenchmarkTSDBAppendHooked$' -benchtime 10000x ./internal/tsdb/ 2>&1)
+echo "$hk_out"
+if ! echo "$hk_out" | grep -q 'BenchmarkTSDBAppendHooked'; then
+    echo "verify: BenchmarkTSDBAppendHooked did not run" >&2
+    exit 1
+fi
+if ! echo "$hk_out" | grep 'BenchmarkTSDBAppendHooked' | grep -Eq ' [0-1] allocs/op'; then
+    echo "verify: hooked tsdb append exceeds 1 alloc/op" >&2
+    exit 1
+fi
 
 echo "==> doc lint (markdown links + documented flags)"
 sh scripts/doclint.sh
