@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench trace-demo chaos-demo controlroom-demo verify fmt
+.PHONY: build test bench trace-demo chaos-demo controlroom-demo sla-demo verify fmt
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 # Paper figure suite + hot-path microbenches with -benchmem; writes
-# BENCH_pr6.json (name -> ns/op, B/op, allocs/op). Tunables:
+# BENCH_pr8.json (name -> ns/op, B/op, allocs/op). Tunables:
 # FIG_BENCHTIME, HOT_BENCHTIME, MICRO_BENCHTIME, OUT. See
 # scripts/bench.sh and docs/PERFORMANCE.md.
 bench:
@@ -37,6 +37,14 @@ chaos-demo:
 # handshake.
 controlroom-demo:
 	$(GO) test -run TestControlRoomDemo -v ./internal/experiments/
+
+# End-to-end A1 policy demo: an SLA policy installed over the /a1/*
+# northbound is enforced by the closed loop under both codecs — a load
+# surge on the neighbouring slice breaks the target (VIOLATED), the
+# loop shifts NVS capacity until it holds again (ENFORCED), and slice
+# churn plus a scripted reconnect storm do not unseat the verdict.
+sla-demo:
+	$(GO) test -run TestSLADemo -v ./internal/experiments/
 
 fmt:
 	gofmt -w .

@@ -18,6 +18,7 @@
 //	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s] [-compress]
 //	flexric-bench streamload [-agents 10] [-clients 8] [-dur 5s]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
+//	flexric-bench slaload [-scheme asn] [-connplan drop@1500,drop@1500,drop@1500]
 //	flexric-bench all    (reduced scale)
 package main
 
@@ -47,8 +48,8 @@ func main() {
 	readers := fs.Int("readers", 4, "concurrent query readers (tsdbload)")
 	clients := fs.Int("clients", 8, "concurrent WebSocket stream consumers (streamload)")
 	compress := fs.Bool("compress", false, "run the time-series store in chunk-compression mode (tsdbload)")
-	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos)")
-	connPlan := fs.String("connplan", "", "connection fault plan (chaos; empty = drop@120,drop@120)")
+	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos, slaload)")
+	connPlan := fs.String("connplan", "", "connection fault plan (chaos, slaload; empty = per-experiment default)")
 	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
 	tel := fs.Bool("telemetry", false, "print the telemetry snapshot after each experiment")
 	_ = fs.Parse(os.Args[2:])
@@ -143,6 +144,17 @@ func main() {
 				})
 			})
 		},
+		"slaload": func() {
+			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
+			if *scheme == "fb" {
+				e2s, sms = e2ap.SchemeFB, sm.SchemeFB
+			}
+			run("slaload", func() (fmt.Stringer, error) {
+				return experiments.SLALoad(experiments.SLALoadOptions{
+					E2Scheme: e2s, SMScheme: sms, ConnPlan: *connPlan,
+				})
+			})
+		},
 	}
 
 	switch cmd {
@@ -204,5 +216,6 @@ experiments:
   tsdbload  time-series store under windowed queries vs live ingest
   streamload  control-room WebSocket fan-out of live deltas
   chaos   resilience under a scripted fault plan (drops + blackout)
+  slaload   A1 SLA closed loop: violate, remedy, survive a reconnect storm
   all     everything, reduced scale`)
 }

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"flexric/internal/a1"
 	"flexric/internal/broker"
 	"flexric/internal/ctrl"
 	"flexric/internal/e2ap"
@@ -26,6 +27,7 @@ import (
 	"flexric/internal/sm"
 	"flexric/internal/trace"
 	"flexric/internal/tsdb"
+	"flexric/internal/xapp"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 	tsdbCompress := flag.Bool("tsdb-compress", false, "seal full series rings into compressed chunks with downsampling tiers instead of overwriting old samples")
 	tsdbSnapshot := flag.String("tsdb-snapshot", "", "time-series snapshot file: loaded at startup, written on shutdown (empty = off)")
 	tsdbSnapshotEvery := flag.Duration("tsdb-snapshot-every", 0, "also write the snapshot periodically (0 = shutdown-only; needs -tsdb-snapshot)")
+	a1On := flag.Bool("a1", false, "A1 policy plane: /a1/* northbound on the obs server plus the SLA enforcement loop (needs -obs, -slicing, and the tsdb)")
+	slaTick := flag.Uint("sla-tick", 500, "SLA enforcement tick period in ms (needs -a1)")
 	flag.Parse()
 
 	if *traceSample > 0 {
@@ -131,6 +135,7 @@ func main() {
 		defer sc.Close()
 		log.Printf("slicing REST on http://%s", sc.Addr())
 	}
+	var tcc *ctrl.TCController
 	if *tc != "" {
 		ba := *brokerAddr
 		if ba == "" {
@@ -142,12 +147,20 @@ func main() {
 			ba = bAddr
 			log.Printf("message broker on %s", ba)
 		}
-		tcc, err := ctrl.NewTCController(srv, sms, ba, *tc)
+		tcc, err = ctrl.NewTCController(srv, sms, ba, *tc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer tcc.Close()
 		log.Printf("traffic-control REST on http://%s", tcc.Addr())
+	}
+
+	var polStore *a1.Store
+	if *a1On {
+		if *obsAddr == "" || sc == nil || store == nil {
+			log.Fatal("-a1 needs -obs (the /a1/* northbound), -slicing (the remedy path), and the tsdb (-tsdb > 0)")
+		}
+		polStore = a1.NewStore()
 	}
 
 	// The observability server mounts last so the control room's
@@ -158,6 +171,9 @@ func main() {
 		if sc != nil {
 			topoOpts = append(topoOpts, ctrl.TopoWithSlicing(sc))
 		}
+		if polStore != nil {
+			topoOpts = append(topoOpts, ctrl.TopoWithA1(polStore))
+		}
 		topo := ctrl.NewTopology(srv, topoOpts...)
 		oo := []obs.Option{
 			obs.WithStream(0),
@@ -166,11 +182,30 @@ func main() {
 		if store != nil {
 			oo = append(oo, obs.WithTSDB(store))
 		}
+		if polStore != nil {
+			oo = append(oo, obs.WithA1(polStore))
+		}
 		o, err = obs.NewServer(*obsAddr, oo...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("control room on http://%s (dashboard at /, streams at /stream/ws and /stream/sse)", o.Addr())
+	}
+
+	if polStore != nil {
+		slaCfg := xapp.SLAConfig{
+			Policies:    polStore,
+			TSDB:        store,
+			SlicingBase: "http://" + sc.Addr(),
+			TickMS:      int(*slaTick),
+		}
+		if tcc != nil {
+			slaCfg.TCBase = "http://" + tcc.Addr()
+		}
+		slax := xapp.NewSLAXApp(slaCfg)
+		go slax.Run()
+		defer slax.Close()
+		log.Printf("A1 policy plane on http://%s/a1/ (SLA tick %dms)", o.Addr(), slaCfg.TickMS)
 	}
 
 	// Periodic status line.

@@ -1,0 +1,289 @@
+package a1
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"flexric/internal/telemetry"
+)
+
+// Store errors.
+var (
+	ErrExists   = errors.New("a1: policy already exists")
+	ErrNotFound = errors.New("a1: policy not found")
+)
+
+var storeTel = struct {
+	active      *telemetry.Gauge
+	created     *telemetry.Counter
+	updated     *telemetry.Counter
+	deleted     *telemetry.Counter
+	transitions *telemetry.Counter
+}{
+	active:      telemetry.NewGauge("a1.policies_active"),
+	created:     telemetry.NewCounter("a1.policies_created"),
+	updated:     telemetry.NewCounter("a1.policies_updated"),
+	deleted:     telemetry.NewCounter("a1.policies_deleted"),
+	transitions: telemetry.NewCounter("a1.status_transitions"),
+}
+
+// State is one policy plus its live enforcement state — the unit the
+// northbound returns and the stream channel carries.
+type State struct {
+	Policy Policy `json:"policy"`
+	Status Status `json:"status"`
+	// Reason explains the current status in operator terms ("slice 1
+	// p50 throughput 29.8 Mbps < target 45.0", ...).
+	Reason string `json:"reason,omitempty"`
+	// UpdatedNS is when the status last changed (Unix nanoseconds).
+	UpdatedNS int64 `json:"updated_ns"`
+	// Transitions counts status changes over the policy's lifetime.
+	Transitions uint64 `json:"transitions"`
+}
+
+// EventType tags a store event.
+type EventType string
+
+// Store event types, as carried on the control-room a1 channel.
+const (
+	EventCreated EventType = "created"
+	EventUpdated EventType = "updated"
+	EventDeleted EventType = "deleted"
+	EventStatus  EventType = "status"
+)
+
+// Event is one store mutation, delivered to the hook (and from there
+// to the control-room a1 stream channel).
+type Event struct {
+	Type  EventType
+	TS    int64 // Unix nanoseconds
+	State State // copy of the policy state after the mutation
+}
+
+// Store is the versioned in-memory policy store. All methods are safe
+// for concurrent use; the hook is invoked outside the store lock.
+type Store struct {
+	mu      sync.RWMutex
+	pols    map[string]*State
+	version uint64 // global monotonic version, bumped on create/update
+	hook    func(Event)
+}
+
+// NewStore returns an empty policy store.
+func NewStore() *Store {
+	return &Store{pols: make(map[string]*State)}
+}
+
+// SetHook installs fn as the store's event hook (nil uninstalls). One
+// hook at a time; the control-room hub is the intended consumer.
+func (s *Store) SetHook(fn func(Event)) {
+	s.mu.Lock()
+	s.hook = fn
+	s.mu.Unlock()
+}
+
+func (s *Store) fire(hook func(Event), typ EventType, st State) {
+	if hook != nil {
+		hook(Event{Type: typ, TS: time.Now().UnixNano(), State: st})
+	}
+}
+
+// Create validates and inserts a new policy. The stored copy gets the
+// next store version and status NOT_APPLIED.
+func (s *Store) Create(p Policy) (State, error) {
+	if err := p.Validate(); err != nil {
+		return State{}, err
+	}
+	s.mu.Lock()
+	if _, ok := s.pols[p.ID]; ok {
+		s.mu.Unlock()
+		return State{}, ErrExists
+	}
+	s.version++
+	p.Version = s.version
+	st := &State{
+		Policy:    p,
+		Status:    StatusNotApplied,
+		Reason:    "awaiting enforcement",
+		UpdatedNS: time.Now().UnixNano(),
+	}
+	s.pols[p.ID] = st
+	n := len(s.pols)
+	hook, out := s.hook, *st
+	s.mu.Unlock()
+	storeTel.created.Inc()
+	storeTel.active.Set(int64(n))
+	s.fire(hook, EventCreated, out)
+	return out, nil
+}
+
+// Update validates and replaces an existing policy. The version is
+// bumped and the status resets to NOT_APPLIED (the new targets have
+// not been evaluated yet); the transition counter carries over.
+func (s *Store) Update(id string, p Policy) (State, error) {
+	p.ID = id
+	if err := p.Validate(); err != nil {
+		return State{}, err
+	}
+	s.mu.Lock()
+	st, ok := s.pols[id]
+	if !ok {
+		s.mu.Unlock()
+		return State{}, ErrNotFound
+	}
+	s.version++
+	p.Version = s.version
+	st.Policy = p
+	st.Status = StatusNotApplied
+	st.Reason = "updated; awaiting enforcement"
+	st.UpdatedNS = time.Now().UnixNano()
+	hook, out := s.hook, *st
+	s.mu.Unlock()
+	storeTel.updated.Inc()
+	s.fire(hook, EventUpdated, out)
+	return out, nil
+}
+
+// Delete removes a policy; ok is false if it did not exist.
+func (s *Store) Delete(id string) (State, bool) {
+	s.mu.Lock()
+	st, ok := s.pols[id]
+	if !ok {
+		s.mu.Unlock()
+		return State{}, false
+	}
+	delete(s.pols, id)
+	n := len(s.pols)
+	hook, out := s.hook, *st
+	s.mu.Unlock()
+	storeTel.deleted.Inc()
+	storeTel.active.Set(int64(n))
+	s.fire(hook, EventDeleted, out)
+	return out, true
+}
+
+// Get returns a copy of one policy's state.
+func (s *Store) Get(id string) (State, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.pols[id]
+	if !ok {
+		return State{}, false
+	}
+	return *st, true
+}
+
+// List returns copies of every policy state, sorted by ID.
+func (s *Store) List() []State {
+	s.mu.RLock()
+	out := make([]State, 0, len(s.pols))
+	for _, st := range s.pols {
+		out = append(out, *st)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Policy.ID < out[j].Policy.ID })
+	return out
+}
+
+// ActiveFor returns the policies targeting one agent, highest priority
+// first (ID breaks ties) — the order the enforcement loop evaluates
+// them in.
+func (s *Store) ActiveFor(agent int) []State {
+	s.mu.RLock()
+	var out []State
+	for _, st := range s.pols {
+		if st.Policy.Agent == agent {
+			out = append(out, *st)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Policy.Priority != out[j].Policy.Priority {
+			return out[i].Policy.Priority > out[j].Policy.Priority
+		}
+		return out[i].Policy.ID < out[j].Policy.ID
+	})
+	return out
+}
+
+// Agents returns the distinct agent IDs with at least one policy,
+// ascending.
+func (s *Store) Agents() []int {
+	s.mu.RLock()
+	seen := make(map[int]bool)
+	for _, st := range s.pols {
+		seen[st.Policy.Agent] = true
+	}
+	s.mu.RUnlock()
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len reports the stored policy count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pols)
+}
+
+// SetStatus records an enforcement verdict for one policy. The event
+// fires (and the transition counts) only when the status actually
+// changes; reason-only refreshes update the stored reason silently so
+// a steady VIOLATED tick stream does not flood the a1 channel.
+// changed reports whether a transition happened; ok is false when the
+// policy no longer exists.
+func (s *Store) SetStatus(id string, status Status, reason string) (st State, changed, ok bool) {
+	s.mu.Lock()
+	cur, found := s.pols[id]
+	if !found {
+		s.mu.Unlock()
+		return State{}, false, false
+	}
+	changed = cur.Status != status
+	cur.Reason = reason
+	if changed {
+		cur.Status = status
+		cur.UpdatedNS = time.Now().UnixNano()
+		cur.Transitions++
+	}
+	hook, out := s.hook, *cur
+	s.mu.Unlock()
+	if changed {
+		storeTel.transitions.Inc()
+		s.fire(hook, EventStatus, out)
+	}
+	return out, changed, true
+}
+
+// StatusSummary is the GET /a1/status payload: the fleet-wide rollup
+// plus every policy's live state.
+type StatusSummary struct {
+	Policies   int     `json:"policies"`
+	Enforced   int     `json:"enforced"`
+	Violated   int     `json:"violated"`
+	NotApplied int     `json:"not_applied"`
+	States     []State `json:"states"`
+}
+
+// Summary builds the /a1/status rollup.
+func (s *Store) Summary() StatusSummary {
+	states := s.List()
+	sum := StatusSummary{Policies: len(states), States: states}
+	for _, st := range states {
+		switch st.Status {
+		case StatusEnforced:
+			sum.Enforced++
+		case StatusViolated:
+			sum.Violated++
+		default:
+			sum.NotApplied++
+		}
+	}
+	return sum
+}

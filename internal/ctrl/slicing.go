@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net"
 	"net/http"
 	"strconv"
@@ -189,6 +190,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// requireJSON gates POST bodies on Content-Type application/json (any
+// charset); anything else is 415, matching the A1 northbound's body
+// handling.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "application/json" {
+		http.Error(w, "unsupported content type: want application/json", http.StatusUnsupportedMediaType)
+		return false
+	}
+	return true
+}
+
 func (c *SlicingController) handleAgents(w http.ResponseWriter, r *http.Request) {
 	type agentJSON struct {
 		ID     int      `json:"id"`
@@ -259,6 +272,11 @@ func (c *SlicingController) handleStatsAgg(w http.ResponseWriter, r *http.Reques
 }
 
 func (c *SlicingController) handleSlices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	id, err := agentParam(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -275,6 +293,9 @@ func (c *SlicingController) handleSlices(w http.ResponseWriter, r *http.Request)
 		}
 		writeJSON(w, st)
 	case http.MethodPost:
+		if !requireJSON(w, r) {
+			return
+		}
 		var body SliceConfigJSON
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -290,19 +311,21 @@ func (c *SlicingController) handleSlices(w http.ResponseWriter, r *http.Request)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
 
 func (c *SlicingController) handleAssoc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	id, err := agentParam(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !requireJSON(w, r) {
 		return
 	}
 	var body AssocJSON

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"flexric/internal/a1"
 	"flexric/internal/server"
 	"flexric/internal/sm"
 )
@@ -16,9 +17,10 @@ import (
 // Snapshot takes no locks beyond theirs and is safe to call from the
 // obs stream hub's flush tick.
 type Topology struct {
-	srv     *server.Server
-	mon     *Monitor
-	slicing *SlicingController
+	srv      *server.Server
+	mon      *Monitor
+	slicing  *SlicingController
+	policies *a1.Store
 }
 
 // TopologyOption configures a Topology.
@@ -33,6 +35,13 @@ func TopoWithMonitor(m *Monitor) TopologyOption {
 // TopoWithSlicing includes per-agent slice status in snapshots.
 func TopoWithSlicing(sc *SlicingController) TopologyOption {
 	return func(t *Topology) { t.slicing = sc }
+}
+
+// TopoWithA1 includes the A1 policy plane in snapshots: the active
+// policy count and each policy's current SLA verdict, so /topology.json
+// shows the closed loop next to the slice state it steers.
+func TopoWithA1(st *a1.Store) TopologyOption {
+	return func(t *Topology) { t.policies = st }
 }
 
 // NewTopology builds a topology view over a server.
@@ -60,6 +69,16 @@ type TopologySlice struct {
 	UEs    []sm.UESliceAssoc `json:"ues,omitempty"`
 }
 
+// TopologySLA is one A1 policy's live verdict in a snapshot.
+type TopologySLA struct {
+	Policy  string   `json:"policy"`
+	Agent   int      `json:"agent"`
+	Slices  []uint32 `json:"slices,omitempty"` // slice IDs under targets
+	Status  string   `json:"status"`
+	Reason  string   `json:"reason,omitempty"`
+	Version uint64   `json:"version"`
+}
+
 // TopologySnapshot is one point-in-time view of controller state.
 type TopologySnapshot struct {
 	TS            int64           `json:"ts"`
@@ -69,6 +88,8 @@ type TopologySnapshot struct {
 	BytesIn       uint64          `json:"bytes_in,omitempty"`
 	Series        int             `json:"series,omitempty"`
 	Slices        []TopologySlice `json:"slices,omitempty"`
+	A1Policies    int             `json:"a1_policies,omitempty"`
+	SLA           []TopologySLA   `json:"sla,omitempty"`
 }
 
 // fnNames maps the shipped service-model IDs to short names; unknown
@@ -142,6 +163,22 @@ func (t *Topology) Snapshot() TopologySnapshot {
 			})
 		}
 		sort.Slice(snap.Slices, func(i, j int) bool { return snap.Slices[i].Agent < snap.Slices[j].Agent })
+	}
+	if t.policies != nil {
+		for _, st := range t.policies.List() {
+			sla := TopologySLA{
+				Policy:  st.Policy.ID,
+				Agent:   st.Policy.Agent,
+				Status:  string(st.Status),
+				Reason:  st.Reason,
+				Version: st.Policy.Version,
+			}
+			for _, tgt := range st.Policy.Targets {
+				sla.Slices = append(sla.Slices, tgt.SliceID)
+			}
+			snap.SLA = append(snap.SLA, sla)
+		}
+		snap.A1Policies = len(snap.SLA)
 	}
 	return snap
 }

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"flexric/internal/a1"
+	"flexric/internal/obs/ws"
+	"flexric/internal/tsdb"
+)
+
+// TestA1MountAndStream covers the WithA1 surface end to end: the /a1/*
+// northbound mounted on the obs mux, the a1 stream channel's backfill
+// on subscribe, and live store events (create + status transition)
+// arriving as batched event frames.
+func TestA1MountAndStream(t *testing.T) {
+	pol := a1.NewStore()
+	st := tsdb.New(tsdb.Config{Capacity: 64})
+	s := newStreamServer(t, st, WithA1(pol))
+
+	// Pre-existing policy: must appear in the backfill.
+	if _, err := pol.Create(a1.Policy{
+		ID: "pre", TypeID: a1.TypeSliceSLA, Agent: 0, WindowMS: 200,
+		Targets: []a1.SliceTarget{{SliceID: 1, MinThroughputMbps: 10}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Northbound mounted: create a second policy over HTTP.
+	resp, err := http.Post("http://"+s.Addr()+"/a1/policies", "application/json",
+		strings.NewReader(`{"id":"live","typeId":"slice_sla_v1","agent":0,"windowMs":200,"targets":[{"sliceId":2,"maxLatencyMs":20}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create over obs mux: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	conn, err := ws.Dial("ws://"+s.Addr()+"/stream/ws", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello helloFrame
+	readFrame(t, conn, "hello", &hello)
+	hasA1 := false
+	for _, ch := range hello.Channels {
+		if ch == ChanA1 {
+			hasA1 = true
+		}
+	}
+	if !hasA1 {
+		t.Fatalf("hello channels %v missing a1", hello.Channels)
+	}
+
+	if err := conn.WriteText([]byte(`{"op":"subscribe","ch":"a1","flush_ms":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	var backfill a1Frame
+	readFrame(t, conn, "a1", &backfill)
+	if !backfill.Backfill || len(backfill.Events) != 2 {
+		t.Fatalf("backfill frame %+v", backfill)
+	}
+	for _, e := range backfill.Events {
+		if e.Type != "state" || e.Status != string(a1.StatusNotApplied) {
+			t.Fatalf("backfill event %+v", e)
+		}
+	}
+
+	// A live transition must arrive as a status event.
+	pol.SetStatus("live", a1.StatusViolated, "slice 2 over latency budget")
+	deadline := time.Now().Add(5 * time.Second)
+	var got *a1EventWire
+	for got == nil && time.Now().Before(deadline) {
+		var frame a1Frame
+		readFrame(t, conn, "a1", &frame)
+		for i := range frame.Events {
+			if frame.Events[i].Type == string(a1.EventStatus) {
+				got = &frame.Events[i]
+			}
+		}
+	}
+	if got == nil {
+		t.Fatal("no status event delivered")
+	}
+	if got.ID != "live" || got.Status != string(a1.StatusViolated) || got.Reason == "" || got.TS == 0 {
+		t.Fatalf("status event %+v", got)
+	}
+
+	// Glob filter on policy ID: only matching events flow.
+	if err := conn.WriteText([]byte(`{"op":"subscribe","ch":"a1","glob":"pre*","flush_ms":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	var filtered a1Frame
+	readFrame(t, conn, "a1", &filtered)
+	if !filtered.Backfill || len(filtered.Events) != 1 || filtered.Events[0].ID != "pre" {
+		t.Fatalf("glob backfill %+v", filtered)
+	}
+
+	if err := conn.CloseHandshake(ws.CloseNormal, "done", 2*time.Second); err != nil {
+		t.Fatalf("close handshake: %v", err)
+	}
+}
+
+// TestA1SubscribeWithoutStore: subscribing to a1 on a hub without a
+// policy store must produce an error frame, not a silent no-op.
+func TestA1SubscribeWithoutStore(t *testing.T) {
+	st := tsdb.New(tsdb.Config{Capacity: 64})
+	s := newStreamServer(t, st)
+	conn, err := ws.Dial("ws://"+s.Addr()+"/stream/ws", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	readFrame(t, conn, "hello", nil)
+	if err := conn.WriteText([]byte(`{"op":"subscribe","ch":"a1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	var ef errorFrame
+	readFrame(t, conn, "error", &ef)
+	if !strings.Contains(ef.Error, "no policy store") {
+		t.Fatalf("error frame %+v", ef)
+	}
+}
+
+// TestA1HookUninstallOnClose: closing the obs server must detach the
+// hub's hook from the store so later mutations do not touch freed hub
+// state (and a second server can install its own hook).
+func TestA1HookUninstallOnClose(t *testing.T) {
+	pol := a1.NewStore()
+	st := tsdb.New(tsdb.Config{Capacity: 64})
+	s, err := NewServer("127.0.0.1:0", WithTSDB(st), WithStream(5), WithA1(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// With the hook uninstalled this must not panic or deadlock.
+	if _, err := pol.Create(a1.Policy{
+		ID: "after", TypeID: a1.TypeSliceSLA, WindowMS: 100,
+		Targets: []a1.SliceTarget{{SliceID: 1, MaxLatencyMS: 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,19 +9,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexric/internal/a1"
 	"flexric/internal/telemetry"
 	"flexric/internal/trace"
 	"flexric/internal/tsdb"
 )
 
 // The control-room stream hub: fans live controller state out to
-// browser/WS/SSE clients over three push channels plus a topology feed.
+// browser/WS/SSE clients over four push channels plus a topology feed.
 //
 //	tsdb       per-sample deltas from the monitoring store, batched per
 //	           flush tick and filtered by a series-name glob
 //	telemetry  counter/gauge/histogram deltas vs the client's last frame
 //	spans      the tail of the trace ring (spans as they finish)
 //	topology   agents / subscriptions / slices snapshot, sent on change
+//	a1         policy store events (create/update/delete/status), with
+//	           the current policy states backfilled on subscribe
 //
 // Producers never block: the tsdb append hook and trace tail hook write
 // into fixed-capacity drop-oldest rings gated on atomic subscriber
@@ -37,6 +40,7 @@ const (
 	ChanTelemetry = "telemetry"
 	ChanSpans     = "spans"
 	ChanTopology  = "topology"
+	ChanA1        = "a1"
 )
 
 const (
@@ -51,6 +55,8 @@ const (
 	pendingDeltaCap = 16384
 	// pendingSpanCap bounds the hub-wide span tail ring.
 	pendingSpanCap = 2048
+	// pendingA1Cap bounds the hub-wide policy event ring.
+	pendingA1Cap = 1024
 	// clientAccCap bounds each client's between-flush accumulators.
 	clientAccCap = 16384
 	// backfillMaxSeries caps how many series one subscribe backfills.
@@ -80,8 +86,9 @@ type delta struct {
 
 // Hub owns the stream state and the flush loop.
 type Hub struct {
-	store  *tsdb.Store // nil when no store is mounted
-	topoFn func() any  // nil when no topology source is mounted
+	store   *tsdb.Store // nil when no store is mounted
+	topoFn  func() any  // nil when no topology source is mounted
+	a1Store *a1.Store   // nil when no policy store is mounted
 
 	baseTick time.Duration
 
@@ -89,6 +96,7 @@ type Hub struct {
 	// hooks return before taking any lock.
 	tsdbSubs atomic.Int64
 	spanSubs atomic.Int64
+	a1Subs   atomic.Int64
 
 	dmu    sync.Mutex
 	deltas []delta // fixed-cap drop-oldest ring
@@ -99,6 +107,11 @@ type Hub struct {
 	spans  []trace.SpanData
 	spHead int
 	spLen  int
+
+	amu    sync.Mutex
+	a1Evs  []a1.Event
+	a1Head int
+	a1Len  int
 
 	cmu     sync.Mutex
 	clients map[*streamClient]struct{}
@@ -114,16 +127,18 @@ type Hub struct {
 
 // newHub builds a hub and installs the producer hooks. flushMS <= 0
 // selects DefaultFlushMS.
-func newHub(store *tsdb.Store, topoFn func() any, flushMS int) *Hub {
+func newHub(store *tsdb.Store, topoFn func() any, a1Store *a1.Store, flushMS int) *Hub {
 	if flushMS <= 0 {
 		flushMS = DefaultFlushMS
 	}
 	h := &Hub{
 		store:    store,
 		topoFn:   topoFn,
+		a1Store:  a1Store,
 		baseTick: time.Duration(flushMS) * time.Millisecond,
 		deltas:   make([]delta, pendingDeltaCap),
 		spans:    make([]trace.SpanData, pendingSpanCap),
+		a1Evs:    make([]a1.Event, pendingA1Cap),
 		clients:  make(map[*streamClient]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -131,6 +146,9 @@ func newHub(store *tsdb.Store, topoFn func() any, flushMS int) *Hub {
 	if store != nil {
 		store.SetAppendHook(h.onAppend)
 		h.hookInstalled = true
+	}
+	if a1Store != nil {
+		a1Store.SetHook(h.onA1Event)
 	}
 	trace.SetTailHook(h.onSpan)
 	go h.flushLoop()
@@ -154,6 +172,25 @@ func (h *Hub) onAppend(k tsdb.SeriesKey, ts int64, v float64) {
 	h.deltas[(h.dHead+h.dLen)%len(h.deltas)] = delta{k: k, ts: ts, v: v}
 	h.dLen++
 	h.dmu.Unlock()
+}
+
+// onA1Event is the policy store hook; same contract as onAppend,
+// except events keep flowing with zero subscribers only in the sense
+// that the atomic check skips the ring work — the store still fires
+// the hook, which is cheap and rare (policy mutations, not samples).
+func (h *Hub) onA1Event(e a1.Event) {
+	if h.a1Subs.Load() == 0 {
+		return
+	}
+	h.amu.Lock()
+	if h.a1Len == len(h.a1Evs) {
+		h.a1Head = (h.a1Head + 1) % len(h.a1Evs)
+		h.a1Len--
+		streamTel.ringDropped.Inc()
+	}
+	h.a1Evs[(h.a1Head+h.a1Len)%len(h.a1Evs)] = e
+	h.a1Len++
+	h.amu.Unlock()
 }
 
 // onSpan is the trace tail hook; same contract as onAppend.
@@ -192,6 +229,9 @@ func (h *Hub) close() {
 	<-h.done
 	if h.hookInstalled {
 		h.store.SetAppendHook(nil)
+	}
+	if h.a1Store != nil {
+		h.a1Store.SetHook(nil)
 	}
 	trace.SetTailHook(nil)
 	for _, c := range clients {
@@ -232,6 +272,7 @@ type streamClient struct {
 	acc      []delta // pending tsdb deltas for this client
 	accDrop  bool
 	spanAcc  []trace.SpanData
+	a1Acc    []a1.Event
 	prevTel  map[string]float64
 	lastTopo []byte
 }
@@ -256,7 +297,7 @@ func (h *Hub) attach() *streamClient {
 	streamTel.clients.Set(int64(n))
 	c.enqueue(marshalFrame(helloFrame{
 		Ch:          "hello",
-		Channels:    []string{ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology},
+		Channels:    []string{ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology, ChanA1},
 		BaseFlushMS: int(h.baseTick / time.Millisecond),
 	}))
 	return c
@@ -290,6 +331,8 @@ func (h *Hub) subCount(ch string) *atomic.Int64 {
 		return &h.tsdbSubs
 	case ChanSpans:
 		return &h.spanSubs
+	case ChanA1:
+		return &h.a1Subs
 	}
 	return &dummyCount
 }
@@ -364,7 +407,7 @@ func (c *streamClient) handle(raw []byte) {
 
 func validChannel(ch string) bool {
 	switch ch {
-	case ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology:
+	case ChanTSDB, ChanTelemetry, ChanSpans, ChanTopology, ChanA1:
 		return true
 	}
 	return false
@@ -381,6 +424,10 @@ func (c *streamClient) subscribe(req request) {
 	}
 	if req.Ch == ChanTopology && c.h.topoFn == nil {
 		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "no topology source mounted"}))
+		return
+	}
+	if req.Ch == ChanA1 && c.h.a1Store == nil {
+		c.enqueue(marshalFrame(errorFrame{Ch: "error", Error: "no policy store mounted"}))
 		return
 	}
 	glob := req.Glob
@@ -410,6 +457,9 @@ func (c *streamClient) subscribe(req request) {
 	}
 	if req.Ch == ChanTSDB && req.WindowMS > 0 {
 		c.backfill(glob, req.WindowMS)
+	}
+	if req.Ch == ChanA1 {
+		c.backfillA1(glob)
 	}
 }
 
@@ -525,6 +575,49 @@ type topologyFrame struct {
 	Topology json.RawMessage `json:"topology"`
 }
 
+// a1EventWire is one policy event on the wire. Backfill frames carry
+// the current states as type "state" events.
+type a1EventWire struct {
+	Type    string  `json:"type"`
+	ID      string  `json:"id"`
+	Agent   int     `json:"agent"`
+	Status  string  `json:"status"`
+	Reason  string  `json:"reason,omitempty"`
+	Version uint64  `json:"version"`
+	TS      float64 `json:"ts"` // Unix milliseconds
+}
+
+type a1Frame struct {
+	Ch       string        `json:"ch"`
+	Backfill bool          `json:"backfill,omitempty"`
+	Events   []a1EventWire `json:"events"`
+}
+
+func a1Wire(typ string, tsNS int64, st a1.State) a1EventWire {
+	return a1EventWire{
+		Type:    typ,
+		ID:      st.Policy.ID,
+		Agent:   st.Policy.Agent,
+		Status:  string(st.Status),
+		Reason:  st.Reason,
+		Version: st.Policy.Version,
+		TS:      float64(tsNS / int64(time.Millisecond)),
+	}
+}
+
+// backfillA1 sends the current policy states matching glob (on the
+// policy ID) so a fresh dashboard starts with the live picture.
+func (c *streamClient) backfillA1(glob string) {
+	frame := a1Frame{Ch: ChanA1, Backfill: true}
+	for _, st := range c.h.a1Store.List() {
+		if !globMatch(glob, st.Policy.ID) {
+			continue
+		}
+		frame.Events = append(frame.Events, a1Wire("state", st.UpdatedNS, st))
+	}
+	c.enqueue(marshalFrame(frame))
+}
+
 // backfill sends the recent history of every series matching glob as
 // one frame, so a fresh dashboard starts with context instead of an
 // empty chart.
@@ -585,6 +678,7 @@ func (h *Hub) flushLoop() {
 		deltaScratch []delta
 		nameScratch  []string
 		spanScratch  []trace.SpanData
+		a1Scratch    []a1.Event
 	)
 	for {
 		select {
@@ -615,6 +709,14 @@ func (h *Hub) flushLoop() {
 		h.spHead, h.spLen = 0, 0
 		h.smu.Unlock()
 
+		a1Scratch = a1Scratch[:0]
+		h.amu.Lock()
+		for i := 0; i < h.a1Len; i++ {
+			a1Scratch = append(a1Scratch, h.a1Evs[(h.a1Head+i)%len(h.a1Evs)])
+		}
+		h.a1Head, h.a1Len = 0, 0
+		h.amu.Unlock()
+
 		h.cmu.Lock()
 		clients := make([]*streamClient, 0, len(h.clients))
 		for c := range h.clients {
@@ -626,7 +728,7 @@ func (h *Hub) flushLoop() {
 		var telFlat map[string]float64
 		var topoBytes []byte
 		for _, c := range clients {
-			c.flushTick(deltaScratch, nameScratch, spanScratch, &telFlat, &topoBytes)
+			c.flushTick(deltaScratch, nameScratch, spanScratch, a1Scratch, &telFlat, &topoBytes)
 		}
 		streamTel.fanout.Observe(time.Since(t0))
 	}
@@ -634,7 +736,7 @@ func (h *Hub) flushLoop() {
 
 // flushTick accumulates this tick's data into the client and emits
 // frames for every subscription due on this tick.
-func (c *streamClient) flushTick(deltas []delta, names []string, spans []trace.SpanData, telFlat *map[string]float64, topoBytes *[]byte) {
+func (c *streamClient) flushTick(deltas []delta, names []string, spans []trace.SpanData, a1Evs []a1.Event, telFlat *map[string]float64, topoBytes *[]byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tick++
@@ -658,6 +760,12 @@ func (c *streamClient) flushTick(deltas []delta, names []string, spans []trace.S
 		c.spanAcc = append(c.spanAcc, spans...)
 		if len(c.spanAcc) > clientAccCap {
 			c.spanAcc = c.spanAcc[len(c.spanAcc)-clientAccCap:]
+		}
+	}
+	if c.subs[ChanA1] != nil {
+		c.a1Acc = append(c.a1Acc, a1Evs...)
+		if len(c.a1Acc) > clientAccCap {
+			c.a1Acc = c.a1Acc[len(c.a1Acc)-clientAccCap:]
 		}
 	}
 
@@ -720,6 +828,20 @@ func (c *streamClient) flushTick(deltas []delta, names []string, spans []trace.S
 		}
 		c.spanAcc = c.spanAcc[:0]
 		if len(frame.Spans) > 0 {
+			c.enqueue(marshalFrame(frame))
+		}
+	}
+
+	if sub := c.subs[ChanA1]; sub != nil && c.tick%uint64(sub.every) == 0 && len(c.a1Acc) > 0 {
+		frame := a1Frame{Ch: ChanA1}
+		for _, e := range c.a1Acc {
+			if !globMatch(sub.glob, e.State.Policy.ID) {
+				continue
+			}
+			frame.Events = append(frame.Events, a1Wire(string(e.Type), e.TS, e.State))
+		}
+		c.a1Acc = c.a1Acc[:0]
+		if len(frame.Events) > 0 {
 			c.enqueue(marshalFrame(frame))
 		}
 	}

@@ -72,7 +72,7 @@ func drainFrames(c *streamClient) map[string]int {
 // and expect batched tsdb frames with the right series names.
 func TestHubFanout(t *testing.T) {
 	st := tsdb.New(tsdb.Config{Capacity: 256})
-	h := newHub(st, nil, 5)
+	h := newHub(st, nil, nil, 5)
 	defer h.close()
 
 	c := h.attach()
@@ -151,7 +151,7 @@ got:
 // as one backfill-tagged frame.
 func TestHubBackfill(t *testing.T) {
 	st := tsdb.New(tsdb.Config{Capacity: 256})
-	h := newHub(st, nil, 5)
+	h := newHub(st, nil, nil, 5)
 	defer h.close()
 
 	fld, _ := tsdb.ParseField("cqi")
@@ -189,7 +189,7 @@ func TestHubBackfill(t *testing.T) {
 // oldest frames; the producer side never blocks.
 func TestSlowClientDrop(t *testing.T) {
 	st := tsdb.New(tsdb.Config{Capacity: 64})
-	h := newHub(st, nil, 5)
+	h := newHub(st, nil, nil, 5)
 	defer h.close()
 
 	c := h.attach()
@@ -219,7 +219,7 @@ func TestSlowClientDrop(t *testing.T) {
 // TestTelemetryChannel: the first frame is a full dump, later frames
 // are deltas of changed metrics only.
 func TestTelemetryChannel(t *testing.T) {
-	h := newHub(nil, nil, 5)
+	h := newHub(nil, nil, nil, 5)
 	defer h.close()
 
 	probe := tsdb.New(tsdb.Config{Capacity: 16}) // its appends move tsdb.appends

@@ -15,14 +15,17 @@
 //	GET /tsdb/query       samples / windowed aggregates (WithTSDB only)
 //	GET /tsdb/stats       store occupancy & compression stats (WithTSDB only)
 //	GET /topology.json    controller topology snapshot (WithTopology only)
+//	GET /a1/...           A1 policy northbound (WithA1 only; see internal/a1)
 //	GET /stream/ws        WebSocket push stream (WithStream only)
 //	GET /stream/sse       server-sent-events push stream (WithStream only)
 //	GET /debug/pprof/     standard pprof index (profile, heap, trace, ...)
 //
-// All endpoints are GET-only; other methods get 405 with an Allow
-// header. Each route counts obs.http.requests.<route> and observes
-// obs.http.latency.<route> (for the stream routes the "latency" is the
-// connection lifetime).
+// All endpoints except /a1/ are GET-only; other methods get 405 with
+// an Allow header. Each route counts obs.http.requests.<route> and
+// observes obs.http.latency.<route> (for the stream routes the
+// "latency" is the connection lifetime); the /a1/ routes do their own
+// method enforcement (they accept POST/PUT/DELETE) and count under
+// a1.http.* instead.
 package obs
 
 import (
@@ -33,6 +36,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"flexric/internal/a1"
 	"flexric/internal/telemetry"
 	"flexric/internal/tsdb"
 )
@@ -52,6 +56,7 @@ type options struct {
 	stream  bool
 	flushMS int
 	topoFn  func() any
+	a1Store *a1.Store
 }
 
 // WithTSDB mounts the /tsdb/series, /tsdb/query, and /tsdb/stats
@@ -76,6 +81,14 @@ func WithStream(flushMS int) Option {
 // the ctrl package).
 func WithTopology(fn func() any) Option {
 	return func(o *options) { o.topoFn = fn }
+}
+
+// WithA1 mounts the A1 policy northbound (/a1/policies,
+// /a1/policies/{id}, /a1/status, /a1/types) over the given store, and
+// makes it the source of the stream hub's a1 channel when WithStream
+// is also set.
+func WithA1(st *a1.Store) Option {
+	return func(o *options) { o.a1Store = st }
 }
 
 // route wraps a handler with per-endpoint telemetry and uniform
@@ -118,9 +131,15 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 	if o.topoFn != nil {
 		mux.HandleFunc("/topology.json", route("topology", handleTopology(o.topoFn)))
 	}
+	if o.a1Store != nil {
+		// The a1 handler owns its method enforcement and telemetry (it
+		// accepts POST/PUT/DELETE, so the GET-only route wrapper does
+		// not apply).
+		mux.Handle("/a1/", a1.NewHandler(o.a1Store))
+	}
 	s := &Server{lis: lis}
 	if o.stream {
-		s.hub = newHub(o.store, o.topoFn, o.flushMS)
+		s.hub = newHub(o.store, o.topoFn, o.a1Store, o.flushMS)
 		mux.HandleFunc("/stream/ws", route("stream_ws", handleStreamWS(s.hub)))
 		mux.HandleFunc("/stream/sse", route("stream_sse", handleStreamSSE(s.hub)))
 		mux.HandleFunc("/", route("root", handleDashboard))

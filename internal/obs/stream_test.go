@@ -67,7 +67,7 @@ func TestStreamWSEndToEnd(t *testing.T) {
 
 	var hello helloFrame
 	readFrame(t, conn, "hello", &hello)
-	if hello.BaseFlushMS != 5 || len(hello.Channels) != 4 {
+	if hello.BaseFlushMS != 5 || len(hello.Channels) != 5 {
 		t.Fatalf("hello = %+v", hello)
 	}
 

@@ -7,8 +7,9 @@
 # (-benchtime HOT_BENCHTIME / MICRO_BENCHTIME), the time-series store
 # tier (append at MICRO_BENCHTIME, queries at HOT_BENCHTIME), and the
 # compression tier (seal/decode/compressed queries, with the
-# bytes/sample ReportMetric), all with -benchmem, and writes
-# BENCH_pr6.json mapping benchmark name -> ns/op, B/op, allocs/op (plus
+# bytes/sample ReportMetric), the A1 SLA tier (enforcement-tick latency
+# with the policies/s ReportMetric), all with -benchmem, and writes
+# BENCH_pr8.json mapping benchmark name -> ns/op, B/op, allocs/op (plus
 # any custom b.ReportMetric units, e.g. bytes/sample -> bytes_sample).
 # The JSON also embeds two baselines so a reviewer can diff without
 # checking out old trees: the pre-fast-path allocation counts and the
@@ -19,7 +20,7 @@
 #                    (default 1x: each iteration is a full experiment)
 #   HOT_BENCHTIME    iterations for end-to-end hot paths (default 2000x)
 #   MICRO_BENCHTIME  iterations for pure-CPU microbenches (default 200000x)
-#   OUT              output file (default BENCH_pr6.json)
+#   OUT              output file (default BENCH_pr8.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,7 +28,7 @@ GO=${GO:-go}
 FIG_BENCHTIME=${FIG_BENCHTIME:-1x}
 HOT_BENCHTIME=${HOT_BENCHTIME:-2000x}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-200000x}
-OUT=${OUT:-BENCH_pr6.json}
+OUT=${OUT:-BENCH_pr8.json}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT INT TERM
@@ -57,6 +58,12 @@ run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBLastK$|BenchmarkTSDBAggregat
 echo "==> compression tier (seal/decode @$HOT_BENCHTIME)"
 run "$MICRO_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBCompressedAppend$'
 run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkTSDBChunkSeal$|BenchmarkTSDBChunkDecode$|BenchmarkTSDBCompressedWindowQuery$|BenchmarkTSDBSnapshot$'
+
+echo "==> A1 SLA enforcement tier (benchtime $HOT_BENCHTIME)"
+# One full enforcement tick — policy scan, slice-status fetch over a
+# live HTTP northbound, windowed percentile evaluation per target — with
+# the policies/s throughput ReportMetric.
+run "$HOT_BENCHTIME" ./internal/xapp/ 'BenchmarkSLAEnforceTick$'
 
 echo "==> figure suite (benchtime $FIG_BENCHTIME)"
 run "$FIG_BENCHTIME" . 'BenchmarkFig6aAgentOverhead$|BenchmarkFig6bUESweep$|BenchmarkFig7aPingRTT$|BenchmarkFig7bSignaling$|BenchmarkFig8aControllerVsFlexRAN$|BenchmarkFig8bAgentSweep$|BenchmarkTable2Footprint$'

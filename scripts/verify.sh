@@ -50,6 +50,15 @@ echo "==> control-room demo (WebSocket stream e2e, both codecs)"
 # batched delta frames, and closes with a clean RFC 6455 handshake.
 go test -count=1 -run 'TestControlRoomDemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
 
+echo "==> A1 SLA closed-loop demo (violate -> remedy -> reconnect storm, both codecs)"
+# An SLA policy installed over the /a1/* northbound: a load surge breaks
+# the throughput target (VIOLATED), the enforcement loop shifts NVS
+# capacity toward the SLA slice until the target holds again (ENFORCED),
+# and slice churn plus three scripted connection drops do not unseat the
+# verdict. Status transitions are asserted on the control-room a1
+# channel and at /a1/status.
+go test -count=1 -run 'TestSLADemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
 echo "==> go build -tags notrace"
 go build -tags notrace ./...
 
