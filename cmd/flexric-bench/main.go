@@ -17,6 +17,7 @@
 //	flexric-bench fig15  [-sim 50000]
 //	flexric-bench tsdbload [-agents 10] [-readers 4] [-dur 5s] [-compress]
 //	flexric-bench streamload [-agents 10] [-clients 8] [-dur 5s]
+//	flexric-bench scaleload [-cells 32] [-ues 500] [-idle 95] [-shards 4] [-ingest-workers 4] [-dur 5s]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench slaload [-scheme asn] [-connplan drop@1500,drop@1500,drop@1500]
 //	flexric-bench all    (reduced scale)
@@ -48,6 +49,11 @@ func main() {
 	readers := fs.Int("readers", 4, "concurrent query readers (tsdbload)")
 	clients := fs.Int("clients", 8, "concurrent WebSocket stream consumers (streamload)")
 	compress := fs.Bool("compress", false, "run the time-series store in chunk-compression mode (tsdbload)")
+	cellsN := fs.Int("cells", 32, "cells in the fleet, one agent each (scaleload)")
+	ues := fs.Int("ues", 500, "UEs attached per cell (scaleload)")
+	idle := fs.Int("idle", 95, "percent of UEs with sparse traffic (scaleload)")
+	shards := fs.Int("shards", 4, "UE shards per cell (scaleload)")
+	ingestWorkers := fs.Int("ingest-workers", 4, "monitor ingest pipeline goroutines (scaleload)")
 	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos, slaload)")
 	connPlan := fs.String("connplan", "", "connection fault plan (chaos, slaload; empty = per-experiment default)")
 	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
@@ -132,6 +138,14 @@ func main() {
 				return experiments.StreamLoad(*agents, *clients, *dur)
 			})
 		},
+		"scaleload": func() {
+			run("scaleload", func() (fmt.Stringer, error) {
+				return experiments.ScaleLoad(experiments.ScaleLoadOptions{
+					Cells: *cellsN, UEsPerCell: *ues, IdlePct: *idle, Shards: *shards,
+					IngestWorkers: *ingestWorkers, Duration: *dur,
+				})
+			})
+		},
 		"chaos": func() {
 			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
 			if *scheme == "fb" {
@@ -186,6 +200,11 @@ func main() {
 		run("streamload", func() (fmt.Stringer, error) {
 			return experiments.StreamLoad(4, 4, 2*time.Second)
 		})
+		run("scaleload", func() (fmt.Stringer, error) {
+			return experiments.ScaleLoad(experiments.ScaleLoadOptions{
+				Cells: 8, UEsPerCell: 200, Duration: 2 * time.Second, IngestWorkers: 2,
+			})
+		})
 	default:
 		f, ok := experimentsByName[cmd]
 		if !ok {
@@ -215,6 +234,7 @@ experiments:
   fig15   recursive slicing: dedicated vs shared infrastructure
   tsdbload  time-series store under windowed queries vs live ingest
   streamload  control-room WebSocket fan-out of live deltas
+  scaleload  sharded fleet with per-shard reports into pipelined ingest
   chaos   resilience under a scripted fault plan (drops + blackout)
   slaload   A1 SLA closed loop: violate, remedy, survive a reconnect storm
   all     everything, reduced scale`)

@@ -37,6 +37,7 @@ func main() {
 	tc := flag.String("tc", "", "REST address for the traffic-control specialization (empty = off)")
 	brokerAddr := flag.String("broker", "", "message broker to publish stats to (empty = start one)")
 	period := flag.Uint("period", 100, "monitoring period in ms")
+	ingestWorkers := flag.Int("ingest-workers", 0, "monitor ingest pipeline goroutines, hashed by (agent, function); 0 = decode inline on receive loops")
 	telemetryDump := flag.Bool("telemetry", false, "dump the telemetry snapshot on exit")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "also dump telemetry periodically (0 = off)")
 	obsAddr := flag.String("obs", "", "observability HTTP address serving the control-room dashboard, /metrics, /snapshot.json, /traces, /stream/{ws,sse} and pprof (empty = off)")
@@ -103,10 +104,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	var mon *ctrl.Monitor
+	defer func() {
+		// Pipeline shutdown order: the server stops delivering
+		// indications first, then the monitor drains its ingest workers.
+		srv.Close()
+		if mon != nil {
+			mon.Close()
+		}
+	}()
 	log.Printf("E2 listening on %s (scheme %s)", addr, *scheme)
 
-	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{Scheme: sms, PeriodMS: uint32(*period), Decode: true, TSDB: store})
+	mon = ctrl.NewMonitor(srv, ctrl.MonitorConfig{
+		Scheme: sms, PeriodMS: uint32(*period), Decode: true, TSDB: store,
+		IngestWorkers: *ingestWorkers,
+	})
 	srv.OnAgentConnect(func(info server.AgentInfo) {
 		log.Printf("agent connected: %s (%d RAN functions)", info.NodeID, len(info.Functions))
 	})

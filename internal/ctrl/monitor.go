@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexric/internal/bufpool"
 	"flexric/internal/e2ap"
 	"flexric/internal/server"
 	"flexric/internal/sm"
@@ -59,8 +60,25 @@ type Monitor struct {
 	pdcp map[server.AgentID]*sm.PDCPReport
 	raw  map[server.AgentID]map[uint16][]byte
 
+	// pipes, when non-nil, carry decode + tsdb-ingest work off the
+	// server's receive goroutines onto a fixed worker pool, hashed by
+	// (agent, function) so each report stream stays ordered.
+	pipes     []chan ingestJob
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
 	indications atomic.Uint64
 	bytesIn     atomic.Uint64
+}
+
+// ingestJob is one indication handed to an ingest pipeline. The payload
+// is a pooled copy (the receive buffer is recycled as soon as the server
+// callback returns) and is returned to the pool after ingest.
+type ingestJob struct {
+	agent   server.AgentID
+	fnID    uint16
+	payload []byte
+	tc      trace.Context
 }
 
 // MonitorConfig parameterizes a Monitor.
@@ -74,6 +92,13 @@ type MonitorConfig struct {
 	// time series and every raw-mode payload into its archive ring.
 	// The monitor evicts an agent's series when it disconnects.
 	TSDB *tsdb.Store
+	// IngestWorkers > 0 moves report decode and database ingest onto
+	// that many pipeline goroutines, hashed by (agent, function): the
+	// server's receive loops only copy the payload and enqueue, so a
+	// slow database never backs up into the transport reads of other
+	// agents. 0 keeps the historical inline behavior. With workers
+	// enabled, call Close after the server has stopped.
+	IngestWorkers int
 }
 
 // NewMonitor attaches a monitoring iApp to the server. It subscribes to
@@ -96,6 +121,21 @@ func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
 		rlc:      make(map[server.AgentID]*sm.RLCReport),
 		pdcp:     make(map[server.AgentID]*sm.PDCPReport),
 		raw:      make(map[server.AgentID]map[uint16][]byte),
+	}
+	if cfg.IngestWorkers > 0 {
+		m.pipes = make([]chan ingestJob, cfg.IngestWorkers)
+		for i := range m.pipes {
+			pipe := make(chan ingestJob, 256)
+			m.pipes[i] = pipe
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				for job := range pipe {
+					m.ingestOne(job.tc, job.agent, job.fnID, job.payload)
+					bufpool.Put(job.payload)
+				}
+			}()
+		}
 	}
 	srv.OnAgentConnect(func(info server.AgentInfo) { m.onAgent(info) })
 	srv.OnAgentDisconnect(func(info server.AgentInfo) {
@@ -143,22 +183,42 @@ func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
 	payload := ev.Env.IndicationPayload()
 	m.indications.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))
+	if m.pipes != nil {
+		// Hand off to the ingest pipeline for this (agent, function)
+		// stream. The payload aliases the transport's recycled receive
+		// buffer, so it is copied into a pooled buffer first. The send
+		// blocks when the pipeline is full: backpressure reaches the
+		// one slow agent instead of dropping its reports.
+		cp := append(bufpool.Get(len(payload))[:0], payload...)
+		h := (uint32(ev.Agent)*31 + uint32(fnID)) % uint32(len(m.pipes))
+		m.pipes[h] <- ingestJob{agent: ev.Agent, fnID: fnID, payload: cp, tc: sp.Context()}
+		return
+	}
+	m.ingestOne(sp.Context(), ev.Agent, fnID, payload)
+}
+
+// ingestOne decodes (or archives) one indication payload and updates the
+// latest-report maps and the attached time-series store. Per-shard
+// reports carrying the same CellTimeMS are merged: the UE lists append
+// onto the retained report (copy-on-write, so a reader holding the
+// previous pointer never observes mutation).
+func (m *Monitor) ingestOne(tc trace.Context, agent server.AgentID, fnID uint16, payload []byte) {
 	if !m.decode {
 		if m.db != nil {
 			// Archive into the pooled raw ring: the store copies the
 			// payload into a reused slot buffer, so the per-indication
 			// allocation of the map path disappears.
-			asp := trace.StartChild(sp.Context(), "tsdb.append")
-			m.db.AppendRaw(uint32(ev.Agent), fnID, time.Now().UnixNano(), payload)
+			asp := trace.StartChild(tc, "tsdb.append")
+			m.db.AppendRaw(uint32(agent), fnID, time.Now().UnixNano(), payload)
 			asp.End()
 			return
 		}
 		cp := append([]byte(nil), payload...)
 		m.mu.Lock()
-		per := m.raw[ev.Agent]
+		per := m.raw[agent]
 		if per == nil {
 			per = make(map[uint16][]byte)
-			m.raw[ev.Agent] = per
+			m.raw[agent] = per
 		}
 		per[fnID] = cp
 		m.mu.Unlock()
@@ -167,24 +227,33 @@ func (m *Monitor) store(ev server.IndicationEvent, fnID uint16) {
 	switch fnID {
 	case sm.IDMACStats:
 		if rep, err := sm.DecodeMACReport(payload); err == nil {
+			m.ingestMAC(tc, agent, rep) // only this shard's UEs, pre-merge
 			m.mu.Lock()
-			m.mac[ev.Agent] = rep
+			if cur := m.mac[agent]; cur != nil && cur.CellTimeMS == rep.CellTimeMS {
+				rep.UEs = append(cur.UEs[:len(cur.UEs):len(cur.UEs)], rep.UEs...)
+			}
+			m.mac[agent] = rep
 			m.mu.Unlock()
-			m.ingestMAC(sp.Context(), ev.Agent, rep)
 		}
 	case sm.IDRLCStats:
 		if rep, err := sm.DecodeRLCReport(payload); err == nil {
+			m.ingestRLC(tc, agent, rep)
 			m.mu.Lock()
-			m.rlc[ev.Agent] = rep
+			if cur := m.rlc[agent]; cur != nil && cur.CellTimeMS == rep.CellTimeMS {
+				rep.UEs = append(cur.UEs[:len(cur.UEs):len(cur.UEs)], rep.UEs...)
+			}
+			m.rlc[agent] = rep
 			m.mu.Unlock()
-			m.ingestRLC(sp.Context(), ev.Agent, rep)
 		}
 	case sm.IDPDCPStats:
 		if rep, err := sm.DecodePDCPReport(payload); err == nil {
+			m.ingestPDCP(tc, agent, rep)
 			m.mu.Lock()
-			m.pdcp[ev.Agent] = rep
+			if cur := m.pdcp[agent]; cur != nil && cur.CellTimeMS == rep.CellTimeMS {
+				rep.UEs = append(cur.UEs[:len(cur.UEs):len(cur.UEs)], rep.UEs...)
+			}
+			m.pdcp[agent] = rep
 			m.mu.Unlock()
-			m.ingestPDCP(sp.Context(), ev.Agent, rep)
 		}
 	}
 }
@@ -313,4 +382,16 @@ func (m *Monitor) TSDB() *tsdb.Store { return m.db }
 // Counters reports total indications and payload bytes received.
 func (m *Monitor) Counters() (indications, bytes uint64) {
 	return m.indications.Load(), m.bytesIn.Load()
+}
+
+// Close drains and stops the ingest pipelines (no-op without
+// IngestWorkers). Call it only after the server has stopped delivering
+// indications; it is idempotent.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() {
+		for _, p := range m.pipes {
+			close(p)
+		}
+		m.wg.Wait()
+	})
 }

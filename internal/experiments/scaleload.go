@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/metrics"
+	"flexric/internal/ran"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+	"flexric/internal/transport"
+	"flexric/internal/tsdb"
+)
+
+// ScaleLoadOptions configures the scale-out experiment.
+type ScaleLoadOptions struct {
+	// Cells is the number of base stations (one agent each).
+	Cells int
+	// UEsPerCell UEs attach to every cell.
+	UEsPerCell int
+	// IdlePct of each cell's UEs carry only sparse CBR traffic and park
+	// between packets; the rest run saturating flows.
+	IdlePct int
+	// Shards is the UE shard count per cell.
+	Shards int
+	// PeriodMS is the MAC report period.
+	PeriodMS uint32
+	// IngestWorkers sizes the monitor's ingest pipeline pool (0 =
+	// decode inline on the receive goroutines).
+	IngestWorkers int
+	// Duration is the wall-clock measurement window.
+	Duration time.Duration
+}
+
+func (o *ScaleLoadOptions) defaults() {
+	if o.Cells <= 0 {
+		o.Cells = 32
+	}
+	if o.UEsPerCell <= 0 {
+		o.UEsPerCell = 500
+	}
+	if o.IdlePct <= 0 {
+		o.IdlePct = 95
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.PeriodMS == 0 {
+		o.PeriodMS = 100
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+}
+
+// ScaleLoadResult is the end-to-end scale-out dataset: a fleet of
+// sharded cells simulated in lockstep, each with an E2 agent streaming
+// per-shard MAC reports over the in-process pipe transport into the
+// monitor's per-(agent, function) ingest pipelines and time-series
+// store.
+type ScaleLoadResult struct {
+	Cells, UEsPerCell, IdlePct, Shards, Workers int
+	PeriodMS                                    uint32
+	Duration                                    time.Duration
+
+	Slots       int     // TTIs simulated in the window
+	UESlotsPS   float64 // UE-slots simulated per second
+	IndPS       float64 // indications ingested per second
+	MBInPS      float64 // report payload MB ingested per second
+	P99SlotMS   float64 // p99 wall-clock slot-loop latency
+	HeapKBPerUE float64 // live-heap cost per attached UE
+	Series      int     // tsdb series materialized from the reports
+}
+
+// ScaleLoad runs the scale-out pipeline end to end. This is the
+// flexric-bench `scaleload` subcommand and the end-to-end half of the
+// bench scale tier (the ran-level core numbers come from the
+// BenchmarkScale* benchmarks).
+func ScaleLoad(opts ScaleLoadOptions) (*ScaleLoadResult, error) {
+	opts.defaults()
+	res := &ScaleLoadResult{
+		Cells: opts.Cells, UEsPerCell: opts.UEsPerCell, IdlePct: opts.IdlePct,
+		Shards: opts.Shards, Workers: opts.IngestWorkers,
+		PeriodMS: opts.PeriodMS, Duration: opts.Duration,
+	}
+	totalUE := opts.Cells * opts.UEsPerCell
+
+	store := tsdb.New(tsdb.Config{Capacity: 128})
+	srv := server.New(server.Config{Scheme: e2ap.SchemeFB, Transport: transport.KindPipe})
+	if _, err := srv.Start("scaleload"); err != nil {
+		return nil, err
+	}
+	mon := ctrl.NewMonitor(srv, ctrl.MonitorConfig{
+		Scheme: sm.SchemeFB, PeriodMS: opts.PeriodMS, Layers: ctrl.MonMAC,
+		Decode: true, TSDB: store, IngestWorkers: opts.IngestWorkers,
+	})
+	defer mon.Close() // after srv.Close below (defers run LIFO)
+	defer srv.Close()
+
+	heapBase := metrics.HeapInUse()
+	cells := make([]*ran.Cell, opts.Cells)
+	fns := make([][]agent.RANFunction, opts.Cells)
+	agents := make([]*agent.Agent, 0, opts.Cells)
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	for ci := range cells {
+		cell, err := ran.NewCellWithOptions(ran.PHYConfig{RAT: ran.RAT4G, NumRB: 25, Band: 7},
+			ran.CellOptions{Shards: opts.Shards})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < opts.UEsPerCell; i++ {
+			u, err := cell.Attach(uint16(i+1), "", "208.95", 20)
+			if err != nil {
+				return nil, err
+			}
+			flow := ran.FiveTuple{DstIP: uint32(i + 1), DstPort: 5001, Proto: ran.ProtoUDP}
+			if i*100 < opts.UEsPerCell*(100-opts.IdlePct) {
+				u.AddSource(&ran.Saturating{Flow: flow, PktSize: 1500, RateBytesPerMS: 3000})
+			} else {
+				u.AddSource(&ran.CBR{Flow: flow, Size: 172, IntervalMS: 200, StartMS: int64(i % 200)})
+			}
+		}
+		a := agent.New(agent.Config{
+			NodeID: e2ap.GlobalE2NodeID{
+				PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB, NodeID: uint64(ci + 1),
+			},
+			Scheme:    e2ap.SchemeFB,
+			Transport: transport.KindPipe,
+		})
+		mac := sm.NewMACStats(cell, sm.SchemeFB, a)
+		if err := a.RegisterFunction(mac); err != nil {
+			return nil, err
+		}
+		if _, err := a.Connect("scaleload"); err != nil {
+			return nil, err
+		}
+		agents = append(agents, a)
+		cells[ci] = cell
+		fns[ci] = []agent.RANFunction{mac}
+	}
+	if !WaitUntil(waitShort, func() bool { return len(srv.Agents()) == opts.Cells }) {
+		return nil, fmt.Errorf("only %d/%d agents connected", len(srv.Agents()), opts.Cells)
+	}
+
+	fleet := ran.NewFleet(cells, 0, func(now int64) {
+		for _, f := range fns {
+			sm.TickAll(f, now)
+		}
+	})
+	defer fleet.Close()
+
+	// Warm up: fill backlogs and wake heaps, flush the first reports.
+	fleet.Step(2 * int(opts.PeriodMS))
+	if !WaitUntil(waitShort, func() bool { n, _ := mon.Counters(); return n > 0 }) {
+		return nil, fmt.Errorf("no indications reached the monitor")
+	}
+	if h := metrics.HeapInUse(); h > heapBase {
+		res.HeapKBPerUE = float64(h-heapBase) / 1024 / float64(totalUE)
+	}
+
+	fleet.ResetSlotStats()
+	ind0, by0 := mon.Counters()
+	t0 := time.Now()
+	deadline := t0.Add(opts.Duration)
+	slots := 0
+	for time.Now().Before(deadline) {
+		fleet.Step(20)
+		slots += 20
+	}
+	sec := time.Since(t0).Seconds()
+	ind1, by1 := mon.Counters()
+
+	res.Slots = slots
+	res.UESlotsPS = float64(totalUE) * float64(slots) / sec
+	res.IndPS = float64(ind1-ind0) / sec
+	res.MBInPS = float64(by1-by0) / (1 << 20) / sec
+	_, p99, _ := fleet.SlotLatencyNS()
+	res.P99SlotMS = float64(p99) / 1e6
+	res.Series = store.NumSeries()
+	return res, nil
+}
+
+// String renders the scale-out table.
+func (r *ScaleLoadResult) String() string {
+	rows := [][]string{{
+		fmt.Sprintf("%d", r.Cells),
+		fmt.Sprintf("%d", r.Cells*r.UEsPerCell),
+		fmt.Sprintf("%d%%", r.IdlePct),
+		fmt.Sprintf("%d", r.Shards),
+		fmt.Sprintf("%d", r.Workers),
+		fmt.Sprintf("%d", r.Slots),
+		fmt.Sprintf("%.0f", r.UESlotsPS),
+		fmt.Sprintf("%.0f", r.IndPS),
+		fmt.Sprintf("%.2f", r.MBInPS),
+		fmt.Sprintf("%.2f", r.P99SlotMS),
+		fmt.Sprintf("%.1f", r.HeapKBPerUE),
+		fmt.Sprintf("%d", r.Series),
+	}}
+	return fmt.Sprintf("scaleload — sharded fleet with per-shard MAC reports into pipelined ingest, %v window\n", r.Duration) +
+		Table([]string{"cells", "ues", "idle", "shards", "workers", "slots",
+			"ue_slots/s", "ind/s", "MB/s", "p99 ms", "KB/ue", "series"}, rows)
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleLoadPipeline runs the scale-out experiment at a small
+// footprint: per-shard MAC reports from sharded cells over the pipe
+// transport must land in the pipelined monitor and materialize series.
+func TestScaleLoadPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := ScaleLoad(ScaleLoadOptions{
+		Cells: 4, UEsPerCell: 100, IdlePct: 90, Shards: 4,
+		PeriodMS: 20, IngestWorkers: 2, Duration: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots == 0 || res.UESlotsPS == 0 {
+		t.Fatalf("no slots simulated: %+v", res)
+	}
+	if res.IndPS == 0 {
+		t.Fatalf("no indications ingested: %+v", res)
+	}
+	if res.Series == 0 {
+		t.Fatalf("no tsdb series materialized: %+v", res)
+	}
+	t.Log(res.String())
+}

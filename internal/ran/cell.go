@@ -14,28 +14,78 @@ import (
 // methods are safe for concurrent use, so service models may snapshot
 // statistics and apply control while the slot loop runs — the same
 // concurrency the FlexRIC agent has with a real user plane.
+//
+// UEs are partitioned across fixed struct-of-arrays shards with an
+// active-set sweep per TTI (see shard.go): idle UEs cost nothing per
+// slot, which is what lets one box simulate million-UE fleets. The cell
+// mutex is taken per TTI, not per Step call, so control-plane calls are
+// never starved by a long Step.
 type Cell struct {
-	cfg PHYConfig
+	cfg   PHYConfig
+	dense bool
 
 	mu sync.Mutex
 	// now is atomic so the clock is readable from inside WithUE/WithUEs
 	// closures and SM callbacks without re-taking the cell lock.
-	now  atomic.Int64
-	ues  []*UE
-	byID map[uint16]*UE
-	mac  *mac
+	now       atomic.Int64
+	all       []*UE // attach registry; swap-removed on Detach
+	byID      map[uint16]*UE
+	shards    []*shard
+	nextShard int
+	mac       *mac
 
 	totalTxBits uint64
+
+	// sorted caches the RNTI-ordered view of all; rebuilt only after an
+	// attach/detach dirtied it.
+	sorted    []*UE
+	sortDirty bool
+
+	cands        []*UE // per-TTI scheduling candidates (reused)
+	shardScratch []*UE // WithShardUEs scratch (reused under mu)
 
 	attachHooks []func(ue *UE)
 }
 
-// NewCell returns a cell with the given radio configuration.
+// CellOptions tunes the simulation engine; the zero value is the
+// production default (one shard, wakeup-heap active set).
+type CellOptions struct {
+	// Shards is the number of struct-of-arrays UE shards (default 1).
+	// More shards split report payloads and ingest pipelines into
+	// independently processed batches; UEs are assigned round-robin.
+	Shards int
+	// Dense disables the wakeup heap: every attached slot is scanned
+	// each TTI to discover due UEs. Same arithmetic, exhaustive
+	// discovery — the reference engine for the golden equivalence test
+	// and the scale benchmarks.
+	Dense bool
+}
+
+// NewCell returns a cell with the given radio configuration and default
+// engine options.
 func NewCell(cfg PHYConfig) (*Cell, error) {
+	return NewCellWithOptions(cfg, CellOptions{})
+}
+
+// NewCellWithOptions returns a cell with explicit engine options.
+func NewCellWithOptions(cfg PHYConfig, opts CellOptions) (*Cell, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cell{cfg: cfg, byID: make(map[uint16]*UE), mac: newMAC()}, nil
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	c := &Cell{
+		cfg:   cfg,
+		dense: opts.Dense,
+		byID:  make(map[uint16]*UE),
+		mac:   newMAC(),
+	}
+	c.shards = make([]*shard, opts.Shards)
+	for i := range c.shards {
+		c.shards[i] = newShard(c)
+	}
+	return c, nil
 }
 
 // Config returns the cell's radio configuration.
@@ -44,6 +94,9 @@ func (c *Cell) Config() PHYConfig { return c.cfg }
 // Now returns the simulator time in ms. Safe to call from anywhere,
 // including WithUE/WithUEs closures.
 func (c *Cell) Now() int64 { return c.now.Load() }
+
+// NumShards returns the number of UE shards.
+func (c *Cell) NumShards() int { return len(c.shards) }
 
 // OnUEAttach registers a hook invoked (synchronously, under no lock) for
 // every new UE; this backs the RRC UE-notification SM (§6.1.2).
@@ -61,8 +114,13 @@ func (c *Cell) Attach(rnti uint16, imsi, plmn string, mcs int) (*UE, error) {
 		return nil, fmt.Errorf("ran: duplicate RNTI %d", rnti)
 	}
 	ue := newUE(rnti, imsi, plmn, mcs)
-	c.ues = append(c.ues, ue)
+	sh := c.shards[c.nextShard]
+	c.nextShard = (c.nextShard + 1) % len(c.shards)
+	sh.addUE(ue, mcs, c.now.Load())
+	ue.allIdx = int32(len(c.all))
+	c.all = append(c.all, ue)
 	c.byID[rnti] = ue
+	c.sortDirty = true
 	hooks := append([]func(ue *UE){}, c.attachHooks...)
 	c.mu.Unlock()
 	for _, h := range hooks {
@@ -71,7 +129,8 @@ func (c *Cell) Attach(rnti uint16, imsi, plmn string, mcs int) (*UE, error) {
 	return ue, nil
 }
 
-// Detach removes a UE.
+// Detach removes a UE in O(1) (swap-remove in the registry and the
+// shard's active set; the freed slot is recycled).
 func (c *Cell) Detach(rnti uint16) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -80,12 +139,14 @@ func (c *Cell) Detach(rnti uint16) error {
 		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
 	}
 	delete(c.byID, rnti)
-	for i, u := range c.ues {
-		if u == ue {
-			c.ues = append(c.ues[:i], c.ues[i+1:]...)
-			break
-		}
-	}
+	last := len(c.all) - 1
+	moved := c.all[last]
+	c.all[ue.allIdx] = moved
+	moved.allIdx = ue.allIdx
+	c.all[last] = nil
+	c.all = c.all[:last]
+	c.sortDirty = true
+	ue.sh.removeUE(ue)
 	return nil
 }
 
@@ -96,36 +157,79 @@ func (c *Cell) UE(rnti uint16) *UE {
 	return c.byID[rnti]
 }
 
-// UEs returns the attached UEs in RNTI order.
+// NumUEs returns the number of attached UEs.
+func (c *Cell) NumUEs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.all)
+}
+
+// UEs returns the attached UEs in RNTI order. The sorted view is cached
+// and only rebuilt after attach/detach churn.
 func (c *Cell) UEs() []*UE {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := append([]*UE(nil), c.ues...)
-	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
-	return out
+	if c.sortDirty {
+		c.sorted = append(c.sorted[:0], c.all...)
+		sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i].RNTI < c.sorted[j].RNTI })
+		c.sortDirty = false
+	}
+	return append([]*UE(nil), c.sorted...)
 }
 
 // Step advances the cell by n TTIs: traffic generation, TC pumping, and
-// MAC scheduling.
+// MAC scheduling. The cell mutex is released between TTIs, so control
+// calls (WithUE, ConfigureSlices, ...) wait at most one slot even while
+// a multi-second Step runs.
 func (c *Cell) Step(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for i := 0; i < n; i++ {
-		now := c.now.Add(TTI)
-		for _, ue := range c.ues {
-			if ue.channel != nil {
-				ue.MCS = ue.channel.NextMCS(now)
+		c.mu.Lock()
+		c.stepTTI(c.now.Add(TTI))
+		c.mu.Unlock()
+	}
+}
+
+// stepTTI runs one slot under the cell mutex.
+func (c *Cell) stepTTI(now int64) {
+	// Phase 1: wake due UEs and run per-UE pre-work (idle fold, channel
+	// advance, traffic sources, TC pump) over the active sets.
+	for _, sh := range c.shards {
+		if c.dense {
+			sh.scanWake(now)
+		} else {
+			sh.popDueWakes(now)
+		}
+		for _, slot := range sh.active {
+			sh.preUE(slot, now)
+		}
+	}
+	// Phase 2: MAC scheduling over backlogged UEs in canonical
+	// (shard, slot) order.
+	c.cands = c.cands[:0]
+	for _, sh := range c.shards {
+		sh.orderActive()
+		for _, slot := range sh.slotOrder {
+			if u := sh.ues[slot]; u != nil && u.hasData() {
+				c.cands = append(c.cands, u)
 			}
-			ue.tickTraffic(now)
 		}
-		for _, ue := range c.ues {
-			ue.pumpTC(now)
+	}
+	c.totalTxBits += uint64(c.mac.schedule(c.cands, c.cfg.NumRB, now))
+	// Phase 3: EWMA roll-up and park decisions.
+	for _, sh := range c.shards {
+		for _, slot := range sh.slotOrder {
+			sh.postUE(slot, now)
 		}
-		bits := c.mac.schedule(c.ues, c.cfg.NumRB, now)
-		c.totalTxBits += uint64(bits)
-		for _, ue := range c.ues {
-			ue.finishTTI()
-		}
+	}
+}
+
+// poke puts a UE into the worked set so the next TTI re-evaluates its
+// activity (used after control-plane mutations that may create backlog
+// or attach sources). Idempotent; must run under the cell mutex unless
+// the caller owns the single-threaded setup phase.
+func (c *Cell) poke(u *UE) {
+	if u != nil && u.sh != nil {
+		u.sh.activate(u.slot)
 	}
 }
 
@@ -206,7 +310,9 @@ func (c *Cell) CapacityBits(mcs int) int { return CellCapacityBits(c.cfg.NumRB, 
 
 // WithUE runs f with the UE's bearer structures under the cell lock —
 // the access path service models use so snapshots are consistent with
-// the slot loop.
+// the slot loop. The UE is poked back into the worked set afterwards:
+// control mutations (TC queue flushes, new filters, pacer changes) may
+// have created backlog while it was parked.
 func (c *Cell) WithUE(rnti uint16, f func(ue *UE) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -214,12 +320,36 @@ func (c *Cell) WithUE(rnti uint16, f func(ue *UE) error) error {
 	if !ok {
 		return fmt.Errorf("ran: no UE with RNTI %d", rnti)
 	}
-	return f(ue)
+	err := f(ue)
+	c.poke(ue)
+	return err
 }
 
-// WithUEs runs f over all UEs under the cell lock.
+// WithUEs runs f over all UEs under the cell lock. The slice is in
+// attach/registry order and must not be retained or mutated; use WithUE
+// for per-UE control mutations so activity is re-evaluated.
 func (c *Cell) WithUEs(f func(ues []*UE)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	f(c.ues)
+	f(c.all)
+}
+
+// WithShardUEs runs f over shard i's UEs (slot order) under the cell
+// lock. The slice is reused scratch: it must not be retained. Per-shard
+// report builders use this so each shard becomes one indication batch.
+func (c *Cell) WithShardUEs(i int, f func(ues []*UE)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.shards) {
+		f(nil)
+		return
+	}
+	sh := c.shards[i]
+	c.shardScratch = c.shardScratch[:0]
+	for _, u := range sh.ues {
+		if u != nil {
+			c.shardScratch = append(c.shardScratch, u)
+		}
+	}
+	f(c.shardScratch)
 }

@@ -9,8 +9,8 @@ func TestFixedChannel(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Step(5)
-	if ue.MCS != 22 {
-		t.Fatalf("MCS %d, want 22", ue.MCS)
+	if ue.MCS() != 22 {
+		t.Fatalf("MCS %d, want 22", ue.MCS())
 	}
 	if err := c.SetChannel(9, FixedChannel(1)); err == nil {
 		t.Fatal("unknown UE must fail")

@@ -1,0 +1,146 @@
+package ran
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet steps many cells in lockstep off one slot clock. Cells are the
+// unit of parallelism (each has its own mutex and UE shards): a fixed
+// worker pool sweeps a static stride of cells every TTI with a barrier
+// between slots, and an optional afterSlot hook runs on the caller's
+// goroutine once all cells have finished the slot — the place to tick
+// agents or service models against a consistent fleet time.
+//
+// Fleet also records wall-clock slot-loop latency so scale benchmarks
+// can report p50/p99/max without instrumenting the hot path themselves.
+type Fleet struct {
+	cells     []*Cell
+	workers   int
+	afterSlot func(now int64)
+	now       int64
+
+	start []chan struct{}
+	wg    sync.WaitGroup
+	done  bool
+
+	mu  sync.Mutex
+	lat []int64 // slot latencies (ns), fleetLatCap ring
+	pos int
+	n   int
+}
+
+// fleetLatCap bounds the latency sample ring (newest samples win).
+const fleetLatCap = 1 << 16
+
+// NewFleet builds a fleet over cells. workers <= 0 selects GOMAXPROCS;
+// with one worker (or one cell) stepping runs inline on the caller's
+// goroutine with no synchronization. afterSlot may be nil.
+func NewFleet(cells []*Cell, workers int, afterSlot func(now int64)) *Fleet {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f := &Fleet{cells: cells, workers: workers, afterSlot: afterSlot}
+	if workers > 1 {
+		f.start = make([]chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			f.start[w] = make(chan struct{}, 1)
+			go func(w int) {
+				for range f.start[w] {
+					for j := w; j < len(f.cells); j += f.workers {
+						f.cells[j].Step(1)
+					}
+					f.wg.Done()
+				}
+			}(w)
+		}
+	}
+	return f
+}
+
+// Cells returns the fleet's cells.
+func (f *Fleet) Cells() []*Cell { return f.cells }
+
+// Now returns the fleet slot clock in ms (every cell is at this time
+// between Step calls).
+func (f *Fleet) Now() int64 { return f.now }
+
+// Step advances every cell by n TTIs, slot by slot (barrier per slot).
+func (f *Fleet) Step(n int) {
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if f.workers == 1 {
+			for _, c := range f.cells {
+				c.Step(1)
+			}
+		} else {
+			f.wg.Add(f.workers)
+			for _, ch := range f.start {
+				ch <- struct{}{}
+			}
+			f.wg.Wait()
+		}
+		f.now++
+		f.record(time.Since(t0).Nanoseconds())
+		if f.afterSlot != nil {
+			f.afterSlot(f.now)
+		}
+	}
+}
+
+func (f *Fleet) record(ns int64) {
+	f.mu.Lock()
+	if cap(f.lat) == 0 {
+		f.lat = make([]int64, fleetLatCap)
+	}
+	f.lat[f.pos] = ns
+	f.pos = (f.pos + 1) % fleetLatCap
+	if f.n < fleetLatCap {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// SlotLatencyNS returns the p50, p99 and max wall-clock slot-loop
+// latency in nanoseconds over the recorded window (zeros when no slots
+// have been stepped).
+func (f *Fleet) SlotLatencyNS() (p50, p99, max int64) {
+	f.mu.Lock()
+	samples := append([]int64(nil), f.lat[:f.n]...)
+	f.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return at(0.50), at(0.99), samples[len(samples)-1]
+}
+
+// ResetSlotStats clears the latency window (call after warm-up).
+func (f *Fleet) ResetSlotStats() {
+	f.mu.Lock()
+	f.pos, f.n = 0, 0
+	f.mu.Unlock()
+}
+
+// Close stops the worker pool. The fleet must not be stepped after.
+func (f *Fleet) Close() {
+	if f.done {
+		return
+	}
+	f.done = true
+	for _, ch := range f.start {
+		close(ch)
+	}
+}

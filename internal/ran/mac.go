@@ -58,10 +58,20 @@ type mac struct {
 	nvs     *nvs.Scheduler
 	ueSched map[uint32]UESched // per-slice user scheduler
 	rrCur   int                // round-robin rotation cursor
+
+	// Per-TTI scratch, reused across slots to keep scheduling
+	// allocation-free.
+	dead        []bool
+	members     []*UE
+	sliceActive map[uint32]bool
 }
 
 func newMAC() *mac {
-	return &mac{nvs: nvs.NewScheduler(), ueSched: make(map[uint32]UESched)}
+	return &mac{
+		nvs:         nvs.NewScheduler(),
+		ueSched:     make(map[uint32]UESched),
+		sliceActive: make(map[uint32]bool),
+	}
 }
 
 // configureSlices installs the NVS slice set and per-slice UE schedulers.
@@ -84,47 +94,36 @@ func (m *mac) configureSlices(cfgs []nvs.Config) error {
 func (m *mac) disableSlicing() { m.mode = SliceNone }
 
 // schedule runs one TTI: selects UEs, drains their RLC queues against the
-// cell capacity, and returns total transmitted bits.
-func (m *mac) schedule(ues []*UE, numRB int, now int64) int {
+// cell capacity, and returns total transmitted bits. cands are the
+// backlogged UEs in canonical (shard, slot) order — the cell pre-filters
+// on hasData so idle UEs never reach the scheduler.
+func (m *mac) schedule(cands []*UE, numRB int, now int64) int {
 	switch m.mode {
 	case SliceNVS:
-		return m.scheduleNVS(ues, numRB, now)
+		return m.scheduleNVS(cands, numRB, now)
 	default:
-		active := activeUEs(ues)
-		return m.scheduleUEs(active, SchedPF, numRB, now)
+		return m.scheduleUEs(cands, SchedPF, numRB, now)
 	}
 }
 
-func activeUEs(ues []*UE) []*UE {
-	var out []*UE
-	for _, u := range ues {
-		if u.hasData() {
-			out = append(out, u)
-		}
+func (m *mac) scheduleNVS(cands []*UE, numRB int, now int64) int {
+	// Build slice activity from the backlogged candidates.
+	clear(m.sliceActive)
+	for _, u := range cands {
+		m.sliceActive[u.SliceID] = true
 	}
-	return out
-}
-
-func (m *mac) scheduleNVS(ues []*UE, numRB int, now int64) int {
-	// Build slice activity from UE queues.
-	active := make(map[uint32]bool)
-	for _, u := range ues {
-		if u.hasData() {
-			active[u.SliceID] = true
-		}
-	}
-	id, ok := m.nvs.Pick(active)
+	id, ok := m.nvs.Pick(m.sliceActive)
 	if !ok {
 		m.nvs.Update(0, false, 0)
 		return 0
 	}
-	var members []*UE
-	for _, u := range ues {
-		if u.SliceID == id && u.hasData() {
-			members = append(members, u)
+	m.members = m.members[:0]
+	for _, u := range cands {
+		if u.SliceID == id {
+			m.members = append(m.members, u)
 		}
 	}
-	bits := m.scheduleUEs(members, m.ueSched[id], numRB, now)
+	bits := m.scheduleUEs(m.members, m.ueSched[id], numRB, now)
 	// Achieved rate over the interval in bits/s.
 	m.nvs.Update(id, true, float64(bits)*1000/TTI)
 	return bits
@@ -140,14 +139,19 @@ func (m *mac) scheduleUEs(ues []*UE, policy UESched, numRB int, now int64) int {
 	const pfAlpha = 1.0 / 128
 	totalBits := 0
 	remaining := numRB
-	sent := make([]int, len(ues)) // bits granted this TTI, for PF update
 	// Allocate in chunks to bound per-TTI work for large bandwidths.
 	chunk := numRB / (4 * len(ues))
 	if chunk < 1 {
 		chunk = 1
 	}
 	live := len(ues)
-	dead := make([]bool, len(ues))
+	if cap(m.dead) < len(ues) {
+		m.dead = make([]bool, len(ues))
+	}
+	dead := m.dead[:len(ues)]
+	for i := range dead {
+		dead[i] = false
+	}
 	for remaining > 0 && live > 0 {
 		// Pick the next UE per policy.
 		best := -1
@@ -167,8 +171,8 @@ func (m *mac) scheduleUEs(ues []*UE, policy UESched, numRB int, now int64) int {
 				if dead[i] {
 					continue
 				}
-				inst := float64(BitsPerRB(u.MCS))
-				metric := inst / (u.pf + 1e-9)
+				inst := float64(BitsPerRB(int(u.sh.mcs[u.slot])))
+				metric := inst / (u.sh.pf[u.slot] + 1e-9)
 				if metric > bestMetric {
 					bestMetric = metric
 					best = i
@@ -185,11 +189,10 @@ func (m *mac) scheduleUEs(ues []*UE, policy UESched, numRB int, now int64) int {
 		u := ues[best]
 		bits := u.drain(rbs, now)
 		totalBits += bits
-		sent[best] += bits
 		remaining -= rbs
 		// Tentatively raise the PF average so subsequent chunks in this
 		// TTI spread across UEs.
-		u.pf += pfAlpha * float64(bits)
+		u.sh.pf[u.slot] += pfAlpha * float64(bits)
 		if !u.hasData() {
 			dead[best] = true
 			live--
@@ -197,7 +200,7 @@ func (m *mac) scheduleUEs(ues []*UE, policy UESched, numRB int, now int64) int {
 	}
 	// Finalize PF averages: decay everyone, credit what they received.
 	for _, u := range ues {
-		u.pf = (1 - pfAlpha) * u.pf
+		u.sh.pf[u.slot] = (1 - pfAlpha) * u.sh.pf[u.slot]
 	}
 	return totalBits
 }

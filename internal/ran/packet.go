@@ -1,5 +1,7 @@
 package ran
 
+import "sync"
+
 // Proto identifies a transport protocol in a packet 5-tuple.
 type Proto uint8
 
@@ -37,6 +39,39 @@ type Packet struct {
 	onDeliver func(p *Packet, now int64)
 	// onDrop, if set, is invoked when a queue discards the packet.
 	onDrop func(p *Packet, now int64)
+	// pooled marks packets obtained from pktPool; only those are
+	// recycled at end of life. Caller-constructed packets (tests,
+	// external Submit users) stay owned by their creators.
+	pooled bool
+}
+
+// pktPool recycles Packets through the SDAP → TC → PDCP → RLC → MAC
+// lifecycle. At million-UE footprints the traffic sources emit tens of
+// thousands of packets per TTI; without recycling those allocations keep
+// the garbage collector re-scanning a multi-gigabyte, pointer-dense heap
+// (every queued packet carries two callback pointers) and GC dominates
+// the slot loop.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// newPacket returns a zeroed pool packet. The packet must reach one of
+// the bearer-path death sites (MAC delivery or a queue drop), where it
+// is released back to the pool.
+func newPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	*p = Packet{pooled: true}
+	return p
+}
+
+// releasePacket returns a dead packet to the pool. The caller must hold
+// the packet's final reference: delivery/drop callbacks have already
+// run, and after release any traffic source in the process may hand the
+// packet out again. Non-pool packets are left untouched.
+func releasePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{}
+	pktPool.Put(p)
 }
 
 // Deliver runs the delivery callback.

@@ -51,6 +51,7 @@ func (q *RLCQueue) Enqueue(p *Packet, now int64) bool {
 		q.stats.DropPackets++
 		q.stats.DropBytes += uint64(p.Size)
 		p.Drop(now)
+		releasePacket(p)
 		return false
 	}
 	p.EnqueueRLC = now
@@ -85,15 +86,22 @@ func (q *RLCQueue) Drain(budget int, now int64) int {
 		}
 		// Packet fully transmitted.
 		q.headRem = 0
+		q.pkts[q.head] = nil
 		q.head++
 		q.bytes -= p.Size
 		q.stats.TxPackets++
 		q.stats.TxBytes += uint64(p.Size)
 		q.stats.SojournMS = now - p.EnqueueRLC
 		p.Deliver(now)
+		releasePacket(p)
 	}
-	// Compact once the dead prefix grows.
-	if q.head > 64 && q.head*2 >= len(q.pkts) {
+	// A fully drained queue resets in place, so the next enqueue reuses
+	// the slice capacity instead of regrowing past the dead prefix.
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.pkts) {
+		// Compact once the dead prefix grows.
 		n := copy(q.pkts, q.pkts[q.head:])
 		for i := n; i < len(q.pkts); i++ {
 			q.pkts[i] = nil

@@ -1,0 +1,289 @@
+package ran
+
+import "slices"
+
+// The sharded cell core. A cell's UEs are split across a fixed number of
+// shards; each shard keeps the per-UE hot state (MCS, PF average, rate
+// EWMAs, per-TTI accumulators, wakeup bookkeeping) in struct-of-arrays
+// buffers so a TTI sweep touches dense cache lines instead of chasing a
+// pointer per UE. The cold bearer structures (RLC queue, TC sublayer,
+// PDCP counters, traffic sources) stay on the UE object.
+//
+// A shard also maintains the *active set*: the slots that must be
+// processed this TTI. Idle UEs cost nothing per slot — their traffic
+// sources register a wakeup time in a min-heap, and the EWMA decay for
+// the slots they skipped is applied lazily in closed form when they
+// reactivate (see decayPow). docs/PERFORMANCE.md describes the layout
+// and the lazy-decay math.
+
+// ewmaAlpha is the per-TTI smoothing factor of the drain-rate and
+// throughput EWMAs (historically the alpha of UE.finishTTI).
+const ewmaAlpha = 1.0 / 64
+
+// ewmaDecay is the per-idle-slot EWMA multiplier, 63/64 — exactly
+// representable in a float64, so closed-form folding is deterministic.
+const ewmaDecay = 1 - ewmaAlpha
+
+// decayPow returns ewmaDecay^k by binary exponentiation. The fold is
+// deterministic (same k ⇒ bit-identical result), which is what the
+// golden equivalence test pins: the dense reference engine and the
+// sharded engine share this exact arithmetic. For large k the result
+// underflows to zero, which is the correct limit for a decaying average.
+func decayPow(k int64) float64 {
+	r := 1.0
+	b := ewmaDecay
+	for k > 0 {
+		if k&1 == 1 {
+			r *= b
+		}
+		b *= b
+		k >>= 1
+	}
+	return r
+}
+
+// wakeEntry is one pending wakeup in a shard's min-heap. Entries are
+// lazily deleted: gen guards slot reuse after Detach, and the at ==
+// nextWake[slot] check guards re-parks that superseded the entry.
+type wakeEntry struct {
+	at   int64
+	slot int32
+	gen  uint32
+}
+
+// shard holds the hot state for a subset of a cell's UEs. All access is
+// under the owning cell's mutex.
+type shard struct {
+	cell *Cell
+
+	// ues is slot-indexed; nil marks a free slot (listed in free).
+	ues  []*UE
+	free []int32
+
+	// Struct-of-arrays hot state, parallel to ues.
+	mcs       []int32
+	pf        []float64 // proportional-fair average (bits/TTI)
+	drainEWMA []float64 // recent RLC drain, bytes/TTI (BDP pacer input)
+	thrBps    []float64 // delivered-rate EWMA (MAC stats)
+	ttiBits   []int32   // accumulators within the current TTI
+	ttiBytes  []int32
+	ewmaAt    []int64  // last TTI folded into the EWMAs
+	nextWake  []int64  // earliest future TTI a source is due; -1 = never
+	gen       []uint32 // slot generation, bumped on Detach
+
+	// active is the worked set (unordered, swap-removed); activePos maps
+	// slot -> index in active, -1 when parked.
+	active    []int32
+	activePos []int32
+
+	wake []wakeEntry // min-heap on at (unused by the dense engine)
+
+	slotOrder []int32 // per-TTI scratch: active slots in slot order
+}
+
+func newShard(c *Cell) *shard { return &shard{cell: c} }
+
+// addUE places u in a free slot (or grows the arrays) and initializes
+// its hot state. New UEs are parked: they enter the active set when a
+// source registers a wakeup or a control poke activates them.
+func (sh *shard) addUE(u *UE, mcs int, now int64) {
+	var slot int32
+	if n := len(sh.free); n > 0 {
+		slot = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		sh.ues[slot] = u
+		sh.mcs[slot] = int32(mcs)
+		sh.pf[slot] = 0
+		sh.drainEWMA[slot] = 0
+		sh.thrBps[slot] = 0
+		sh.ttiBits[slot] = 0
+		sh.ttiBytes[slot] = 0
+		sh.ewmaAt[slot] = now
+		sh.nextWake[slot] = -1
+		sh.activePos[slot] = -1
+	} else {
+		slot = int32(len(sh.ues))
+		sh.ues = append(sh.ues, u)
+		sh.mcs = append(sh.mcs, int32(mcs))
+		sh.pf = append(sh.pf, 0)
+		sh.drainEWMA = append(sh.drainEWMA, 0)
+		sh.thrBps = append(sh.thrBps, 0)
+		sh.ttiBits = append(sh.ttiBits, 0)
+		sh.ttiBytes = append(sh.ttiBytes, 0)
+		sh.ewmaAt = append(sh.ewmaAt, now)
+		sh.nextWake = append(sh.nextWake, -1)
+		sh.gen = append(sh.gen, 0)
+		sh.activePos = append(sh.activePos, -1)
+	}
+	u.sh, u.slot = sh, slot
+}
+
+// removeUE frees u's slot in O(1). The generation bump invalidates any
+// wake-heap entries still pointing at the slot.
+func (sh *shard) removeUE(u *UE) {
+	slot := u.slot
+	sh.deactivate(slot)
+	sh.gen[slot]++
+	sh.ues[slot] = nil
+	sh.free = append(sh.free, slot)
+	u.lastMCS = sh.mcs[slot]
+	u.sh = nil
+}
+
+// activate inserts slot into the worked set; no-op if already active or
+// freed.
+func (sh *shard) activate(slot int32) {
+	if sh.activePos[slot] >= 0 || sh.ues[slot] == nil {
+		return
+	}
+	sh.activePos[slot] = int32(len(sh.active))
+	sh.active = append(sh.active, slot)
+}
+
+// deactivate swap-removes slot from the worked set; no-op if parked.
+func (sh *shard) deactivate(slot int32) {
+	pos := sh.activePos[slot]
+	if pos < 0 {
+		return
+	}
+	last := int32(len(sh.active) - 1)
+	moved := sh.active[last]
+	sh.active[pos] = moved
+	sh.activePos[moved] = pos
+	sh.active = sh.active[:last]
+	sh.activePos[slot] = -1
+}
+
+// pushWake queues a wakeup for slot at time at.
+func (sh *shard) pushWake(at int64, slot int32) {
+	sh.wake = append(sh.wake, wakeEntry{at: at, slot: slot, gen: sh.gen[slot]})
+	i := len(sh.wake) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if sh.wake[p].at <= sh.wake[i].at {
+			break
+		}
+		sh.wake[p], sh.wake[i] = sh.wake[i], sh.wake[p]
+		i = p
+	}
+}
+
+// popDueWakes activates every slot whose wakeup time has arrived.
+// Entries that were invalidated by Detach (gen mismatch) or superseded
+// by a re-park with a different wake time (at mismatch) are discarded,
+// so a UE is only ever woken at exactly the time the dense reference
+// engine would process it — that is what keeps the two engines
+// bit-identical.
+func (sh *shard) popDueWakes(now int64) {
+	for len(sh.wake) > 0 && sh.wake[0].at <= now {
+		e := sh.wake[0]
+		n := len(sh.wake) - 1
+		sh.wake[0] = sh.wake[n]
+		sh.wake = sh.wake[:n]
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && sh.wake[r].at < sh.wake[l].at {
+				m = r
+			}
+			if sh.wake[i].at <= sh.wake[m].at {
+				break
+			}
+			sh.wake[i], sh.wake[m] = sh.wake[m], sh.wake[i]
+			i = m
+		}
+		if e.gen == sh.gen[e.slot] && sh.ues[e.slot] != nil && sh.nextWake[e.slot] == e.at {
+			sh.activate(e.slot)
+		}
+	}
+}
+
+// scanWake is the dense engine's discovery pass: it visits every slot
+// and activates the ones whose wakeup time has arrived. Same outcome as
+// popDueWakes, found by exhaustive scan instead of the heap — the
+// cross-check the golden equivalence test relies on.
+func (sh *shard) scanWake(now int64) {
+	for slot := range sh.ues {
+		s := int32(slot)
+		if sh.ues[s] == nil || sh.activePos[s] >= 0 {
+			continue
+		}
+		if w := sh.nextWake[s]; w >= 0 && w <= now {
+			sh.activate(s)
+		}
+	}
+}
+
+// foldIdle applies the EWMA decay for the slots a UE skipped while
+// parked, in closed form, bringing ewmaAt up to now-1 so the ordinary
+// per-TTI update can run for now.
+func (sh *shard) foldIdle(slot int32, now int64) {
+	if at := sh.ewmaAt[slot]; at < now-1 {
+		f := decayPow(now - 1 - at)
+		sh.drainEWMA[slot] *= f
+		sh.thrBps[slot] *= f
+		sh.ewmaAt[slot] = now - 1
+	}
+}
+
+// preUE runs the per-UE first phase of a TTI: idle-gap fold, channel
+// advance, traffic generation, and the TC pump.
+func (sh *shard) preUE(slot int32, now int64) {
+	u := sh.ues[slot]
+	sh.foldIdle(slot, now)
+	if u.channel != nil {
+		sh.mcs[slot] = int32(u.channel.NextMCS(now))
+	}
+	u.tickTraffic(now)
+	u.tc.Pump(now, u.rlc.Backlog(), int(sh.drainEWMA[slot])+1)
+}
+
+// postUE folds the slot's transmissions into the EWMAs and decides
+// whether the UE can leave the worked set. A UE parks when it has no
+// bearer backlog and no source due by the next TTI; its next wakeup (if
+// any) goes to the heap (sharded engine) or is left for the scan (dense
+// engine).
+func (sh *shard) postUE(slot int32, now int64) {
+	u := sh.ues[slot]
+	sh.drainEWMA[slot] = ewmaDecay*sh.drainEWMA[slot] + ewmaAlpha*float64(sh.ttiBytes[slot])
+	sh.thrBps[slot] = ewmaDecay*sh.thrBps[slot] + ewmaAlpha*float64(sh.ttiBits[slot])*1000/TTI
+	sh.ttiBits[slot], sh.ttiBytes[slot] = 0, 0
+	sh.ewmaAt[slot] = now
+	if u.rlc.HasData() || u.tc.Backlog() > 0 {
+		return
+	}
+	w := u.nextWakeup(now)
+	sh.nextWake[slot] = w
+	if w >= 0 && w <= now+1 {
+		return // due again next TTI: staying active beats heap churn
+	}
+	sh.deactivate(slot)
+	if !sh.cell.dense && w >= 0 {
+		sh.pushWake(w, slot)
+	}
+}
+
+// orderActive snapshots the active set in slot order into slotOrder.
+// The worked set itself is unordered (swap-removal); scheduling and the
+// post-TTI sweep iterate the ordered copy so candidate order — which
+// PF/RR tie-breaking depends on — is canonical regardless of how slots
+// entered the set.
+func (sh *shard) orderActive() {
+	sh.slotOrder = append(sh.slotOrder[:0], sh.active...)
+	slices.Sort(sh.slotOrder)
+}
+
+// thrView returns the throughput EWMA as of the cell clock, folding any
+// pending idle decay without mutating state (parked UEs keep their lazy
+// bookkeeping; snapshots still see the eager-equivalent value).
+func (sh *shard) thrView(slot int32) float64 {
+	gap := sh.cell.Now() - sh.ewmaAt[slot]
+	if gap <= 0 {
+		return sh.thrBps[slot]
+	}
+	return sh.thrBps[slot] * decayPow(gap)
+}

@@ -96,6 +96,7 @@ func (q *tcQueue) enqueue(p *Packet, now int64) bool {
 	if q.bytes+p.Size > tcQueueCap {
 		q.stats.DropPackets++
 		p.Drop(now)
+		releasePacket(p)
 		return false
 	}
 	p.EnqueueTC = now
@@ -121,7 +122,10 @@ func (q *tcQueue) pop(now int64) *Packet {
 	q.stats.DeqPackets++
 	q.stats.DeqBytes += uint64(p.Size)
 	q.stats.SojournMS = now - p.EnqueueTC
-	if q.head > 64 && q.head*2 >= len(q.pkts) {
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.pkts) {
 		n := copy(q.pkts, q.pkts[q.head:])
 		for i := n; i < len(q.pkts); i++ {
 			q.pkts[i] = nil
@@ -296,6 +300,17 @@ func (t *TC) Pump(now int64, drbBacklog, drainPerTTI int) {
 		t.downstream(q.pop(now), now)
 		allowance -= p.Size
 	}
+}
+
+// Backlog returns the bytes currently held in the TC queues (0 in
+// transparent mode). The cell's park decision uses it: a UE with TC
+// backlog must keep pumping even when the RLC is momentarily empty.
+func (t *TC) Backlog() int {
+	n := 0
+	for _, q := range t.queues {
+		n += q.bytes
+	}
+	return n
 }
 
 // Stats snapshots the TC sublayer state.

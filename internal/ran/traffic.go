@@ -5,8 +5,22 @@ import "math"
 // TrafficSource generates downlink packets for one UE. Tick is called
 // once per TTI with the current simulator time; emit injects a packet
 // into the UE's bearer path.
+//
+// Sources are only ticked while their UE is in the cell's active set. A
+// source that also implements Waker tells the cell when it next needs a
+// tick, letting the UE park in between (idle UEs cost nothing per TTI);
+// sources without Waker are assumed due every TTI, which keeps their UE
+// permanently active.
 type TrafficSource interface {
 	Tick(now int64, emit func(*Packet))
+}
+
+// Waker is the optional scheduling contract of a TrafficSource: given
+// that Tick(now) just ran, NextWakeup returns the next time (> now) at
+// which Tick would do work, or -1 if it never will again. Answers <= now
+// are treated as now+1.
+type Waker interface {
+	NextWakeup(now int64) int64
 }
 
 // CBR is a constant-bit-rate source: one packet of Size bytes every
@@ -28,6 +42,10 @@ type CBR struct {
 	recvd   uint64
 	dropped uint64
 	rtts    []int64
+
+	// Per-packet callbacks, allocated once (packets are per-TTI hot).
+	deliverFn func(p *Packet, dnow int64)
+	dropFn    func(p *Packet, dnow int64)
 }
 
 // Tick implements TrafficSource.
@@ -38,15 +56,31 @@ func (c *CBR) Tick(now int64, emit func(*Packet)) {
 	if (now-c.StartMS)%c.IntervalMS != 0 {
 		return
 	}
+	if c.deliverFn == nil {
+		c.deliverFn = func(p *Packet, dnow int64) {
+			c.recvd++
+			c.rtts = append(c.rtts, (dnow-p.Sent)+c.ReturnDelayMS)
+		}
+		c.dropFn = func(*Packet, int64) { c.dropped++ }
+	}
 	c.seq++
 	c.sent++
-	p := &Packet{Flow: c.Flow, Size: c.Size, Seq: c.seq, Sent: now}
-	p.onDeliver = func(p *Packet, dnow int64) {
-		c.recvd++
-		c.rtts = append(c.rtts, (dnow-p.Sent)+c.ReturnDelayMS)
-	}
-	p.onDrop = func(*Packet, int64) { c.dropped++ }
+	p := newPacket()
+	p.Flow, p.Size, p.Seq, p.Sent = c.Flow, c.Size, c.seq, now
+	p.onDeliver = c.deliverFn
+	p.onDrop = c.dropFn
 	emit(p)
+}
+
+// NextWakeup implements Waker: the next grid point of the CBR schedule.
+func (c *CBR) NextWakeup(now int64) int64 {
+	if c.IntervalMS <= 0 {
+		return -1
+	}
+	if now < c.StartMS {
+		return c.StartMS
+	}
+	return c.StartMS + ((now-c.StartMS)/c.IntervalMS+1)*c.IntervalMS
 }
 
 // RTTs returns the recorded round-trip samples in ms.
@@ -68,12 +102,16 @@ type Saturating struct {
 	seq     uint64
 	carry   int
 	dropped uint64
+	dropFn  func(p *Packet, dnow int64)
 }
 
 // Tick implements TrafficSource.
 func (s *Saturating) Tick(now int64, emit func(*Packet)) {
 	if now < s.StartMS || (s.StopMS > 0 && now >= s.StopMS) {
 		return
+	}
+	if s.dropFn == nil {
+		s.dropFn = func(*Packet, int64) { s.dropped++ }
 	}
 	size := s.PktSize
 	if size <= 0 {
@@ -82,12 +120,24 @@ func (s *Saturating) Tick(now int64, emit func(*Packet)) {
 	budget := s.RateBytesPerMS + s.carry
 	for budget >= size {
 		s.seq++
-		p := &Packet{Flow: s.Flow, Size: size, Seq: s.seq, Sent: now}
-		p.onDrop = func(*Packet, int64) { s.dropped++ }
+		p := newPacket()
+		p.Flow, p.Size, p.Seq, p.Sent = s.Flow, size, s.seq, now
+		p.onDrop = s.dropFn
 		emit(p)
 		budget -= size
 	}
 	s.carry = budget
+}
+
+// NextWakeup implements Waker: due every TTI inside [StartMS, StopMS).
+func (s *Saturating) NextWakeup(now int64) int64 {
+	if s.StopMS > 0 && now+1 >= s.StopMS {
+		return -1
+	}
+	if now < s.StartMS {
+		return s.StartMS
+	}
+	return now + 1
 }
 
 // Dropped returns packets lost to queue overflow.
@@ -122,6 +172,9 @@ type CubicFlow struct {
 
 	delivered uint64 // segments
 	losses    uint64
+
+	deliverFn func(p *Packet, dnow int64)
+	dropFn    func(p *Packet, dnow int64)
 }
 
 type pendingAck struct {
@@ -158,6 +211,10 @@ func (f *CubicFlow) Tick(now int64, emit func(*Packet)) {
 		f.cwnd = 10 // RFC 6928 initial window
 		f.ssthresh = math.Inf(1)
 		f.epoch = -1
+		f.deliverFn = func(p *Packet, dnow int64) {
+			f.acks = append(f.acks, pendingAck{due: dnow + f.ackDelay(), seq: p.Seq})
+		}
+		f.dropFn = func(p *Packet, dnow int64) { f.onLoss(p.Seq, dnow) }
 	}
 	// Process due ACKs.
 	i := 0
@@ -173,11 +230,10 @@ func (f *CubicFlow) Tick(now int64, emit func(*Packet)) {
 	for f.inflight < int(f.cwnd) {
 		f.seq++
 		f.inflight++
-		p := &Packet{Flow: f.Flow, Size: f.mss(), Seq: f.seq, Sent: now}
-		p.onDeliver = func(p *Packet, dnow int64) {
-			f.acks = append(f.acks, pendingAck{due: dnow + f.ackDelay(), seq: p.Seq})
-		}
-		p.onDrop = func(p *Packet, dnow int64) { f.onLoss(p.Seq, dnow) }
+		p := newPacket()
+		p.Flow, p.Size, p.Seq, p.Sent = f.Flow, f.mss(), f.seq, now
+		p.onDeliver = f.deliverFn
+		p.onDrop = f.dropFn
 		emit(p)
 	}
 }
@@ -220,6 +276,16 @@ func (f *CubicFlow) onLoss(seq uint64, now int64) {
 	}
 	f.ssthresh = f.cwnd
 	f.epoch = -1
+}
+
+// NextWakeup implements Waker: a Cubic flow is self-clocked through the
+// simulator (pending ACKs and window growth every TTI), so once started
+// it is always due next slot.
+func (f *CubicFlow) NextWakeup(now int64) int64 {
+	if now < f.StartMS {
+		return f.StartMS
+	}
+	return now + 1
 }
 
 // Stats returns delivered segments and loss events.

@@ -23,7 +23,11 @@ type MACUEStats struct {
 	ThroughputBps float64
 }
 
-// UE is one attached user with its downlink bearer path.
+// UE is one attached user with its downlink bearer path. The cold bearer
+// structures (RLC queue, TC sublayer, PDCP counters, traffic sources)
+// live here; the per-TTI hot state (MCS, PF average, rate EWMAs, slot
+// accumulators) lives in the owning shard's struct-of-arrays buffers,
+// addressed by (sh, slot).
 type UE struct {
 	RNTI uint16
 	IMSI string
@@ -33,8 +37,6 @@ type UE struct {
 	// SliceID associates the UE to a scheduling slice.
 	SliceID uint32
 
-	// MCS is the current modulation-and-coding scheme (radio quality).
-	MCS int
 	// channel, when set, drives MCS variation per TTI.
 	channel ChannelProcess
 
@@ -45,23 +47,25 @@ type UE struct {
 
 	sources []TrafficSource
 
-	// drainEWMA tracks recent RLC drain in bytes/TTI for the BDP pacer.
-	drainEWMA float64
-	// ttiBits/ttiBytes accumulate within the current TTI (a UE may be
-	// drained in several scheduler chunks) and feed the EWMAs once per
-	// slot via finishTTI.
-	ttiBits  int
-	ttiBytes int
+	// sh/slot address the hot state in the shard's SoA buffers; sh is
+	// nil after Detach (lastMCS then preserves the final MCS).
+	sh      *shard
+	slot    int32
+	lastMCS int32
+	// allIdx is the UE's position in the cell registry (swap-remove).
+	allIdx int32
 
-	// pf is the proportional-fair average throughput state (bits/TTI).
-	pf float64
+	// emit is the Tick callback, allocated once; tickNow carries the
+	// current slot into it so ticking stays allocation-free.
+	emit    func(*Packet)
+	tickNow int64
 
 	// deliveredBits accumulates for external rate sampling.
 	deliveredBits uint64
 }
 
 func newUE(rnti uint16, imsi, plmn string, mcs int) *UE {
-	ue := &UE{RNTI: rnti, IMSI: imsi, PLMNID: plmn, MCS: mcs}
+	ue := &UE{RNTI: rnti, IMSI: imsi, PLMNID: plmn, lastMCS: int32(mcs)}
 	ue.rlc = &RLCQueue{}
 	ue.tc = NewTC(func(p *Packet, now int64) bool {
 		ue.pdcp.TxPackets++
@@ -70,16 +74,28 @@ func newUE(rnti uint16, imsi, plmn string, mcs int) *UE {
 		return ue.rlc.Enqueue(p, now)
 	})
 	ue.mac.RNTI = rnti
-	ue.mac.MCS = mcs
-	ue.mac.CQI = CQIFromMCS(mcs)
+	ue.emit = func(p *Packet) { ue.Submit(p, ue.tickNow) }
 	return ue
 }
 
-// Submit hands a downlink packet to the UE's bearer path (SDAP entry).
-func (u *UE) Submit(p *Packet, now int64) bool { return u.tc.Submit(p, now) }
+// Submit hands a downlink packet to the UE's bearer path (SDAP entry)
+// and wakes the UE if it was parked.
+func (u *UE) Submit(p *Packet, now int64) bool {
+	ok := u.tc.Submit(p, now)
+	if u.sh != nil {
+		u.sh.activate(u.slot)
+	}
+	return ok
+}
 
-// AddSource attaches a traffic generator to the UE.
-func (u *UE) AddSource(s TrafficSource) { u.sources = append(u.sources, s) }
+// AddSource attaches a traffic generator to the UE and wakes it so the
+// next TTI evaluates the source's schedule.
+func (u *UE) AddSource(s TrafficSource) {
+	u.sources = append(u.sources, s)
+	if u.sh != nil {
+		u.sh.activate(u.slot)
+	}
+}
 
 // TC exposes the UE's traffic-control sublayer for the TC SM.
 func (u *UE) TC() *TC { return u.tc }
@@ -90,11 +106,28 @@ func (u *UE) RLC() *RLCQueue { return u.rlc }
 // PDCPStats snapshots the PDCP counters.
 func (u *UE) PDCPStats() PDCPStats { return u.pdcp }
 
+// MCS returns the UE's current modulation-and-coding scheme. For a UE
+// with a channel process the value is folded to the cell clock first, so
+// a parked UE still reads current radio quality (NextMCS catch-up is
+// call-cadence independent, so this never perturbs the trajectory).
+func (u *UE) MCS() int {
+	if u.sh == nil {
+		return int(u.lastMCS)
+	}
+	if u.channel != nil {
+		u.sh.mcs[u.slot] = int32(u.channel.NextMCS(u.sh.cell.Now()))
+	}
+	return int(u.sh.mcs[u.slot])
+}
+
 // MACStats snapshots the MAC counters.
 func (u *UE) MACStats() MACUEStats {
 	s := u.mac
-	s.MCS = u.MCS
-	s.CQI = CQIFromMCS(u.MCS)
+	s.MCS = u.MCS()
+	s.CQI = CQIFromMCS(s.MCS)
+	if u.sh != nil {
+		s.ThroughputBps = u.sh.thrView(u.slot)
+	}
 	return s
 }
 
@@ -107,38 +140,50 @@ func (u *UE) hasData() bool { return u.rlc.HasData() }
 
 // tickTraffic generates this TTI's application traffic.
 func (u *UE) tickTraffic(now int64) {
+	u.tickNow = now
 	for _, s := range u.sources {
-		s.Tick(now, func(p *Packet) { u.Submit(p, now) })
+		s.Tick(now, u.emit)
 	}
 }
 
-// pumpTC runs the TC scheduler/pacer for this TTI.
-func (u *UE) pumpTC(now int64) {
-	u.tc.Pump(now, u.rlc.Backlog(), int(u.drainEWMA)+1)
+// nextWakeup returns the earliest future TTI (> now) at which any of the
+// UE's traffic sources is due, or -1 when none ever will be. Sources
+// that don't implement Waker are assumed due every TTI.
+func (u *UE) nextWakeup(now int64) int64 {
+	min := int64(-1)
+	for _, s := range u.sources {
+		var at int64
+		if w, ok := s.(Waker); ok {
+			at = w.NextWakeup(now)
+			if at < 0 {
+				continue // source finished
+			}
+			if at <= now {
+				at = now + 1
+			}
+		} else {
+			at = now + 1
+		}
+		if min < 0 || at < min {
+			min = at
+		}
+	}
+	return min
 }
 
 // drain transmits up to rbs resource blocks worth of data and updates
 // MAC accounting. It returns the bits actually sent. A UE may be
 // drained several times within one TTI (scheduler chunks); per-TTI rate
-// statistics are finalized by finishTTI.
+// statistics are finalized by shard.postUE.
 func (u *UE) drain(rbs int, now int64) int {
-	budgetBits := rbs * BitsPerRB(u.MCS)
+	sh, slot := u.sh, u.slot
+	budgetBits := rbs * BitsPerRB(int(sh.mcs[slot]))
 	usedBytes := u.rlc.Drain(budgetBits/8, now)
 	bits := usedBytes * 8
 	u.mac.RBsUsed += uint64(rbs)
 	u.mac.TxBits += uint64(bits)
 	u.deliveredBits += uint64(bits)
-	u.ttiBits += bits
-	u.ttiBytes += usedBytes
+	sh.ttiBits[slot] += int32(bits)
+	sh.ttiBytes[slot] += int32(usedBytes)
 	return bits
-}
-
-// finishTTI folds the slot's transmissions into the rate EWMAs; called
-// once per TTI for every attached UE (idle slots decay the averages).
-func (u *UE) finishTTI() {
-	const alpha = 1.0 / 64
-	u.drainEWMA = (1-alpha)*u.drainEWMA + alpha*float64(u.ttiBytes)
-	u.mac.ThroughputBps = (1-alpha)*u.mac.ThroughputBps + alpha*float64(u.ttiBits)*1000/TTI
-	u.ttiBits = 0
-	u.ttiBytes = 0
 }

@@ -53,6 +53,9 @@ type subState struct {
 	actionID uint8
 	periodMS int64
 	nextDue  int64
+	// batch coalesces multi-payload reports (one per UE shard) into a
+	// single transport operation; lazily created when tx supports it.
+	batch *agent.IndicationBatch
 }
 
 // StatsFunction is a generic periodic-report RAN function: the shared
@@ -136,7 +139,22 @@ func (f *StatsFunction) Tick(now int64) {
 	}
 	f.mu.Unlock()
 	for _, d := range dues {
-		for _, payload := range f.build(d.ctrl, now) {
+		payloads := f.build(d.ctrl, now)
+		if len(payloads) > 1 {
+			if d.st.batch == nil {
+				if bs, ok := d.st.tx.(agent.BatchIndicationSender); ok {
+					d.st.batch = bs.NewBatch()
+				}
+			}
+			if b := d.st.batch; b != nil {
+				for _, payload := range payloads {
+					_ = b.Add(d.st.actionID, e2ap.IndicationReport, nil, payload)
+				}
+				_ = b.Flush()
+				continue
+			}
+		}
+		for _, payload := range payloads {
 			_ = d.st.tx.SendIndication(d.st.actionID, e2ap.IndicationReport, nil, payload)
 		}
 	}
@@ -149,79 +167,112 @@ func (f *StatsFunction) Subscriptions() int {
 	return len(f.subs)
 }
 
-// NewMACStats returns the MAC monitoring SM bound to a cell.
+// NewMACStats returns the MAC monitoring SM bound to a cell. Reports are
+// built per UE shard — each shard's UEs become one indication payload
+// (same wire format, same CellTimeMS) so large cells stream as a batch
+// of bounded messages instead of one monolithic report; a cell with no
+// visible UEs still emits one empty report as a heartbeat.
 func NewMACStats(cell *ran.Cell, scheme Scheme, vis Visibility) *StatsFunction {
 	return NewStatsFunction(IDMACStats, "1.3.6.1.4.1.53148.1.2.2.142",
 		func(ctrl agent.ControllerID, now int64) [][]byte {
-			rep := &MACReport{CellTimeMS: now}
-			cell.WithUEs(func(ues []*ran.UE) {
-				for _, u := range ues {
-					if !visible(vis, ctrl, u.RNTI) {
-						continue
+			var out [][]byte
+			for si := 0; si < cell.NumShards(); si++ {
+				rep := &MACReport{CellTimeMS: now}
+				cell.WithShardUEs(si, func(ues []*ran.UE) {
+					for _, u := range ues {
+						if !visible(vis, ctrl, u.RNTI) {
+							continue
+						}
+						m := u.MACStats()
+						rep.UEs = append(rep.UEs, MACUEEntry{
+							RNTI:          m.RNTI,
+							CQI:           uint8(m.CQI),
+							MCS:           uint8(m.MCS),
+							RBsUsed:       m.RBsUsed,
+							TxBits:        m.TxBits,
+							ThroughputBps: m.ThroughputBps,
+						})
 					}
-					m := u.MACStats()
-					rep.UEs = append(rep.UEs, MACUEEntry{
-						RNTI:          m.RNTI,
-						CQI:           uint8(m.CQI),
-						MCS:           uint8(m.MCS),
-						RBsUsed:       m.RBsUsed,
-						TxBits:        m.TxBits,
-						ThroughputBps: m.ThroughputBps,
-					})
+				})
+				if len(rep.UEs) > 0 {
+					out = append(out, EncodeMACReport(scheme, rep))
 				}
-			})
-			return [][]byte{EncodeMACReport(scheme, rep)}
+			}
+			if len(out) == 0 {
+				out = [][]byte{EncodeMACReport(scheme, &MACReport{CellTimeMS: now})}
+			}
+			return out
 		})
 }
 
-// NewRLCStats returns the RLC monitoring SM bound to a cell.
+// NewRLCStats returns the RLC monitoring SM bound to a cell, reporting
+// per UE shard like NewMACStats.
 func NewRLCStats(cell *ran.Cell, scheme Scheme, vis Visibility) *StatsFunction {
 	return NewStatsFunction(IDRLCStats, "1.3.6.1.4.1.53148.1.2.2.143",
 		func(ctrl agent.ControllerID, now int64) [][]byte {
-			rep := &RLCReport{CellTimeMS: now}
-			cell.WithUEs(func(ues []*ran.UE) {
-				for _, u := range ues {
-					if !visible(vis, ctrl, u.RNTI) {
-						continue
+			var out [][]byte
+			for si := 0; si < cell.NumShards(); si++ {
+				rep := &RLCReport{CellTimeMS: now}
+				cell.WithShardUEs(si, func(ues []*ran.UE) {
+					for _, u := range ues {
+						if !visible(vis, ctrl, u.RNTI) {
+							continue
+						}
+						st := u.RLC().Stats()
+						rep.UEs = append(rep.UEs, RLCUEEntry{
+							RNTI:        u.RNTI,
+							TxPackets:   st.TxPackets,
+							TxBytes:     st.TxBytes,
+							RxPackets:   st.RxPackets,
+							RxBytes:     st.RxBytes,
+							DropPackets: st.DropPackets,
+							DropBytes:   st.DropBytes,
+							BufferBytes: uint64(st.BufferBytes),
+							BufferPkts:  uint64(st.BufferPkts),
+							SojournMS:   u.RLC().OldestSojournMS(now),
+						})
 					}
-					st := u.RLC().Stats()
-					rep.UEs = append(rep.UEs, RLCUEEntry{
-						RNTI:        u.RNTI,
-						TxPackets:   st.TxPackets,
-						TxBytes:     st.TxBytes,
-						RxPackets:   st.RxPackets,
-						RxBytes:     st.RxBytes,
-						DropPackets: st.DropPackets,
-						DropBytes:   st.DropBytes,
-						BufferBytes: uint64(st.BufferBytes),
-						BufferPkts:  uint64(st.BufferPkts),
-						SojournMS:   u.RLC().OldestSojournMS(now),
-					})
+				})
+				if len(rep.UEs) > 0 {
+					out = append(out, EncodeRLCReport(scheme, rep))
 				}
-			})
-			return [][]byte{EncodeRLCReport(scheme, rep)}
+			}
+			if len(out) == 0 {
+				out = [][]byte{EncodeRLCReport(scheme, &RLCReport{CellTimeMS: now})}
+			}
+			return out
 		})
 }
 
-// NewPDCPStats returns the PDCP monitoring SM bound to a cell.
+// NewPDCPStats returns the PDCP monitoring SM bound to a cell, reporting
+// per UE shard like NewMACStats.
 func NewPDCPStats(cell *ran.Cell, scheme Scheme, vis Visibility) *StatsFunction {
 	return NewStatsFunction(IDPDCPStats, "1.3.6.1.4.1.53148.1.2.2.144",
 		func(ctrl agent.ControllerID, now int64) [][]byte {
-			rep := &PDCPReport{CellTimeMS: now}
-			cell.WithUEs(func(ues []*ran.UE) {
-				for _, u := range ues {
-					if !visible(vis, ctrl, u.RNTI) {
-						continue
+			var out [][]byte
+			for si := 0; si < cell.NumShards(); si++ {
+				rep := &PDCPReport{CellTimeMS: now}
+				cell.WithShardUEs(si, func(ues []*ran.UE) {
+					for _, u := range ues {
+						if !visible(vis, ctrl, u.RNTI) {
+							continue
+						}
+						st := u.PDCPStats()
+						rep.UEs = append(rep.UEs, PDCPUEEntry{
+							RNTI:      u.RNTI,
+							TxPackets: st.TxPackets,
+							TxBytes:   st.TxBytes,
+						})
 					}
-					st := u.PDCPStats()
-					rep.UEs = append(rep.UEs, PDCPUEEntry{
-						RNTI:      u.RNTI,
-						TxPackets: st.TxPackets,
-						TxBytes:   st.TxBytes,
-					})
+				})
+				if len(rep.UEs) > 0 {
+					out = append(out, EncodePDCPReport(scheme, rep))
 				}
-			})
-			return [][]byte{EncodePDCPReport(scheme, rep)}
+			}
+			if len(out) == 0 {
+				out = [][]byte{EncodePDCPReport(scheme, &PDCPReport{CellTimeMS: now})}
+			}
+			return out
 		})
 }
 

@@ -8,19 +8,29 @@
 # tier (append at MICRO_BENCHTIME, queries at HOT_BENCHTIME), and the
 # compression tier (seal/decode/compressed queries, with the
 # bytes/sample ReportMetric), the A1 SLA tier (enforcement-tick latency
-# with the policies/s ReportMetric), all with -benchmem, and writes
-# BENCH_pr8.json mapping benchmark name -> ns/op, B/op, allocs/op (plus
-# any custom b.ReportMetric units, e.g. bytes/sample -> bytes_sample).
-# The JSON also embeds two baselines so a reviewer can diff without
-# checking out old trees: the pre-fast-path allocation counts and the
-# pre-compression (PR 5) query latencies. See docs/PERFORMANCE.md.
+# with the policies/s ReportMetric), and the scale tier (a cells x UEs
+# fleet stepped by the sharded core vs the frozen pre-change per-UE
+# loop, with ue_slots/s, p99_slot_ns and bytes/ue ReportMetrics), all
+# with -benchmem, and writes BENCH_pr9.json mapping benchmark name ->
+# ns/op, B/op, allocs/op (plus any custom b.ReportMetric units, e.g.
+# ue_slots/s -> ue_slots_s). The JSON also embeds two baselines so a
+# reviewer can diff without checking out old trees: the pre-fast-path
+# allocation counts and the pre-compression (PR 5) query latencies. See
+# docs/PERFORMANCE.md.
 #
 # Tunables (env):
 #   FIG_BENCHTIME    iterations for the simulation-backed figure benches
 #                    (default 1x: each iteration is a full experiment)
 #   HOT_BENCHTIME    iterations for end-to-end hot paths (default 2000x)
 #   MICRO_BENCHTIME  iterations for pure-CPU microbenches (default 200000x)
-#   OUT              output file (default BENCH_pr8.json)
+#   SCALE_BENCHTIME       slots for the sharded scale bench (default 1000x)
+#   SCALE_BASE_BENCHTIME  slots for the per-UE-loop baseline (default 200x:
+#                         each slot sweeps the full fleet, so iterations
+#                         are ~50x slower than the sharded core's)
+#   SCALE_CELLS, SCALE_UES_PER_CELL, SCALE_IDLE_PCT, SCALE_SHARDS
+#                    scale-tier fleet shape (default 1000 cells x 1000
+#                    UEs = 1M UEs at 99% idle, 4 shards per cell)
+#   OUT              output file (default BENCH_pr9.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,14 +38,21 @@ GO=${GO:-go}
 FIG_BENCHTIME=${FIG_BENCHTIME:-1x}
 HOT_BENCHTIME=${HOT_BENCHTIME:-2000x}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-200000x}
-OUT=${OUT:-BENCH_pr8.json}
+SCALE_BENCHTIME=${SCALE_BENCHTIME:-1000x}
+SCALE_BASE_BENCHTIME=${SCALE_BASE_BENCHTIME:-200x}
+SCALE_CELLS=${SCALE_CELLS:-1000}
+SCALE_UES_PER_CELL=${SCALE_UES_PER_CELL:-1000}
+SCALE_IDLE_PCT=${SCALE_IDLE_PCT:-99}
+SCALE_SHARDS=${SCALE_SHARDS:-4}
+export SCALE_CELLS SCALE_UES_PER_CELL SCALE_IDLE_PCT SCALE_SHARDS
+OUT=${OUT:-BENCH_pr9.json}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT INT TERM
 
 run() { # run <benchtime> <package> <regex>
     bt=$1; pkg=$2; re=$3
-    "$GO" test -run xxx -bench "$re" -benchtime "$bt" -benchmem "$pkg" | tee -a "$TMP"
+    "$GO" test -run xxx -bench "$re" -benchtime "$bt" -benchmem -timeout 60m "$pkg" | tee -a "$TMP"
 }
 
 # Micro and hot-path benches run first, before the simulation-backed
@@ -68,14 +85,24 @@ run "$HOT_BENCHTIME" ./internal/xapp/ 'BenchmarkSLAEnforceTick$'
 echo "==> figure suite (benchtime $FIG_BENCHTIME)"
 run "$FIG_BENCHTIME" . 'BenchmarkFig6aAgentOverhead$|BenchmarkFig6bUESweep$|BenchmarkFig7aPingRTT$|BenchmarkFig7bSignaling$|BenchmarkFig8aControllerVsFlexRAN$|BenchmarkFig8bAgentSweep$|BenchmarkTable2Footprint$'
 
+echo "==> scale tier (${SCALE_CELLS}x${SCALE_UES_PER_CELL} UEs, ${SCALE_IDLE_PCT}% idle, ${SCALE_SHARDS} shards)"
+# The sharded/active-set core vs the frozen pre-change per-UE loop on
+# the same fleet and traffic mix. Fleets are cached across b.N
+# escalations, so the dominant cost is the slots themselves. Speedup =
+# sharded ue_slots_s / baseline ue_slots_s.
+run "$SCALE_BENCHTIME" ./internal/ran/ 'BenchmarkScaleShardedStep$'
+run "$SCALE_BASE_BENCHTIME" ./internal/ran/ 'BenchmarkScaleBaselineStep$'
+
 echo "==> writing $OUT"
 {
     printf '{\n'
     printf '  "schema": "flexric-bench-v1",\n'
     printf '  "generated_by": "scripts/bench.sh",\n'
     printf '  "go": "%s",\n' "$("$GO" env GOVERSION)"
-    printf '  "benchtime": {"fig": "%s", "hot": "%s", "micro": "%s"},\n' \
-        "$FIG_BENCHTIME" "$HOT_BENCHTIME" "$MICRO_BENCHTIME"
+    printf '  "benchtime": {"fig": "%s", "hot": "%s", "micro": "%s", "scale": "%s", "scale_base": "%s"},\n' \
+        "$FIG_BENCHTIME" "$HOT_BENCHTIME" "$MICRO_BENCHTIME" "$SCALE_BENCHTIME" "$SCALE_BASE_BENCHTIME"
+    printf '  "scale": {"cells": %s, "ues_per_cell": %s, "idle_pct": %s, "shards": %s},\n' \
+        "$SCALE_CELLS" "$SCALE_UES_PER_CELL" "$SCALE_IDLE_PCT" "$SCALE_SHARDS"
     # Measured on the commit immediately before the zero-allocation fast
     # path landed (same machine class, -benchmem). The encode benches
     # were already allocation-free; the fast path's win there is the

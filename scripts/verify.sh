@@ -32,6 +32,13 @@ echo "==> go test -race -short"
 # instrumentation overhead. Concurrency coverage is unaffected.
 go test -race -short ./...
 
+echo "==> scale smoke (4 cells x 10k UEs, 95% idle; allocs/UE-slot gate)"
+# The sharded RAN core at a CI-sized footprint: 40k UEs step 400 slots
+# and the whole fleet — parked UEs, wake heap, packet emission — must
+# stay under 0.05 allocations per UE-slot. Catches any per-idle-UE cost
+# creeping back into the slot loop.
+go test -count=1 -run 'TestScaleSmoke$' -v ./internal/ran/ | grep -E '(=== RUN|--- (PASS|FAIL)|^(PASS|FAIL|ok)|allocs/UE-slot)'
+
 echo "==> go test -tags notelemetry (telemetry compiled out)"
 go test -tags notelemetry ./internal/telemetry/ ./internal/transport/ ./internal/e2ap/
 
@@ -170,8 +177,10 @@ echo "==> bench suite smoke run"
 # the awk emitter against bench-output format drift).
 smoke_out=$(mktemp)
 trap 'rm -f "$smoke_out"' EXIT INT TERM
-FIG_BENCHTIME=1x HOT_BENCHTIME=10x MICRO_BENCHTIME=10x OUT="$smoke_out" \
-    sh scripts/bench.sh >/dev/null
+FIG_BENCHTIME=1x HOT_BENCHTIME=10x MICRO_BENCHTIME=10x \
+    SCALE_BENCHTIME=10x SCALE_BASE_BENCHTIME=5x \
+    SCALE_CELLS=2 SCALE_UES_PER_CELL=200 SCALE_IDLE_PCT=90 SCALE_SHARDS=2 \
+    OUT="$smoke_out" sh scripts/bench.sh >/dev/null
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$smoke_out"
 fi
