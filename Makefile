@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench trace-demo chaos-demo controlroom-demo sla-demo verify fmt
+.PHONY: build test bench trace-demo chaos-demo controlroom-demo sla-demo federation-demo verify fmt
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 # Paper figure suite + hot-path microbenches with -benchmem; writes
-# BENCH_pr8.json (name -> ns/op, B/op, allocs/op). Tunables:
+# BENCH_pr10.json (name -> ns/op, B/op, allocs/op). Tunables:
 # FIG_BENCHTIME, HOT_BENCHTIME, MICRO_BENCHTIME, OUT. See
 # scripts/bench.sh and docs/PERFORMANCE.md.
 bench:
@@ -45,6 +45,16 @@ controlroom-demo:
 # churn plus a scripted reconnect storm do not unseat the verdict.
 sla-demo:
 	$(GO) test -run TestSLADemo -v ./internal/experiments/
+
+# End-to-end federation demo: a root controller federates 3 shard
+# controllers splitting a 12-agent fleet by consistent hashing, under
+# both codecs. One shard is killed mid-run — its agents re-home to the
+# ring successor, the root's cross-shard subscription streams resume,
+# and a federated windowed query over the pre-kill window returns the
+# pre-kill baseline (the successor restored the dead shard's tsdb
+# snapshot).
+federation-demo:
+	$(GO) test -run TestFederationDemo -v ./internal/experiments/
 
 fmt:
 	gofmt -w .

@@ -20,6 +20,7 @@
 //	flexric-bench scaleload [-cells 32] [-ues 500] [-idle 95] [-shards 4] [-ingest-workers 4] [-dur 5s]
 //	flexric-bench chaos  [-scheme asn] [-connplan drop@120,drop@120] [-lisplan blackout@1=2]
 //	flexric-bench slaload [-scheme asn] [-connplan drop@1500,drop@1500,drop@1500]
+//	flexric-bench fedload [-scheme fb] [-fed-shards 3] [-fleet 4,8] [-dur 5s]
 //	flexric-bench all    (reduced scale)
 package main
 
@@ -27,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"flexric/internal/e2ap"
@@ -54,7 +57,9 @@ func main() {
 	idle := fs.Int("idle", 95, "percent of UEs with sparse traffic (scaleload)")
 	shards := fs.Int("shards", 4, "UE shards per cell (scaleload)")
 	ingestWorkers := fs.Int("ingest-workers", 4, "monitor ingest pipeline goroutines (scaleload)")
-	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos, slaload)")
+	scheme := fs.String("scheme", "asn", "encoding scheme: asn or fb (chaos, slaload, fedload)")
+	fedShards := fs.Int("fed-shards", 3, "federated controller-plane size (fedload)")
+	fleet := fs.String("fleet", "", "comma-separated fleet sizes to sweep, e.g. 4,8 (fedload; empty = default)")
 	connPlan := fs.String("connplan", "", "connection fault plan (chaos, slaload; empty = per-experiment default)")
 	lisPlan := fs.String("lisplan", "", "listener fault plan (chaos; empty = blackout@1=2)")
 	tel := fs.Bool("telemetry", false, "print the telemetry snapshot after each experiment")
@@ -169,6 +174,23 @@ func main() {
 				})
 			})
 		},
+		"fedload": func() {
+			e2s, sms := e2ap.SchemeASN, sm.SchemeASN
+			if *scheme == "fb" {
+				e2s, sms = e2ap.SchemeFB, sm.SchemeFB
+			}
+			sizes, err := parseFleet(*fleet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fedload: %v\n", err)
+				os.Exit(2)
+			}
+			run("fedload", func() (fmt.Stringer, error) {
+				return experiments.FedLoad(experiments.FedLoadOptions{
+					E2Scheme: e2s, SMScheme: sms,
+					Shards: *fedShards, Agents: sizes, Duration: *dur,
+				})
+			})
+		},
 	}
 
 	switch cmd {
@@ -205,6 +227,12 @@ func main() {
 				Cells: 8, UEsPerCell: 200, Duration: 2 * time.Second, IngestWorkers: 2,
 			})
 		})
+		run("fedload", func() (fmt.Stringer, error) {
+			return experiments.FedLoad(experiments.FedLoadOptions{
+				E2Scheme: e2ap.SchemeFB, SMScheme: sm.SchemeFB,
+				Shards: 2, Agents: []int{2, 4}, Duration: 200 * time.Millisecond,
+			})
+		})
 	default:
 		f, ok := experimentsByName[cmd]
 		if !ok {
@@ -213,6 +241,22 @@ func main() {
 		}
 		f()
 	}
+}
+
+// parseFleet parses the -fleet sweep list ("4,8" -> [4, 8]).
+func parseFleet(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func usage() {
@@ -237,5 +281,6 @@ experiments:
   scaleload  sharded fleet with per-shard reports into pipelined ingest
   chaos   resilience under a scripted fault plan (drops + blackout)
   slaload   A1 SLA closed loop: violate, remedy, survive a reconnect storm
+  fedload   agents-per-controller sweep, single vs federated plane
   all     everything, reduced scale`)
 }

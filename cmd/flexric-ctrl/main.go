@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"flexric/internal/ctrl"
 	"flexric/internal/e2ap"
 	"flexric/internal/faultinject"
+	"flexric/internal/federation"
 	"flexric/internal/obs"
 	"flexric/internal/resilience"
 	"flexric/internal/server"
@@ -54,6 +56,13 @@ func main() {
 	tsdbSnapshotEvery := flag.Duration("tsdb-snapshot-every", 0, "also write the snapshot periodically (0 = shutdown-only; needs -tsdb-snapshot)")
 	a1On := flag.Bool("a1", false, "A1 policy plane: /a1/* northbound on the obs server plus the SLA enforcement loop (needs -obs, -slicing, and the tsdb)")
 	slaTick := flag.Uint("sla-tick", 500, "SLA enforcement tick period in ms (needs -a1)")
+	a1Snapshot := flag.String("a1-snapshot", "", "A1 policy-store snapshot file: loaded at startup, written on shutdown (needs -a1)")
+	a1SnapshotEvery := flag.Duration("a1-snapshot-every", 0, "also write the A1 snapshot periodically (0 = shutdown-only; needs -a1-snapshot)")
+	federate := flag.String("federate", "", "comma-separated shard names forming the federation ring, e.g. 's0,s1,s2' (needs -root or -shard-of)")
+	rootMode := flag.Bool("root", false, "run as the federation root: -e2 accepts shard northbound connections, -obs serves /federation.json and the federated /tsdb/query")
+	shardOf := flag.String("shard-of", "", "run as a federation shard under the root at this E2 address; -e2 is the shard's southbound, -obs its /tsdb/partial endpoint")
+	shardName := flag.String("shard-name", "", "this shard's ring member name (needs -shard-of; must appear in -federate)")
+	fedSnapshots := flag.String("fed-snapshots", "", "shared directory of per-shard tsdb snapshots enabling failover state transfer (shard mode; -tsdb-snapshot-every adds periodic writes)")
 	flag.Parse()
 
 	if *traceSample > 0 {
@@ -88,6 +97,27 @@ func main() {
 	if *resOn {
 		resCfg = &resilience.Config{KeepaliveInterval: *keepalive, RetainFor: *retain}
 	}
+
+	// The federation modes are dedicated processes: a root terminates
+	// shard northbounds only, a shard is a full controller core for its
+	// ring slice. Neither mixes with the standalone specializations.
+	if *rootMode && *shardOf != "" {
+		log.Fatal("-root and -shard-of are mutually exclusive")
+	}
+	if *rootMode || *shardOf != "" {
+		members := splitMembers(*federate)
+		if len(members) == 0 {
+			log.Fatal("federation modes need -federate with the ring member list, e.g. -federate s0,s1,s2")
+		}
+		if *rootMode {
+			runFederationRoot(members, *e2Addr, *obsAddr, e2s, resCfg, uint32(*period))
+		} else {
+			runFederationShard(members, *shardName, *shardOf, *e2Addr, *obsAddr,
+				*fedSnapshots, *tsdbSnapshotEvery, e2s, sms, resCfg, uint32(*period))
+		}
+		return
+	}
+
 	plan, err := faultinject.Parse(*faultPlan)
 	if err != nil {
 		log.Fatal(err)
@@ -168,11 +198,28 @@ func main() {
 	}
 
 	var polStore *a1.Store
+	var a1SnapStop chan struct{}
+	var a1SnapDone <-chan struct{}
+	if *a1Snapshot != "" && !*a1On {
+		log.Fatal("-a1-snapshot needs -a1")
+	}
 	if *a1On {
 		if *obsAddr == "" || sc == nil || store == nil {
 			log.Fatal("-a1 needs -obs (the /a1/* northbound), -slicing (the remedy path), and the tsdb (-tsdb > 0)")
 		}
 		polStore = a1.NewStore()
+		if *a1Snapshot != "" {
+			if err := polStore.LoadFile(*a1Snapshot); err != nil {
+				log.Fatalf("a1 snapshot load: %v", err)
+			}
+			if n := polStore.Len(); n > 0 {
+				log.Printf("a1: restored %d policies from %s", n, *a1Snapshot)
+			}
+			a1SnapStop = make(chan struct{})
+			a1SnapDone = polStore.SnapshotEvery(*a1Snapshot, *a1SnapshotEvery, a1SnapStop, func(err error) {
+				log.Printf("a1 snapshot write: %v", err)
+			})
+		}
 	}
 
 	// The observability server mounts last so the control room's
@@ -251,5 +298,102 @@ func main() {
 		<-snapDone
 		log.Printf("tsdb: snapshot written to %s", *tsdbSnapshot)
 	}
+	if a1SnapStop != nil {
+		close(a1SnapStop)
+		<-a1SnapDone
+		log.Printf("a1: snapshot written to %s", *a1Snapshot)
+	}
 	dumper.Stop()
+}
+
+// splitMembers parses the -federate ring member list.
+func splitMembers(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runFederationRoot runs the process as the federation root until
+// SIGINT/SIGTERM: shard northbounds terminate at -e2, and -obs serves
+// /federation.json, the control-room topology with its federation tier,
+// and the federated /tsdb/query fan-out.
+func runFederationRoot(members []string, e2Addr, obsAddr string, e2s e2ap.Scheme, resCfg *resilience.Config, period uint32) {
+	ring := federation.NewRing(federation.DefaultReplicas, members...)
+	root, err := federation.NewRoot(federation.RootConfig{
+		Ring: ring, E2Scheme: e2s, ListenAddr: e2Addr,
+		Resilience: resCfg, CoordPeriodMS: period,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer root.Close()
+	log.Printf("federation root on %s (ring: %s)", root.Addr(), strings.Join(members, ","))
+
+	if obsAddr != "" {
+		topo := ctrl.NewTopology(root.Server(), ctrl.TopoWithFederation(root.Snapshot))
+		o, err := obs.NewServer(obsAddr,
+			obs.WithStream(0),
+			obs.WithTopology(func() any { return topo.Snapshot() }),
+			obs.WithFederation(root.Snapshot),
+			obs.WithFederatedQuery(root.QueryHandler()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer o.Close()
+		log.Printf("federation control room on http://%s (/federation.json, federated /tsdb/query)", o.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+// runFederationShard runs the process as one federation shard until
+// SIGINT/SIGTERM: a full controller core (-e2 southbound, -obs serving
+// /tsdb/partial for the root's fan-out) plus the northbound agent
+// toward the root.
+func runFederationShard(members []string, name, rootAddr, e2Addr, obsAddr, snapDir string,
+	snapEvery time.Duration, e2s e2ap.Scheme, sms sm.Scheme, resCfg *resilience.Config, period uint32) {
+	idx := -1
+	for i, m := range members {
+		if m == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		log.Fatalf("-shard-name %q is not in the -federate ring %v", name, members)
+	}
+	if obsAddr == "" {
+		obsAddr = "127.0.0.1:0"
+	}
+	sh, err := federation.NewShard(federation.ShardConfig{
+		Name: name, Index: idx,
+		E2Scheme: e2s, SMScheme: sms,
+		SouthAddr: e2Addr, ObsAddr: obsAddr,
+		SnapshotDir: snapDir, SnapshotEvery: snapEvery,
+		Resilience: resCfg, PeriodMS: period,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sh.ConnectRoot(rootAddr); err != nil {
+		sh.Close()
+		log.Fatal(err)
+	}
+	log.Printf("federation shard %s: south on %s, obs on http://%s, root at %s",
+		name, sh.SouthAddr(), sh.ObsAddr(), rootAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := sh.Close(); err != nil {
+		log.Printf("shard close: %v", err)
+	}
 }

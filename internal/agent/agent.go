@@ -83,6 +83,14 @@ type Config struct {
 	// before the resilience layer and the E2 handshake — the fault
 	// injection hook (internal/faultinject).
 	WrapConn func(transport.Conn) transport.Conn
+	// Rehome, when non-nil, picks the controller address for each
+	// reconnect attempt: attempt is the consecutive-failure count (0 on
+	// the first redial after a drop) and last the most recent address.
+	// The federation tier plugs a consistent-hash Placer in here so an
+	// agent whose shard died walks its preference order to the ring
+	// successor — and walks home again once the full cycle retries the
+	// owner. nil keeps redialing the original address.
+	Rehome func(attempt int, last string) string
 }
 
 func (c *Config) defaults() {

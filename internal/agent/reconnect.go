@@ -34,8 +34,12 @@ func (c *conn) supervise() {
 		// Reap the dead transport before redialing: idempotent, and it
 		// stops the old keepalive loop promptly.
 		c.closeTransport()
+		addr := c.addr
+		if a.cfg.Rehome != nil {
+			addr = a.cfg.Rehome(attempts, addr)
+		}
 		sp := trace.StartRoot("agent.reconnect")
-		tc, err := a.dialAndSetup(c.addr)
+		tc, err := a.dialAndSetup(addr)
 		sp.End()
 		if err != nil {
 			agentTel.reconnectFailures.Inc()
@@ -58,6 +62,9 @@ func (c *conn) supervise() {
 		c.sendMu.Lock()
 		c.tc = tc
 		c.sendMu.Unlock()
+		// The association landed on addr (possibly a re-home target);
+		// future drops start their walk from it.
+		c.addr = addr
 		// Close may have run while the swap was in flight; it closed the
 		// transport it saw, which might have been the old one.
 		if a.closed.Load() {

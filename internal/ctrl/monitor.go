@@ -51,14 +51,17 @@ type Monitor struct {
 	// DecodeReports controls whether payloads are materialized into
 	// report structs (true) or stored as raw SM bytes (false). The raw
 	// mode matches the Fig. 8 setup, where the iApp archives messages.
-	decode bool
-	db     *tsdb.Store
+	decode      bool
+	db          *tsdb.Store
+	seriesAgent func(server.AgentInfo) uint32
+	retain      bool
 
 	mu   sync.Mutex
 	mac  map[server.AgentID]*sm.MACReport
 	rlc  map[server.AgentID]*sm.RLCReport
 	pdcp map[server.AgentID]*sm.PDCPReport
 	raw  map[server.AgentID]map[uint16][]byte
+	sid  map[server.AgentID]uint32 // SeriesAgent remap, when configured
 
 	// pipes, when non-nil, carry decode + tsdb-ingest work off the
 	// server's receive goroutines onto a fixed worker pool, hashed by
@@ -99,6 +102,22 @@ type MonitorConfig struct {
 	// agents. 0 keeps the historical inline behavior. With workers
 	// enabled, call Close after the server has stopped.
 	IngestWorkers int
+	// SeriesAgent, when non-nil, maps a connecting agent to the uint32
+	// agent component of its tsdb series keys (default: the
+	// transport-assigned server.AgentID). Federation shards key series
+	// by the agent's global E2 node ID so a shard's snapshot stays
+	// meaningful when its agents re-home to the ring successor.
+	SeriesAgent func(server.AgentInfo) uint32
+	// RetainSeries keeps an agent's tsdb series across disconnects
+	// instead of evicting them. The default eviction protects the
+	// single-controller monitor, whose series are keyed by the
+	// transport-assigned AgentID — an ID the server reuses, so stale
+	// history would bleed into the next agent's series. A federation
+	// shard keys series by the global node ID (collision-free) and
+	// retains them: a transient keepalive flap must not destroy the
+	// history a failover takeover just restored, mirroring how the
+	// resilience layer retains a lost agent's subscriptions.
+	RetainSeries bool
 }
 
 // NewMonitor attaches a monitoring iApp to the server. It subscribes to
@@ -111,16 +130,19 @@ func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
 		cfg.Layers = MonAll
 	}
 	m := &Monitor{
-		srv:      srv,
-		scheme:   cfg.Scheme,
-		periodMS: cfg.PeriodMS,
-		layers:   cfg.Layers,
-		decode:   cfg.Decode,
-		db:       cfg.TSDB,
-		mac:      make(map[server.AgentID]*sm.MACReport),
-		rlc:      make(map[server.AgentID]*sm.RLCReport),
-		pdcp:     make(map[server.AgentID]*sm.PDCPReport),
-		raw:      make(map[server.AgentID]map[uint16][]byte),
+		srv:         srv,
+		scheme:      cfg.Scheme,
+		periodMS:    cfg.PeriodMS,
+		layers:      cfg.Layers,
+		decode:      cfg.Decode,
+		db:          cfg.TSDB,
+		seriesAgent: cfg.SeriesAgent,
+		retain:      cfg.RetainSeries,
+		mac:         make(map[server.AgentID]*sm.MACReport),
+		rlc:         make(map[server.AgentID]*sm.RLCReport),
+		pdcp:        make(map[server.AgentID]*sm.PDCPReport),
+		raw:         make(map[server.AgentID]map[uint16][]byte),
+		sid:         make(map[server.AgentID]uint32),
 	}
 	if cfg.IngestWorkers > 0 {
 		m.pipes = make([]chan ingestJob, cfg.IngestWorkers)
@@ -139,20 +161,43 @@ func NewMonitor(srv *server.Server, cfg MonitorConfig) *Monitor {
 	}
 	srv.OnAgentConnect(func(info server.AgentInfo) { m.onAgent(info) })
 	srv.OnAgentDisconnect(func(info server.AgentInfo) {
+		sid := m.seriesID(info.ID)
 		m.mu.Lock()
 		delete(m.mac, info.ID)
 		delete(m.rlc, info.ID)
 		delete(m.pdcp, info.ID)
 		delete(m.raw, info.ID)
+		delete(m.sid, info.ID)
 		m.mu.Unlock()
-		if m.db != nil {
-			m.db.EvictAgent(uint32(info.ID))
+		if m.db != nil && !m.retain {
+			m.db.EvictAgent(sid)
 		}
 	})
 	return m
 }
 
+// seriesID resolves the tsdb agent-key component for a connected agent:
+// the SeriesAgent remap when configured, else the server.AgentID.
+func (m *Monitor) seriesID(id server.AgentID) uint32 {
+	if m.seriesAgent == nil {
+		return uint32(id)
+	}
+	m.mu.Lock()
+	v, ok := m.sid[id]
+	m.mu.Unlock()
+	if ok {
+		return v
+	}
+	return uint32(id)
+}
+
 func (m *Monitor) onAgent(info server.AgentInfo) {
+	if m.seriesAgent != nil {
+		mapped := m.seriesAgent(info)
+		m.mu.Lock()
+		m.sid[info.ID] = mapped
+		m.mu.Unlock()
+	}
 	type layerSub struct {
 		flag MonitorLayers
 		fnID uint16
@@ -209,7 +254,7 @@ func (m *Monitor) ingestOne(tc trace.Context, agent server.AgentID, fnID uint16,
 			// payload into a reused slot buffer, so the per-indication
 			// allocation of the map path disappears.
 			asp := trace.StartChild(tc, "tsdb.append")
-			m.db.AppendRaw(uint32(agent), fnID, time.Now().UnixNano(), payload)
+			m.db.AppendRaw(m.seriesID(agent), fnID, time.Now().UnixNano(), payload)
 			asp.End()
 			return
 		}
@@ -266,7 +311,7 @@ func (m *Monitor) ingestMAC(tc trace.Context, agent server.AgentID, rep *sm.MACR
 	asp := trace.StartChild(tc, "tsdb.append")
 	defer asp.End()
 	now := time.Now().UnixNano()
-	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDMACStats}
+	k := tsdb.SeriesKey{Agent: m.seriesID(agent), Fn: sm.IDMACStats}
 	for i := range rep.UEs {
 		u := &rep.UEs[i]
 		k.UE = u.RNTI
@@ -291,7 +336,7 @@ func (m *Monitor) ingestRLC(tc trace.Context, agent server.AgentID, rep *sm.RLCR
 	asp := trace.StartChild(tc, "tsdb.append")
 	defer asp.End()
 	now := time.Now().UnixNano()
-	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDRLCStats}
+	k := tsdb.SeriesKey{Agent: m.seriesID(agent), Fn: sm.IDRLCStats}
 	for i := range rep.UEs {
 		u := &rep.UEs[i]
 		k.UE = u.RNTI
@@ -324,7 +369,7 @@ func (m *Monitor) ingestPDCP(tc trace.Context, agent server.AgentID, rep *sm.PDC
 	asp := trace.StartChild(tc, "tsdb.append")
 	defer asp.End()
 	now := time.Now().UnixNano()
-	k := tsdb.SeriesKey{Agent: uint32(agent), Fn: sm.IDPDCPStats}
+	k := tsdb.SeriesKey{Agent: m.seriesID(agent), Fn: sm.IDPDCPStats}
 	for i := range rep.UEs {
 		u := &rep.UEs[i]
 		k.UE = u.RNTI
@@ -362,7 +407,7 @@ func (m *Monitor) PDCP(id server.AgentID) *sm.PDCPReport {
 // monitor's latest-payload map as before.
 func (m *Monitor) Raw(id server.AgentID, fnID uint16) []byte {
 	if m.db != nil {
-		payload, _, ok := m.db.LastRaw(uint32(id), fnID, nil)
+		payload, _, ok := m.db.LastRaw(m.seriesID(id), fnID, nil)
 		if !ok {
 			return nil
 		}

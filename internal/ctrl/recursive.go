@@ -7,6 +7,7 @@ import (
 	"flexric/internal/agent"
 	"flexric/internal/e2ap"
 	"flexric/internal/nvs"
+	"flexric/internal/resilience"
 	"flexric/internal/server"
 	"flexric/internal/sm"
 	"flexric/internal/transport"
@@ -68,6 +69,13 @@ type VirtConfig struct {
 	Tenants   []Tenant
 	// SouthAddr is where infrastructure agents connect.
 	SouthAddr string
+	// Resilience configures the southbound server's keepalive and
+	// subscription retention: an infrastructure agent that drops and
+	// redials within RetainFor is re-admitted under its old AgentID and
+	// every tenant-mapped south subscription is replayed, so tenant
+	// streams survive transient south faults without the tenants ever
+	// noticing. Nil keeps the pre-resilience behavior.
+	Resilience *resilience.Config
 }
 
 // NewVirtCtrl starts the virtualization controller. Tenant controllers
@@ -95,7 +103,7 @@ func NewVirtCtrl(cfg VirtConfig) (*VirtCtrl, string, error) {
 		return nil, "", fmt.Errorf("ctrl: tenant SLAs total %.3f > 1", total)
 	}
 
-	v.srv = server.New(server.Config{Scheme: cfg.E2Scheme, Transport: cfg.Transport})
+	v.srv = server.New(server.Config{Scheme: cfg.E2Scheme, Transport: cfg.Transport, Resilience: cfg.Resilience})
 	v.srv.OnAgentConnect(func(info server.AgentInfo) { v.onSouthAgent(info) })
 	addr, err := v.srv.Start(cfg.SouthAddr)
 	if err != nil {

@@ -17,10 +17,11 @@ import (
 // Snapshot takes no locks beyond theirs and is safe to call from the
 // obs stream hub's flush tick.
 type Topology struct {
-	srv      *server.Server
-	mon      *Monitor
-	slicing  *SlicingController
-	policies *a1.Store
+	srv        *server.Server
+	mon        *Monitor
+	slicing    *SlicingController
+	policies   *a1.Store
+	federation func() any
 }
 
 // TopologyOption configures a Topology.
@@ -42,6 +43,14 @@ func TopoWithSlicing(sc *SlicingController) TopologyOption {
 // shows the closed loop next to the slice state it steers.
 func TopoWithA1(st *a1.Store) TopologyOption {
 	return func(t *Topology) { t.policies = st }
+}
+
+// TopoWithFederation includes a federation-tier summary in snapshots —
+// the root controller's shard registry (live/dead shards, per-shard
+// agent sets, failover count). fn is typically federation.Root.Snapshot;
+// the indirection keeps ctrl decoupled from the federation package.
+func TopoWithFederation(fn func() any) TopologyOption {
+	return func(t *Topology) { t.federation = fn }
 }
 
 // NewTopology builds a topology view over a server.
@@ -90,6 +99,7 @@ type TopologySnapshot struct {
 	Slices        []TopologySlice `json:"slices,omitempty"`
 	A1Policies    int             `json:"a1_policies,omitempty"`
 	SLA           []TopologySLA   `json:"sla,omitempty"`
+	Federation    any             `json:"federation,omitempty"`
 }
 
 // fnNames maps the shipped service-model IDs to short names; unknown
@@ -179,6 +189,9 @@ func (t *Topology) Snapshot() TopologySnapshot {
 			snap.SLA = append(snap.SLA, sla)
 		}
 		snap.A1Policies = len(snap.SLA)
+	}
+	if t.federation != nil {
+		snap.Federation = t.federation()
 	}
 	return snap
 }

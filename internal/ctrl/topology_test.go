@@ -100,6 +100,41 @@ func TestTopologySnapshot(t *testing.T) {
 	waitFor(t, "agent removal", func() bool { return len(topo.Snapshot().Agents) == 0 })
 }
 
+// TestTopologyWithFederation: the federation tier rides the snapshot
+// verbatim and serializes under the "federation" key.
+func TestTopologyWithFederation(t *testing.T) {
+	srv := server.New(server.Config{Scheme: e2ap.SchemeFB})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fed := map[string]any{"members": []string{"s0", "s1"}, "failovers": 1}
+	topo := ctrl.NewTopology(srv, ctrl.TopoWithFederation(func() any { return fed }))
+	snap := topo.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(out["federation"], &got); err != nil {
+		t.Fatalf("federation key missing or malformed: %v", err)
+	}
+	if got["failovers"] != float64(1) {
+		t.Fatalf("federation tier = %v", got)
+	}
+	// Without the option the key is omitted entirely.
+	b2, _ := json.Marshal(ctrl.NewTopology(srv).Snapshot())
+	var out2 map[string]json.RawMessage
+	_ = json.Unmarshal(b2, &out2)
+	if _, ok := out2["federation"]; ok {
+		t.Fatal("federation key present without TopoWithFederation")
+	}
+}
+
 // TestFnName covers known and unknown function IDs.
 func TestFnName(t *testing.T) {
 	if got := ctrl.FnName(sm.IDMACStats); got != "mac" {

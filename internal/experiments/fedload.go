@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"flexric/internal/e2ap"
+	"flexric/internal/federation"
+	"flexric/internal/sm"
+	"flexric/internal/tsdb"
+)
+
+// FedLoad is the federation scaling sweep (`flexric-bench fedload`): the
+// same monitored fleet is driven once against a single controller and
+// once against a federated plane of K shards plus a root, at increasing
+// fleet sizes. Reported per configuration: ingest throughput
+// (indications/s summed over the controllers), agents per controller,
+// and the latency of the fleet-wide windowed aggregate — the single
+// controller answers from its own store, the root fans out to every
+// shard's /tsdb/partial and merges. The point of the comparison: the
+// ingest path scales with shard count while the federated query stays
+// within the same order as the local one.
+
+// FedLoadOptions parameterizes the sweep.
+type FedLoadOptions struct {
+	E2Scheme e2ap.Scheme
+	SMScheme sm.Scheme
+	// Shards is the federated plane's size (default 3).
+	Shards int
+	// Agents are the fleet sizes to sweep (default 4, 8).
+	Agents []int
+	// Duration is the ingest window per configuration (default 300ms).
+	Duration time.Duration
+}
+
+// FedLoadRow is one (mode, fleet size) measurement.
+type FedLoadRow struct {
+	Mode          string  `json:"mode"` // "single" or "federated"
+	Shards        int     `json:"shards"`
+	Agents        int     `json:"agents"`
+	AgentsPerCtrl float64 `json:"agents_per_ctrl"`
+	IndsPerS      float64 `json:"inds_per_s"`
+	QueryMS       float64 `json:"query_ms"`
+	Count         int     `json:"count"` // samples under the queried window
+}
+
+// FedLoadResult is the sweep output.
+type FedLoadResult struct {
+	Scheme string       `json:"scheme"`
+	Rows   []FedLoadRow `json:"rows"`
+}
+
+// String renders the result as a table.
+func (r *FedLoadResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Mode,
+			fmt.Sprint(row.Shards),
+			fmt.Sprint(row.Agents),
+			fmt.Sprintf("%.1f", row.AgentsPerCtrl),
+			fmt.Sprintf("%.0f", row.IndsPerS),
+			fmt.Sprintf("%.2f", row.QueryMS),
+			fmt.Sprint(row.Count),
+		})
+	}
+	return Table(
+		[]string{"mode", "ctrls", "agents", "agents/ctrl", "inds/s", "query ms", "count"},
+		rows,
+	)
+}
+
+// FedLoad runs the sweep.
+func FedLoad(opts FedLoadOptions) (*FedLoadResult, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 3
+	}
+	if len(opts.Agents) == 0 {
+		opts.Agents = []int{4, 8}
+	}
+	if opts.Duration == 0 {
+		opts.Duration = 300 * time.Millisecond
+	}
+	res := &FedLoadResult{Scheme: string(opts.E2Scheme)}
+	for _, n := range opts.Agents {
+		for _, shards := range []int{1, opts.Shards} {
+			row, err := fedLoadOne(opts, shards, n)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	return res, nil
+}
+
+func fedLoadOne(opts FedLoadOptions, nShards, nAgents int) (*FedLoadRow, error) {
+	snapDir, err := os.MkdirTemp("", "fedload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(snapDir)
+
+	members := make([]string, nShards)
+	for i := range members {
+		members[i] = fmt.Sprintf("s%d", i)
+	}
+	ring := federation.NewRing(federation.DefaultReplicas, members...)
+	shards := make(map[string]*federation.Shard, nShards)
+	defer func() {
+		for _, sh := range shards {
+			sh.Close()
+		}
+	}()
+	for i, name := range members {
+		sh, err := federation.NewShard(federation.ShardConfig{
+			Name: name, Index: i,
+			E2Scheme: opts.E2Scheme, SMScheme: opts.SMScheme,
+			SouthAddr: "127.0.0.1:0", ObsAddr: "127.0.0.1:0",
+			SnapshotDir: snapDir,
+			Resilience:  fedRes(),
+			PeriodMS:    2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		shards[name] = sh
+	}
+	federated := nShards > 1
+	var root *federation.Root
+	if federated {
+		root, err = federation.NewRoot(federation.RootConfig{
+			Ring: ring, E2Scheme: opts.E2Scheme,
+			ListenAddr: "127.0.0.1:0",
+			Resilience: fedRes(), CoordPeriodMS: 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer root.Close()
+		for _, sh := range shards {
+			if err := sh.ConnectRoot(root.Addr()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	addrs := make(map[string]string, nShards)
+	for name, sh := range shards {
+		addrs[name] = sh.SouthAddr()
+	}
+	var fleet []*fedBS
+	defer func() {
+		for _, b := range fleet {
+			b.a.Close()
+		}
+	}()
+	for id := uint64(1); id <= uint64(nAgents); id++ {
+		b, err := newFedBS(id, opts.E2Scheme, opts.SMScheme, federation.NewPlacer(ring, addrs, id))
+		if err != nil {
+			return nil, err
+		}
+		fleet = append(fleet, b)
+	}
+
+	// Ingest window: drive the fleet for the configured wall duration.
+	indsAt := func() uint64 {
+		var n uint64
+		for _, sh := range shards {
+			i, _ := sh.Monitor().Counters()
+			n += i
+		}
+		return n
+	}
+	if !WaitUntil(10*time.Second, func() bool {
+		for i := 0; i < 5; i++ {
+			for _, b := range fleet {
+				b.step()
+			}
+		}
+		return indsAt() > 0
+	}) {
+		return nil, fmt.Errorf("fedload: no ingest")
+	}
+	start := time.Now()
+	inds0 := indsAt()
+	for time.Since(start) < opts.Duration {
+		for i := 0; i < 10; i++ {
+			for _, b := range fleet {
+				b.step()
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	ingested := indsAt() - inds0
+
+	row := &FedLoadRow{
+		Shards:        nShards,
+		Agents:        nAgents,
+		AgentsPerCtrl: float64(nAgents) / float64(nShards),
+		IndsPerS:      float64(ingested) / elapsed.Seconds(),
+	}
+	to := time.Now().UnixNano()
+	const queryReps = 5
+	if federated {
+		row.Mode = "federated"
+		q0 := time.Now()
+		for i := 0; i < queryReps; i++ {
+			agg, ok, err := root.FederatedAggregate("all", "mac", "all", "throughput_bps", 0, to)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("fedload: federated query: ok=%v err=%v", ok, err)
+			}
+			row.Count = agg.Count
+		}
+		row.QueryMS = float64(time.Since(q0).Microseconds()) / 1000 / queryReps
+	} else {
+		row.Mode = "single"
+		sh := shards[members[0]]
+		q0 := time.Now()
+		for i := 0; i < queryReps; i++ {
+			agg, err := partialQuery(sh.ObsAddr(), to)
+			if err != nil {
+				return nil, fmt.Errorf("fedload: single query: %w", err)
+			}
+			row.Count = agg.Count
+		}
+		row.QueryMS = float64(time.Since(q0).Microseconds()) / 1000 / queryReps
+	}
+	return row, nil
+}
+
+// partialQuery issues the same /tsdb/partial request the root's fan-out
+// uses, against one shard, and finishes the partial locally.
+func partialQuery(obsAddr string, to int64) (tsdb.Agg, error) {
+	params := url.Values{}
+	params.Set("agent", "all")
+	params.Set("fn", "mac")
+	params.Set("ue", "all")
+	params.Set("field", "throughput_bps")
+	params.Set("from", "0")
+	params.Set("to", fmt.Sprint(to))
+	resp, err := http.Get("http://" + obsAddr + "/tsdb/partial?" + params.Encode())
+	if err != nil {
+		return tsdb.Agg{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tsdb.Agg{}, fmt.Errorf("status %s", resp.Status)
+	}
+	var env struct {
+		Agg tsdb.PartialAgg `json:"agg"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return tsdb.Agg{}, err
+	}
+	agg, ok := env.Agg.Finish()
+	if !ok {
+		return tsdb.Agg{}, fmt.Errorf("empty aggregate")
+	}
+	return agg, nil
+}

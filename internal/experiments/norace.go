@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceTimeScale is 1 in ordinary builds; see race.go.
+const raceTimeScale = 1

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceTimeScale stretches the federation experiments' resilience
+// timings under the race detector: its ~10x instrumentation overhead
+// makes a 100 ms dead-peer verdict fire spuriously, and every spurious
+// flap evicts the flapping agent's tsdb series — which breaks the
+// pre-kill-window equality the federation demo asserts.
+const raceTimeScale = 5

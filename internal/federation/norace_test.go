@@ -1,0 +1,6 @@
+//go:build !race
+
+package federation
+
+// raceTimeScale is 1 in ordinary builds; see race_test.go.
+const raceTimeScale = 1

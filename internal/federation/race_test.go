@@ -1,0 +1,10 @@
+//go:build race
+
+package federation
+
+// raceTimeScale stretches the test resilience profile under the race
+// detector: its ~10x instrumentation overhead makes an 80 ms dead-peer
+// verdict fire spuriously, and every spurious flap evicts the flapping
+// agent's tsdb series — which breaks the pre-kill-window equality the
+// failover test asserts.
+const raceTimeScale = 5

@@ -1,0 +1,232 @@
+// Package federation is the horizontal-scale tier over the recursive
+// virtualization path (§6.2): N near-RT shard controllers each own a
+// disjoint set of agents via consistent hashing over the agent key, and
+// a root controller reuses the agent/server libraries to present the
+// whole fleet as one RIC — cross-shard subscription routing, federated
+// /tsdb/query fan-out with windowed-aggregate merge, and shard failover
+// built on the resilience layer plus tsdb snapshot/restore.
+//
+// The ring is the shared placement contract: every member (root, every
+// shard, every agent's Placer) builds it from the same member list and
+// replica count and therefore computes identical ownership, with no
+// coordination traffic. Liveness is layered on top: the effective owner
+// of a key is the first *live* member in the key's preference order, so
+// a dying shard's agents deterministically re-home to its ring
+// successor. See docs/FEDERATION.md.
+package federation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per member: enough that a
+// 16-member ring stays within ~2x of ideal balance at 1k agents (the
+// ring unit tests pin this).
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring. Construction is
+// deterministic: the same members (in any order) and replica count
+// always produce the same ring, so independently-built rings agree on
+// ownership.
+type Ring struct {
+	replicas int
+	members  []string // sorted, distinct
+	points   []point  // sorted by hash
+}
+
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring with replicas virtual nodes per member
+// (replicas <= 0 selects DefaultReplicas). Duplicate member names are
+// collapsed.
+func NewRing(replicas int, members ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	set := make(map[string]bool, len(members))
+	var ms []string
+	for _, m := range members {
+		if !set[m] {
+			set[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Strings(ms)
+	r := &Ring{replicas: replicas, members: ms}
+	r.points = make([]point, 0, len(ms)*replicas)
+	for mi, m := range ms {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(m, v), member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break on the member order so the
+		// ring stays deterministic regardless of input order.
+		return a.member < b.member
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// NumMembers returns the member count.
+func (r *Ring) NumMembers() int { return len(r.members) }
+
+// With returns a new ring with member added (no-op copy if present).
+func (r *Ring) With(member string) *Ring {
+	return NewRing(r.replicas, append(r.Members(), member)...)
+}
+
+// Without returns a new ring with member removed.
+func (r *Ring) Without(member string) *Ring {
+	var ms []string
+	for _, m := range r.members {
+		if m != member {
+			ms = append(ms, m)
+		}
+	}
+	return NewRing(r.replicas, ms...)
+}
+
+// mix64 is the murmur3 fmix64 finalizer. FNV-1a alone leaves inputs
+// that differ only in their trailing bytes (sequential node IDs,
+// sequential vnode indices) clustered in a narrow band of the 64-bit
+// space — one multiply of diffusion barely reaches the high bits the
+// ring ordering is dominated by. The finalizer gives full avalanche so
+// points and keys spread uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// vnodeHash positions one virtual node: FNV-1a over "member#v",
+// finalized by mix64.
+func vnodeHash(member string, v int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	var buf [9]byte
+	buf[0] = '#'
+	binary.BigEndian.PutUint64(buf[1:], uint64(v))
+	_, _ = h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// KeyHash maps an agent key (the global E2 node ID) onto the ring:
+// FNV-1a over the 8 big-endian bytes, finalized by mix64.
+func KeyHash(key uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], key)
+	_, _ = h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// succ returns the index of the first point at or after h, wrapping.
+func (r *Ring) succ(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the member owning key, ignoring liveness. Empty ring
+// returns "".
+func (r *Ring) Owner(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.succ(KeyHash(key))].member]
+}
+
+// Preference returns every member in the key's ring-walk order: the
+// owner first, then each distinct member met walking clockwise. The
+// failover contract follows from it — when the owner dies, the key's
+// new home is the next live entry (its "ring successor").
+func (r *Ring) Preference(key uint64) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	start := r.succ(KeyHash(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// OwnerLive returns the first member in key's preference order for
+// which live returns true, or "" when none is live.
+func (r *Ring) OwnerLive(key uint64, live func(string) bool) string {
+	for _, m := range r.Preference(key) {
+		if live(m) {
+			return m
+		}
+	}
+	return ""
+}
+
+// Placer computes where one agent connects: the owner of its key for
+// the first dial, then — fed to agent.Config.Rehome — the key's
+// preference order walked by consecutive failed attempts, so the agent
+// re-homes to the ring successor when its shard dies and self-heals
+// back (attempt counts reset on every successful reconnect).
+type Placer struct {
+	ring  *Ring
+	addrs map[string]string // member -> E2 address
+	key   uint64
+}
+
+// NewPlacer builds a placer for one agent key over the shared ring and
+// the member -> E2 address directory.
+func NewPlacer(ring *Ring, e2Addrs map[string]string, key uint64) *Placer {
+	return &Placer{ring: ring, addrs: e2Addrs, key: key}
+}
+
+// Home returns the owning shard's E2 address (the initial dial target).
+func (p *Placer) Home() (string, error) {
+	m := p.ring.Owner(p.key)
+	if m == "" {
+		return "", fmt.Errorf("federation: empty ring")
+	}
+	addr, ok := p.addrs[m]
+	if !ok {
+		return "", fmt.Errorf("federation: no address for shard %s", m)
+	}
+	return addr, nil
+}
+
+// Rehome implements agent.Config.Rehome: attempt n dials the n-th entry
+// of the key's preference order (wrapping), so a dead owner is skipped
+// after one failed redial and a recovered ring heals on the next cycle.
+func (p *Placer) Rehome(attempt int, last string) string {
+	pref := p.ring.Preference(p.key)
+	if len(pref) == 0 {
+		return last
+	}
+	m := pref[attempt%len(pref)]
+	if addr, ok := p.addrs[m]; ok {
+		return addr
+	}
+	return last
+}

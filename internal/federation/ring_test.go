@@ -1,0 +1,140 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterminism pins the placement contract: rings built by
+// different members from the same member set — in any order — agree on
+// every key's owner and full preference order.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64, "s0", "s1", "s2", "s3")
+	b := NewRing(64, "s3", "s1", "s0", "s2") // shuffled input
+	c := NewRing(64, "s2", "s0", "s3", "s1", "s1")
+	for key := uint64(0); key < 500; key++ {
+		ao, bo, co := a.Owner(key), b.Owner(key), c.Owner(key)
+		if ao != bo || ao != co {
+			t.Fatalf("key %d: owners diverge: %q %q %q", key, ao, bo, co)
+		}
+		ap, bp := a.Preference(key), b.Preference(key)
+		if len(ap) != len(bp) {
+			t.Fatalf("key %d: preference lengths diverge", key)
+		}
+		for i := range ap {
+			if ap[i] != bp[i] {
+				t.Fatalf("key %d: preference[%d] diverges: %q vs %q", key, i, ap[i], bp[i])
+			}
+		}
+	}
+}
+
+// TestRingPreference checks the preference order starts at the owner
+// and enumerates every member exactly once.
+func TestRingPreference(t *testing.T) {
+	r := NewRing(0, "s0", "s1", "s2")
+	for key := uint64(1); key <= 100; key++ {
+		pref := r.Preference(key)
+		if len(pref) != 3 {
+			t.Fatalf("key %d: preference has %d entries, want 3", key, len(pref))
+		}
+		if pref[0] != r.Owner(key) {
+			t.Fatalf("key %d: preference[0]=%q, owner=%q", key, pref[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range pref {
+			if seen[m] {
+				t.Fatalf("key %d: member %q repeated in preference", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBalance places 1k agents on 16 shards and requires the most
+// loaded shard to stay within 2x of the ideal share — the replicated
+// virtual nodes doing their job.
+func TestRingBalance(t *testing.T) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = "shard-" + string(rune('a'+i))
+	}
+	r := NewRing(DefaultReplicas, members...)
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(42))
+	const agents = 1000
+	for i := 0; i < agents; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	ideal := float64(agents) / float64(len(members))
+	for m, n := range counts {
+		if float64(n) > 2*ideal {
+			t.Errorf("shard %s owns %d agents (> 2x ideal %.1f)", m, n, ideal)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Errorf("only %d of %d shards own agents", len(counts), len(members))
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing property: when
+// a member joins or leaves, only the keys it gains or owned move —
+// every other key keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	base := NewRing(DefaultReplicas, "s0", "s1", "s2", "s3")
+	grown := base.With("s4")
+	shrunk := base.Without("s3")
+
+	const keys = 2000
+	movedOnJoin, movedOnLeave := 0, 0
+	for key := uint64(0); key < keys; key++ {
+		ob := base.Owner(key)
+		og := grown.Owner(key)
+		if ob != og {
+			movedOnJoin++
+			if og != "s4" {
+				t.Fatalf("key %d moved %q -> %q on join; only moves to the new member are allowed", key, ob, og)
+			}
+		}
+		os := shrunk.Owner(key)
+		if ob != os {
+			movedOnLeave++
+			if ob != "s3" {
+				t.Fatalf("key %d moved %q -> %q on leave; only s3's keys may move", key, ob, os)
+			}
+		}
+	}
+	// The moved fraction should be about 1/(n+1) on join and 1/n on
+	// leave; allow generous slack but reject wholesale reshuffles.
+	if movedOnJoin == 0 || movedOnJoin > keys/2 {
+		t.Errorf("join moved %d/%d keys; expected a small non-zero fraction", movedOnJoin, keys)
+	}
+	if movedOnLeave == 0 || movedOnLeave > keys/2 {
+		t.Errorf("leave moved %d/%d keys; expected a small non-zero fraction", movedOnLeave, keys)
+	}
+}
+
+// TestRingOwnerLive checks liveness-filtered ownership walks the
+// preference order.
+func TestRingOwnerLive(t *testing.T) {
+	r := NewRing(32, "s0", "s1", "s2")
+	for key := uint64(1); key <= 50; key++ {
+		pref := r.Preference(key)
+		dead := map[string]bool{pref[0]: true}
+		got := r.OwnerLive(key, func(m string) bool { return !dead[m] })
+		if got != pref[1] {
+			t.Fatalf("key %d: live owner %q, want ring successor %q", key, got, pref[1])
+		}
+		if r.OwnerLive(key, func(string) bool { return false }) != "" {
+			t.Fatalf("key %d: expected no live owner", key)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(DefaultReplicas, "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(uint64(i))
+	}
+}

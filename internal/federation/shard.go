@@ -1,0 +1,465 @@
+package federation
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"flexric/internal/agent"
+	"flexric/internal/ctrl"
+	"flexric/internal/e2ap"
+	"flexric/internal/obs"
+	"flexric/internal/resilience"
+	"flexric/internal/server"
+	"flexric/internal/sm"
+	"flexric/internal/transport"
+	"flexric/internal/tsdb"
+)
+
+// ShardConfig parameterizes one near-RT shard controller.
+type ShardConfig struct {
+	// Name is the shard's ring member name.
+	Name string
+	// Index distinguishes the shard's northbound node identity
+	// (NodeID 9000+Index), mirroring the recursive controller's 8000.
+	Index     int
+	E2Scheme  e2ap.Scheme
+	SMScheme  sm.Scheme
+	Transport transport.Kind
+	// SouthAddr is where the shard's agents connect (":0" for ephemeral).
+	SouthAddr string
+	// ObsAddr is where the shard's observability server (and therefore
+	// its /tsdb/partial fan-out endpoint) listens.
+	ObsAddr string
+	// SnapshotDir, when non-empty, is the shared directory of shard
+	// tsdb snapshots: this shard maintains SnapshotFile(dir, Name) and
+	// restores a dead peer's file on takeover. Empty disables failover
+	// state transfer (streams still re-home, history does not).
+	SnapshotDir string
+	// SnapshotEvery adds a periodic snapshot on top of the final
+	// snapshot Close always writes (0 = final-only).
+	SnapshotEvery time.Duration
+	// Resilience parameterizes both planes: southbound retention/replay
+	// for the shard's agents and the northbound reconnect supervisor
+	// toward the root.
+	Resilience *resilience.Config
+	// PeriodMS is the monitor's report period (default 1).
+	PeriodMS uint32
+}
+
+// Shard is one near-RT controller of the federation: a full controller
+// core (server + monitor + tsdb + obs) for the agents consistent
+// hashing assigns it, plus a northbound agent presenting those agents
+// to the root through proxy RAN functions — the recursive.go idiom one
+// level up.
+type Shard struct {
+	cfg       ShardConfig
+	srv       *server.Server
+	mon       *ctrl.Monitor
+	db        *tsdb.Store
+	obsSrv    *obs.Server
+	north     *agent.Agent
+	southAddr string
+
+	mu     sync.Mutex
+	byNode map[uint64]server.AgentID
+	nodeOf map[server.AgentID]uint64
+	// pending holds root subscription legs whose target agent has not
+	// connected yet — the window during failover between the root
+	// re-placing a leg and the orphaned agent re-homing here. Fulfilled
+	// in onAgent.
+	pending []*pendingLeg
+	// northSubs maps root-side requests to the local subscriptions
+	// backing them, RequestID-remapped like recursive.go's northSubs.
+	northSubs map[legKey]server.SubID
+
+	stopCh    chan struct{}
+	snapDone  <-chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type legKey struct {
+	ctrl agent.ControllerID
+	req  e2ap.RequestID
+	fnID uint16
+}
+
+type pendingLeg struct {
+	key     uint64
+	fnID    uint16
+	inner   []byte
+	actions []e2ap.Action
+	tx      agent.IndicationSender
+	lk      legKey
+}
+
+// NewShard starts the shard's south server, monitor, obs server, and
+// northbound agent (attach to the root with ConnectRoot).
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("federation: shard needs a name")
+	}
+	s := &Shard{
+		cfg:       cfg,
+		db:        tsdb.New(tsdb.Config{}),
+		byNode:    make(map[uint64]server.AgentID),
+		nodeOf:    make(map[server.AgentID]uint64),
+		northSubs: make(map[legKey]server.SubID),
+		stopCh:    make(chan struct{}),
+	}
+	s.srv = server.New(server.Config{
+		Scheme:     cfg.E2Scheme,
+		Transport:  cfg.Transport,
+		Resilience: cfg.Resilience,
+	})
+	// Series are keyed by the agent's global node ID, not the
+	// transport-assigned AgentID: the shard's snapshot then stays
+	// meaningful on whichever shard restores it during failover.
+	s.mon = ctrl.NewMonitor(s.srv, ctrl.MonitorConfig{
+		Scheme:      cfg.SMScheme,
+		PeriodMS:    cfg.PeriodMS,
+		Decode:      true,
+		TSDB:        s.db,
+		SeriesAgent: func(info server.AgentInfo) uint32 { return uint32(info.NodeID.NodeID) },
+		// Node-ID-keyed series are collision-free, so keep them across
+		// disconnects: a transient keepalive flap after a takeover must
+		// not destroy the history adopt() just restored. Single-home
+		// ownership is enforced by adopt's own eviction pass instead.
+		RetainSeries: true,
+	})
+	s.srv.OnAgentConnect(func(info server.AgentInfo) { s.onAgent(info) })
+	s.srv.OnAgentDisconnect(func(info server.AgentInfo) { s.onAgentGone(info) })
+
+	addr, err := s.srv.Start(cfg.SouthAddr)
+	if err != nil {
+		return nil, err
+	}
+	s.southAddr = addr
+	s.obsSrv, err = obs.NewServer(cfg.ObsAddr, obs.WithTSDB(s.db))
+	if err != nil {
+		s.srv.Close()
+		return nil, err
+	}
+
+	s.north = agent.New(agent.Config{
+		NodeID: e2ap.GlobalE2NodeID{
+			PLMN: e2ap.PLMN{MCC: 208, MNC: 95}, Type: e2ap.NodeENB,
+			NodeID: uint64(9000 + cfg.Index),
+		},
+		Scheme:     cfg.E2Scheme,
+		Transport:  cfg.Transport,
+		Resilience: cfg.Resilience,
+	})
+	fns := []agent.RANFunction{
+		&proxyFn{s: s, fnID: sm.IDMACStats, oid: "fed-mac"},
+		&proxyFn{s: s, fnID: sm.IDRLCStats, oid: "fed-rlc"},
+		&proxyFn{s: s, fnID: sm.IDPDCPStats, oid: "fed-pdcp"},
+		&coordFn{s: s},
+	}
+	for _, fn := range fns {
+		if err := s.north.RegisterFunction(fn); err != nil {
+			s.obsSrv.Close()
+			s.srv.Close()
+			return nil, err
+		}
+	}
+	if cfg.SnapshotDir != "" && cfg.SnapshotEvery > 0 {
+		s.snapDone = s.db.SnapshotEvery(SnapshotFile(cfg.SnapshotDir, cfg.Name),
+			cfg.SnapshotEvery, s.stopCh, nil)
+	}
+	return s, nil
+}
+
+// ConnectRoot attaches the shard to the root controller.
+func (s *Shard) ConnectRoot(rootAddr string) error {
+	_, err := s.north.Connect(rootAddr)
+	return err
+}
+
+// SouthAddr returns the address the shard's agents connect to.
+func (s *Shard) SouthAddr() string { return s.southAddr }
+
+// ObsAddr returns the shard's observability base address (host:port).
+func (s *Shard) ObsAddr() string { return s.obsSrv.Addr() }
+
+// Name returns the shard's ring member name.
+func (s *Shard) Name() string { return s.cfg.Name }
+
+// DB returns the shard's time-series store.
+func (s *Shard) DB() *tsdb.Store { return s.db }
+
+// Monitor returns the shard's monitoring iApp.
+func (s *Shard) Monitor() *ctrl.Monitor { return s.mon }
+
+// AgentKeys returns the global node IDs of the currently served agents.
+func (s *Shard) AgentKeys() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.byNode))
+	for k := range s.byNode {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Close tears the shard down, writing the final failover snapshot so a
+// killed shard's successor can restore its series. Idempotent.
+func (s *Shard) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stopCh)
+		s.wg.Wait()
+		if s.snapDone != nil {
+			// The snapshot loop writes a final snapshot on stop; wait so
+			// ours below cannot race an older in-flight write.
+			<-s.snapDone
+		}
+		// The failover snapshot must be written BEFORE the south server
+		// goes down: closing it disconnects every agent, and the monitor
+		// evicts a disconnected agent's series — snapshotting after that
+		// would hand the ring successor an empty store.
+		if s.cfg.SnapshotDir != "" {
+			err = s.db.SaveFile(SnapshotFile(s.cfg.SnapshotDir, s.cfg.Name))
+		}
+		s.north.Close()
+		if serr := s.srv.Close(); err == nil {
+			err = serr
+		}
+		s.mon.Close()
+		if cerr := s.obsSrv.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// onAgent registers a new south agent and fulfills any root legs parked
+// for it — the failover path where the root re-placed a subscription
+// before the orphaned agent finished re-homing.
+func (s *Shard) onAgent(info server.AgentInfo) {
+	key := info.NodeID.NodeID
+	s.mu.Lock()
+	s.byNode[key] = info.ID
+	s.nodeOf[info.ID] = key
+	var due []*pendingLeg
+	rest := s.pending[:0]
+	for _, p := range s.pending {
+		if p.key == key {
+			due = append(due, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.pending = rest
+	s.mu.Unlock()
+	for _, p := range due {
+		if sub, err := s.placeLeg(info.ID, p.fnID, p.inner, p.actions, p.tx); err == nil {
+			s.mu.Lock()
+			s.northSubs[p.lk] = sub
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Shard) onAgentGone(info server.AgentInfo) {
+	s.mu.Lock()
+	if key, ok := s.nodeOf[info.ID]; ok {
+		delete(s.nodeOf, info.ID)
+		if s.byNode[key] == info.ID {
+			delete(s.byNode, key)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// placeLeg subscribes southbound and pumps every indication north
+// unchanged — header and payload pass through byte-for-byte, so the
+// root sees exactly what a direct subscription would deliver.
+func (s *Shard) placeLeg(aid server.AgentID, fnID uint16, inner []byte, actions []e2ap.Action, tx agent.IndicationSender) (server.SubID, error) {
+	return s.srv.Subscribe(aid, fnID, inner, actions, server.SubscriptionCallbacks{
+		OnIndication: func(ev server.IndicationEvent) {
+			_ = tx.SendIndication(1, e2ap.IndicationReport, ev.Env.IndicationHeader(), ev.Env.IndicationPayload())
+		},
+	})
+}
+
+// adopt executes a takeover order: restore the dead shard's snapshot,
+// then evict every restored agent that re-homed to some other shard so
+// each key's history lives on exactly one shard.
+func (s *Shard) adopt(t *Takeover) error {
+	if s.cfg.SnapshotDir == "" {
+		return fmt.Errorf("federation: shard %s has no snapshot dir", s.cfg.Name)
+	}
+	path := SnapshotFile(s.cfg.SnapshotDir, t.From)
+	if err := s.db.LoadFile(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil // dead shard never snapshotted; streams still re-home
+		}
+		return err
+	}
+	adopted := make(map[uint32]bool, len(t.Agents))
+	for _, k := range t.Agents {
+		adopted[uint32(k)] = true
+	}
+	s.mu.Lock()
+	for k := range s.byNode {
+		adopted[uint32(k)] = true
+	}
+	s.mu.Unlock()
+	seen := make(map[uint32]bool)
+	for _, info := range s.db.List(-1, 0) {
+		seen[info.Key.Agent] = true
+	}
+	for a := range seen {
+		if !adopted[a] {
+			s.db.EvictAgent(a)
+		}
+	}
+	return nil
+}
+
+// --- northbound proxy RAN function ---
+
+// proxyFn exposes one monitoring SM to the root: subscriptions carry a
+// WrapTrigger'd agent key, indications pass through unchanged.
+type proxyFn struct {
+	s    *Shard
+	fnID uint16
+	oid  string
+}
+
+func (f *proxyFn) Definition() e2ap.RANFunctionItem {
+	return e2ap.RANFunctionItem{ID: f.fnID, Revision: 1, OID: f.oid}
+}
+
+func (f *proxyFn) OnSubscription(ctrl agent.ControllerID, req *e2ap.SubscriptionRequest, tx agent.IndicationSender) error {
+	s := f.s
+	key, inner, err := UnwrapTrigger(req.EventTrigger)
+	if err != nil {
+		return err
+	}
+	// The request's byte slices alias codec buffers; copy what outlives
+	// this call (the pending stash and the southbound subscribe).
+	inner = append([]byte(nil), inner...)
+	actions := make([]e2ap.Action, len(req.Actions))
+	for i, a := range req.Actions {
+		actions[i] = a
+		actions[i].Definition = append([]byte(nil), a.Definition...)
+	}
+	lk := legKey{ctrl: ctrl, req: req.RequestID, fnID: f.fnID}
+	s.mu.Lock()
+	aid, connected := s.byNode[key]
+	if !connected {
+		s.pending = append(s.pending, &pendingLeg{
+			key: key, fnID: f.fnID, inner: inner, actions: actions, tx: tx, lk: lk,
+		})
+		s.mu.Unlock()
+		// Admit the leg: it completes when the agent arrives (the
+		// failover re-home window).
+		return nil
+	}
+	s.mu.Unlock()
+	sub, err := s.placeLeg(aid, f.fnID, inner, actions, tx)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.northSubs[lk] = sub
+	s.mu.Unlock()
+	return nil
+}
+
+func (f *proxyFn) OnSubscriptionDelete(ctrl agent.ControllerID, req *e2ap.SubscriptionDeleteRequest) error {
+	s := f.s
+	lk := legKey{ctrl: ctrl, req: req.RequestID, fnID: f.fnID}
+	s.mu.Lock()
+	sub, ok := s.northSubs[lk]
+	delete(s.northSubs, lk)
+	if !ok {
+		// Still parked: drop the pending leg instead.
+		for i, p := range s.pending {
+			if p.lk == lk {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				s.mu.Unlock()
+				return nil
+			}
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("federation: unknown subscription")
+	}
+	s.mu.Unlock()
+	return s.srv.Unsubscribe(sub, f.fnID)
+}
+
+func (f *proxyFn) OnControl(agent.ControllerID, *e2ap.ControlRequest) ([]byte, error) {
+	return nil, fmt.Errorf("federation: monitoring proxy has no control endpoint")
+}
+
+// --- coordination RAN function ---
+
+// coordFn is the federation control plane: the root subscribes for
+// periodic Reports and sends Takeover orders through control.
+type coordFn struct {
+	s *Shard
+}
+
+func (f *coordFn) Definition() e2ap.RANFunctionItem {
+	return e2ap.RANFunctionItem{ID: IDFedCoord, Revision: 1, OID: FedOID}
+}
+
+func (f *coordFn) OnSubscription(_ agent.ControllerID, req *e2ap.SubscriptionRequest, tx agent.IndicationSender) error {
+	s := f.s
+	trig, err := DecodeCoordTrigger(req.EventTrigger)
+	if err != nil {
+		return err
+	}
+	period := time.Duration(trig.PeriodMS) * time.Millisecond
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		send := func() {
+			rep := &Report{
+				Name:   s.cfg.Name,
+				E2:     s.southAddr,
+				Obs:    "http://" + s.obsSrv.Addr(),
+				Agents: s.AgentKeys(),
+				TS:     time.Now().UnixNano(),
+			}
+			_ = tx.SendIndication(1, e2ap.IndicationReport, nil, EncodeReport(rep))
+		}
+		send()
+		for {
+			select {
+			case <-tick.C:
+				send()
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (f *coordFn) OnSubscriptionDelete(agent.ControllerID, *e2ap.SubscriptionDeleteRequest) error {
+	// Report pumps stop with the shard; per-subscription teardown is
+	// not needed at one JSON message per period.
+	return nil
+}
+
+func (f *coordFn) OnControl(_ agent.ControllerID, req *e2ap.ControlRequest) ([]byte, error) {
+	t, err := DecodeTakeover(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.s.adopt(t); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}

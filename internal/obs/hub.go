@@ -275,6 +275,9 @@ type streamClient struct {
 	a1Acc    []a1.Event
 	prevTel  map[string]float64
 	lastTopo []byte
+	// closed flips under mu when detach releases the channel counters;
+	// a subscribe racing the detach must not resurrect one.
+	closed bool
 }
 
 // attach registers a new client and enqueues its hello frame. Returns
@@ -315,6 +318,7 @@ func (h *Hub) detach(c *streamClient) {
 	}
 	streamTel.clients.Set(int64(n))
 	c.mu.Lock()
+	c.closed = true
 	for ch := range c.subs {
 		h.subCount(ch).Add(-1)
 		delete(c.subs, ch)
@@ -443,6 +447,10 @@ func (c *streamClient) subscribe(req request) {
 	}
 	sub := &clientSub{glob: glob, every: every}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	_, had := c.subs[req.Ch]
 	c.subs[req.Ch] = sub
 	if req.Ch == ChanTelemetry {
@@ -451,10 +459,13 @@ func (c *streamClient) subscribe(req request) {
 	if req.Ch == ChanTopology {
 		c.lastTopo = nil // force a snapshot on the next flush
 	}
-	c.mu.Unlock()
+	// The counter update must share the critical section with the map
+	// insert: a detach between them would release a count this add then
+	// resurrects, leaking the producer gate.
 	if !had {
 		c.h.subCount(req.Ch).Add(1)
 	}
+	c.mu.Unlock()
 	if req.Ch == ChanTSDB && req.WindowMS > 0 {
 		c.backfill(glob, req.WindowMS)
 	}
@@ -467,10 +478,10 @@ func (c *streamClient) unsubscribe(ch string) {
 	c.mu.Lock()
 	_, had := c.subs[ch]
 	delete(c.subs, ch)
-	c.mu.Unlock()
 	if had {
 		c.h.subCount(ch).Add(-1)
 	}
+	c.mu.Unlock()
 }
 
 // ---------------------------------------------------------------------

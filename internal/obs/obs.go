@@ -14,7 +14,9 @@
 //	GET /tsdb/series      live time-series inventory (WithTSDB only)
 //	GET /tsdb/query       samples / windowed aggregates (WithTSDB only)
 //	GET /tsdb/stats       store occupancy & compression stats (WithTSDB only)
+//	GET /tsdb/partial     mergeable partial aggregates for federation fan-out
 //	GET /topology.json    controller topology snapshot (WithTopology only)
+//	GET /federation.json  federation-tier snapshot (WithFederation only)
 //	GET /a1/...           A1 policy northbound (WithA1 only; see internal/a1)
 //	GET /stream/ws        WebSocket push stream (WithStream only)
 //	GET /stream/sse       server-sent-events push stream (WithStream only)
@@ -52,11 +54,13 @@ type Server struct {
 type Option func(*options)
 
 type options struct {
-	store   *tsdb.Store
-	stream  bool
-	flushMS int
-	topoFn  func() any
-	a1Store *a1.Store
+	store    *tsdb.Store
+	stream   bool
+	flushMS  int
+	topoFn   func() any
+	a1Store  *a1.Store
+	fedFn    func() any
+	fedQuery http.HandlerFunc
 }
 
 // WithTSDB mounts the /tsdb/series, /tsdb/query, and /tsdb/stats
@@ -89,6 +93,22 @@ func WithTopology(fn func() any) Option {
 // is also set.
 func WithA1(st *a1.Store) Option {
 	return func(o *options) { o.a1Store = st }
+}
+
+// WithFederation mounts /federation.json over fn, which must return a
+// JSON-marshalable snapshot of the federation tier (the root passes
+// federation.Root.Snapshot; obs stays decoupled from that package the
+// same way WithTopology decouples it from ctrl).
+func WithFederation(fn func() any) Option {
+	return func(o *options) { o.fedFn = fn }
+}
+
+// WithFederatedQuery mounts h at /tsdb/query on a server with no local
+// store: the federation root serves the same query contract by fanning
+// out to its shards' /tsdb/partial endpoints and merging. Ignored when
+// WithTSDB is also set (the local store wins).
+func WithFederatedQuery(h http.HandlerFunc) Option {
+	return func(o *options) { o.fedQuery = h }
 }
 
 // route wraps a handler with per-endpoint telemetry and uniform
@@ -127,9 +147,15 @@ func NewServer(addr string, opts ...Option) (*Server, error) {
 		mux.HandleFunc("/tsdb/series", route("tsdb_series", handleTSDBSeries(o.store)))
 		mux.HandleFunc("/tsdb/query", route("tsdb_query", handleTSDBQuery(o.store)))
 		mux.HandleFunc("/tsdb/stats", route("tsdb_stats", handleTSDBStats(o.store)))
+		mux.HandleFunc("/tsdb/partial", route("tsdb_partial", handleTSDBPartial(o.store)))
+	} else if o.fedQuery != nil {
+		mux.HandleFunc("/tsdb/query", route("tsdb_query", o.fedQuery))
 	}
 	if o.topoFn != nil {
 		mux.HandleFunc("/topology.json", route("topology", handleTopology(o.topoFn)))
+	}
+	if o.fedFn != nil {
+		mux.HandleFunc("/federation.json", route("federation", handleTopology(o.fedFn)))
 	}
 	if o.a1Store != nil {
 		// The a1 handler owns its method enforcement and telemetry (it

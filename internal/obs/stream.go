@@ -69,10 +69,17 @@ func handleStreamWS(h *Hub) http.HandlerFunc {
 					return
 				}
 			case <-c.shutdown:
-				// Hub-initiated: drain nothing more, say goodbye.
-				_ = conn.CloseHandshake(ws.CloseGoingAway, "shutting down", time.Second)
-				_ = conn.Close()
+				// Hub-initiated goodbye. Only write the close frame here:
+				// the reader goroutine is still inside ReadMessage, and a
+				// CloseHandshake (which reads for the peer's echo) would
+				// race it on the shared buffered reader — net/http's
+				// connReader panics on concurrent post-hijack reads. The
+				// reader consumes the echo; the deadline bounds the drain
+				// if the peer never sends one.
+				_ = conn.WriteClose(ws.CloseGoingAway, "shutting down")
+				_ = conn.SetReadDeadline(time.Now().Add(time.Second))
 				<-readerDone
+				_ = conn.Close()
 				return
 			case <-readerDone:
 				// Client-initiated close or socket error.

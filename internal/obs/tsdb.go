@@ -37,6 +37,90 @@ func parseFn(v string) (uint16, bool) {
 	return uint16(n), true
 }
 
+// handleTSDBPartial serves GET /tsdb/partial: the federation fan-out
+// endpoint. It merges every matching series into one mergeable
+// tsdb.PartialAgg (or, with step_ms, aligned PartialBuckets) that the
+// root combines across shards. agent and ue accept "all" as wildcards
+// (fn and field stay required — a cross-field merge is meaningless);
+// from/to are absolute Unix-ns bounds.
+//
+//	GET /tsdb/partial?agent=all&fn=mac&ue=all&field=throughput_bps&from=N&to=N[&step_ms=S]
+func handleTSDBPartial(st *tsdb.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := trace.StartRoot("obs.tsdb.partial")
+		defer sp.End()
+		q := r.URL.Query()
+		agent := int64(-1)
+		if v := q.Get("agent"); v != "all" {
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				http.Error(w, "bad agent parameter", http.StatusBadRequest)
+				return
+			}
+			agent = int64(n)
+		}
+		fn, ok := parseFn(q.Get("fn"))
+		if !ok {
+			http.Error(w, "bad fn parameter", http.StatusBadRequest)
+			return
+		}
+		ue := int64(-1)
+		if v := q.Get("ue"); v != "all" {
+			n, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				http.Error(w, "bad ue parameter", http.StatusBadRequest)
+				return
+			}
+			ue = int64(n)
+		}
+		field, ok := tsdb.ParseField(q.Get("field"))
+		if !ok {
+			http.Error(w, "unknown field", http.StatusBadRequest)
+			return
+		}
+		from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+		to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+		if err1 != nil || err2 != nil || to <= from {
+			http.Error(w, "bad from/to parameters", http.StatusBadRequest)
+			return
+		}
+		stepNS := int64(0)
+		if v := q.Get("step_ms"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad step_ms parameter", http.StatusBadRequest)
+				return
+			}
+			stepNS = n * int64(time.Millisecond)
+		}
+
+		var resp partialResponse
+		for _, info := range st.List(agent, fn) {
+			k := info.Key
+			if k.Field != field || (ue >= 0 && k.UE != uint16(ue)) {
+				continue
+			}
+			resp.Series++
+			if stepNS > 0 {
+				resp.Buckets = tsdb.MergePartialWindows(resp.Buckets, st.PartialWindow(k, from, to, stepNS))
+			} else if p, ok := st.PartialAggregate(k, from, to); ok {
+				resp.Agg.Merge(&p)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// partialResponse is the /tsdb/partial envelope: the merged partial of
+// every matching series (Series counts them), as one aggregate or as
+// aligned windows when step_ms is given.
+type partialResponse struct {
+	Series  int                  `json:"series"`
+	Agg     tsdb.PartialAgg      `json:"agg"`
+	Buckets []tsdb.PartialBucket `json:"buckets,omitempty"`
+}
+
 // handleTSDBSeries serves GET /tsdb/series?agent=N&fn=F: the live
 // series inventory, optionally filtered by agent and/or RAN function.
 func handleTSDBSeries(st *tsdb.Store) http.HandlerFunc {

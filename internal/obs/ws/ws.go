@@ -341,6 +341,12 @@ func (c *Conn) CloseHandshake(code uint16, reason string, timeout time.Duration)
 // Close tears the transport down without a close handshake.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// SetReadDeadline bounds subsequent reads on the underlying transport.
+// It lets a caller that wrote a close frame cap how long a separate
+// reader goroutine may drain for the peer's echo without reading the
+// connection itself — only one goroutine may ever read a Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
 // writeFrame serializes one frame under the write lock.
 func (c *Conn) writeFrame(op Opcode, fin bool, payload []byte) error {
 	c.wmu.Lock()

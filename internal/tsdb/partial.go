@@ -1,0 +1,338 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// PartialAgg is the mergeable form of Agg: the commutative summary one
+// shard computes locally so a federation root can combine per-shard
+// results into a fleet-wide aggregate without shipping raw samples.
+// Count/Min/Max/Sum (and hence Mean) merge exactly. Percentiles merge
+// through a log-scale value histogram (DDSketch-style): each raw sample
+// lands in bucket floor(log_gamma |v|), split by sign, with zeros
+// counted apart; the union of shard histograms yields fleet percentiles
+// accurate to one bucket (a relative-error bound of about
+// (gamma-1)/2 ≈ 4%). Tier summaries carry no histogram, so a range
+// served only from downsampling tiers degrades percentiles exactly like
+// Agg does (P50 = Mean, P95 = P99 = Max).
+//
+// The JSON form is the shard obs server's /tsdb/partial payload; it is
+// part of the federation wire contract (docs/FEDERATION.md).
+type PartialAgg struct {
+	Count   int     `json:"count"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Sum     float64 `json:"sum"`
+	FirstTS int64   `json:"first_ts"`
+	LastTS  int64   `json:"last_ts"`
+
+	// Raw-sample bookkeeping for the counter rate: earliest and latest
+	// raw sample across every merged input.
+	RawN       int     `json:"raw_n"`
+	RawFirstTS int64   `json:"raw_first_ts"`
+	RawLastTS  int64   `json:"raw_last_ts"`
+	FirstV     float64 `json:"first_v"`
+	LastV      float64 `json:"last_v"`
+
+	// Log-scale value histogram over raw samples. Keys are bucket
+	// indices floor(log_gamma |v|); Go's encoding/json round-trips
+	// int-keyed maps as string-keyed objects.
+	Zeros int         `json:"zeros,omitempty"`
+	Pos   map[int]int `json:"pos,omitempty"`
+	Neg   map[int]int `json:"neg,omitempty"`
+}
+
+// PartialBucket is one window of a federated windowed query.
+type PartialBucket struct {
+	FromTS int64      `json:"from_ts"`
+	ToTS   int64      `json:"to_ts"`
+	Agg    PartialAgg `json:"agg"`
+}
+
+// HistGamma is the histogram's bucket growth factor. 1.08 keeps the
+// merged-percentile relative error near 4% while a full CQI-to-bytes
+// value range (1e0..1e9) still fits in ~270 buckets. Exported so
+// consumers comparing percentiles across merges can express tolerances
+// in buckets.
+const HistGamma = 1.08
+
+const histGamma = HistGamma
+
+var logHistGamma = math.Log(histGamma)
+
+// histIdx maps |v| (> 0) to its bucket index.
+func histIdx(abs float64) int {
+	return int(math.Floor(math.Log(abs) / logHistGamma))
+}
+
+// histRep returns the representative value of bucket idx: the midpoint
+// of [gamma^idx, gamma^(idx+1)).
+func histRep(idx int) float64 {
+	lo := math.Exp(float64(idx) * logHistGamma)
+	return lo * (1 + histGamma) / 2
+}
+
+// observe folds one raw sample into the partial.
+func (p *PartialAgg) observe(ts int64, v float64) {
+	if p.Count == 0 {
+		p.Min, p.Max = v, v
+		p.FirstTS = ts
+	} else {
+		if v < p.Min {
+			p.Min = v
+		}
+		if v > p.Max {
+			p.Max = v
+		}
+	}
+	p.LastTS = ts
+	p.Sum += v
+	p.Count++
+	if p.RawN == 0 {
+		p.RawFirstTS, p.FirstV = ts, v
+	}
+	p.RawLastTS, p.LastV = ts, v
+	p.RawN++
+	switch {
+	case v > 0:
+		if p.Pos == nil {
+			p.Pos = make(map[int]int)
+		}
+		p.Pos[histIdx(v)]++
+	case v < 0:
+		if p.Neg == nil {
+			p.Neg = make(map[int]int)
+		}
+		p.Neg[histIdx(-v)]++
+	default:
+		p.Zeros++
+	}
+}
+
+// observeBucket folds one downsampling-tier summary into the partial.
+// Tier data carries no per-sample values, so the histogram is untouched
+// and percentiles degrade (see type doc).
+func (p *PartialAgg) observeBucket(start int64, count uint32, min, max, sum float64) {
+	if count == 0 {
+		return
+	}
+	if p.Count == 0 {
+		p.Min, p.Max = min, max
+		p.FirstTS = start
+	} else {
+		if min < p.Min {
+			p.Min = min
+		}
+		if max > p.Max {
+			p.Max = max
+		}
+	}
+	p.LastTS = start
+	p.Sum += sum
+	p.Count += int(count)
+}
+
+// Merge folds src into p. Merging is commutative and associative up to
+// float summation order; the federated golden test pins exact
+// count/min/max/mean equality on integer-valued streams.
+func (p *PartialAgg) Merge(src *PartialAgg) {
+	if src.Count == 0 {
+		return
+	}
+	if p.Count == 0 {
+		p.Min, p.Max = src.Min, src.Max
+		p.FirstTS = src.FirstTS
+	} else {
+		if src.Min < p.Min {
+			p.Min = src.Min
+		}
+		if src.Max > p.Max {
+			p.Max = src.Max
+		}
+		if src.FirstTS < p.FirstTS {
+			p.FirstTS = src.FirstTS
+		}
+	}
+	if src.LastTS > p.LastTS {
+		p.LastTS = src.LastTS
+	}
+	p.Sum += src.Sum
+	p.Count += src.Count
+	if src.RawN > 0 {
+		if p.RawN == 0 || src.RawFirstTS < p.RawFirstTS {
+			p.RawFirstTS, p.FirstV = src.RawFirstTS, src.FirstV
+		}
+		if p.RawN == 0 || src.RawLastTS > p.RawLastTS {
+			p.RawLastTS, p.LastV = src.RawLastTS, src.LastV
+		}
+		p.RawN += src.RawN
+	}
+	p.Zeros += src.Zeros
+	for idx, n := range src.Pos {
+		if p.Pos == nil {
+			p.Pos = make(map[int]int, len(src.Pos))
+		}
+		p.Pos[idx] += n
+	}
+	for idx, n := range src.Neg {
+		if p.Neg == nil {
+			p.Neg = make(map[int]int, len(src.Neg))
+		}
+		p.Neg[idx] += n
+	}
+}
+
+// quantile walks the histogram in value order — negative buckets by
+// descending index (ascending value), zeros, positive buckets by
+// ascending index — and returns the representative of the bucket
+// holding the rank-q sample, clamped to [Min, Max]. The rank is the
+// ceiling of the exact interpolated rank, so the estimate is
+// upper-biased like the tier-only degradation (P95 = Max) rather than
+// under-reporting tail latencies.
+func (p *PartialAgg) quantile(q float64) float64 {
+	rank := int(math.Ceil(q / 100 * float64(p.RawN-1)))
+	cum := 0
+	pick := func(rep float64, n int) (float64, bool) {
+		cum += n
+		if cum > rank {
+			if rep < p.Min {
+				rep = p.Min
+			}
+			if rep > p.Max {
+				rep = p.Max
+			}
+			return rep, true
+		}
+		return 0, false
+	}
+	negIdx := make([]int, 0, len(p.Neg))
+	for idx := range p.Neg {
+		negIdx = append(negIdx, idx)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(negIdx)))
+	for _, idx := range negIdx {
+		if v, ok := pick(-histRep(idx), p.Neg[idx]); ok {
+			return v
+		}
+	}
+	if p.Zeros > 0 {
+		if v, ok := pick(0, p.Zeros); ok {
+			return v
+		}
+	}
+	posIdx := make([]int, 0, len(p.Pos))
+	for idx := range p.Pos {
+		posIdx = append(posIdx, idx)
+	}
+	sort.Ints(posIdx)
+	for _, idx := range posIdx {
+		if v, ok := pick(histRep(idx), p.Pos[idx]); ok {
+			return v
+		}
+	}
+	return p.Max
+}
+
+// Finish resolves the partial into a client-facing Agg. ok is false
+// when the partial is empty.
+func (p *PartialAgg) Finish() (Agg, bool) {
+	if p.Count == 0 {
+		return Agg{}, false
+	}
+	a := Agg{
+		Count:   p.Count,
+		Min:     p.Min,
+		Max:     p.Max,
+		Mean:    p.Sum / float64(p.Count),
+		FirstTS: p.FirstTS,
+		LastTS:  p.LastTS,
+	}
+	if p.RawN > 0 {
+		if dt := p.RawLastTS - p.RawFirstTS; dt > 0 {
+			a.RatePerS = (p.LastV - p.FirstV) / (float64(dt) / 1e9)
+		}
+		a.P50 = p.quantile(50)
+		a.P95 = p.quantile(95)
+		a.P99 = p.quantile(99)
+	} else {
+		a.P50 = a.Mean
+		a.P95 = a.Max
+		a.P99 = a.Max
+	}
+	return a, true
+}
+
+// PartialAggregate computes the mergeable aggregate of one series over
+// [from, to] — the same data walk as Aggregate, accumulated into the
+// federation-mergeable form. ok is false when nothing falls in range.
+func (s *Store) PartialAggregate(k SeriesKey, from, to int64) (PartialAgg, bool) {
+	defer observeQuery(time.Now())
+	se := s.lookup(k)
+	if se == nil {
+		return PartialAgg{}, false
+	}
+	var p PartialAgg
+	se.mu.Lock()
+	se.visitLocked(from, to, p.observeBucket, p.observe)
+	se.mu.Unlock()
+	return p, p.Count > 0
+}
+
+// PartialWindow is Window in mergeable form: [from, to) sliced into
+// step-width buckets, each a PartialAgg. Shards answering the same
+// (from, to, step) produce aligned bucket lists the root merges
+// index-by-index with MergePartialWindows.
+func (s *Store) PartialWindow(k SeriesKey, from, to, step int64) []PartialBucket {
+	defer observeQuery(time.Now())
+	if step <= 0 || to <= from {
+		return nil
+	}
+	const maxBuckets = 4096
+	nb := (to - from + step - 1) / step
+	if nb > maxBuckets {
+		nb = maxBuckets
+		to = from + nb*step
+	}
+	out := make([]PartialBucket, nb)
+	for b := int64(0); b < nb; b++ {
+		lo := from + b*step
+		hi := lo + step
+		if hi > to {
+			hi = to
+		}
+		out[b] = PartialBucket{FromTS: lo, ToTS: hi}
+	}
+	if se := s.lookup(k); se != nil {
+		se.mu.Lock()
+		se.visitLocked(from, to-1, func(start int64, count uint32, min, max, sum float64) {
+			out[(start-from)/step].Agg.observeBucket(start, count, min, max, sum)
+		}, func(ts int64, v float64) {
+			out[(ts-from)/step].Agg.observe(ts, v)
+		})
+		se.mu.Unlock()
+	}
+	return out
+}
+
+// MergePartialWindows folds src into dst bucket-by-bucket and returns
+// dst. A nil dst adopts a deep copy of src. Bucket lists must come from
+// the same (from, to, step) — they are matched by index; a length
+// mismatch keeps dst's extent and merges the overlap.
+func MergePartialWindows(dst, src []PartialBucket) []PartialBucket {
+	if dst == nil {
+		dst = make([]PartialBucket, len(src))
+		for i := range src {
+			dst[i] = PartialBucket{FromTS: src[i].FromTS, ToTS: src[i].ToTS}
+		}
+	}
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i].Agg.Merge(&src[i].Agg)
+	}
+	return dst
+}

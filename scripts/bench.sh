@@ -10,8 +10,10 @@
 # bytes/sample ReportMetric), the A1 SLA tier (enforcement-tick latency
 # with the policies/s ReportMetric), and the scale tier (a cells x UEs
 # fleet stepped by the sharded core vs the frozen pre-change per-UE
-# loop, with ue_slots/s, p99_slot_ns and bytes/ue ReportMetrics), all
-# with -benchmem, and writes BENCH_pr9.json mapping benchmark name ->
+# loop, with ue_slots/s, p99_slot_ns and bytes/ue ReportMetrics), and
+# the federation tier (consistent-hash placement and mergeable-partial
+# union), all with -benchmem, and writes BENCH_pr10.json mapping
+# benchmark name ->
 # ns/op, B/op, allocs/op (plus any custom b.ReportMetric units, e.g.
 # ue_slots/s -> ue_slots_s). The JSON also embeds two baselines so a
 # reviewer can diff without checking out old trees: the pre-fast-path
@@ -30,7 +32,7 @@
 #   SCALE_CELLS, SCALE_UES_PER_CELL, SCALE_IDLE_PCT, SCALE_SHARDS
 #                    scale-tier fleet shape (default 1000 cells x 1000
 #                    UEs = 1M UEs at 99% idle, 4 shards per cell)
-#   OUT              output file (default BENCH_pr9.json)
+#   OUT              output file (default BENCH_pr10.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,7 +47,7 @@ SCALE_UES_PER_CELL=${SCALE_UES_PER_CELL:-1000}
 SCALE_IDLE_PCT=${SCALE_IDLE_PCT:-99}
 SCALE_SHARDS=${SCALE_SHARDS:-4}
 export SCALE_CELLS SCALE_UES_PER_CELL SCALE_IDLE_PCT SCALE_SHARDS
-OUT=${OUT:-BENCH_pr9.json}
+OUT=${OUT:-BENCH_pr10.json}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT INT TERM
@@ -81,6 +83,13 @@ echo "==> A1 SLA enforcement tier (benchtime $HOT_BENCHTIME)"
 # live HTTP northbound, windowed percentile evaluation per target — with
 # the policies/s throughput ReportMetric.
 run "$HOT_BENCHTIME" ./internal/xapp/ 'BenchmarkSLAEnforceTick$'
+
+echo "==> federation tier (ring placement @$MICRO_BENCHTIME, partial merge @$HOT_BENCHTIME)"
+# Owner lookup is on every agent (re)connect and takeover grouping;
+# PartialMerge is the root's per-shard fold inside the federated query
+# fan-out.
+run "$MICRO_BENCHTIME" ./internal/federation/ 'BenchmarkRingOwner$'
+run "$HOT_BENCHTIME" ./internal/tsdb/ 'BenchmarkPartialMerge$'
 
 echo "==> figure suite (benchtime $FIG_BENCHTIME)"
 run "$FIG_BENCHTIME" . 'BenchmarkFig6aAgentOverhead$|BenchmarkFig6bUESweep$|BenchmarkFig7aPingRTT$|BenchmarkFig7bSignaling$|BenchmarkFig8aControllerVsFlexRAN$|BenchmarkFig8bAgentSweep$|BenchmarkTable2Footprint$'

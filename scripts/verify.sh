@@ -66,6 +66,15 @@ echo "==> A1 SLA closed-loop demo (violate -> remedy -> reconnect storm, both co
 # channel and at /a1/status.
 go test -count=1 -run 'TestSLADemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
 
+echo "==> federation demo (kill one shard -> re-home + snapshot restore, both codecs)"
+# A root + 3 shards + 12 agents placed by consistent hashing. Killing
+# the shard owning agent 1 must re-home its agents to the ring
+# successor, resume the root's cross-shard subscription streams, and
+# leave a federated windowed query over the pre-kill window equal to
+# the pre-kill baseline — proof the successor restored the dead shard's
+# tsdb snapshot.
+go test -count=1 -run 'TestFederationDemo' -v ./internal/experiments/ | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
 echo "==> go build -tags notrace"
 go build -tags notrace ./...
 
